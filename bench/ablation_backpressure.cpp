@@ -1,0 +1,61 @@
+/// \file ablation_backpressure.cpp
+/// \brief ARU versus the modern alternative: bounded-buffer backpressure.
+///
+/// Today's streaming systems (Flink, Akka Streams, Reactive Streams)
+/// throttle producers by bounding buffers: a full buffer blocks the
+/// producer. This bench compares that baseline (bounded frames channel,
+/// ARU off) against ARU's feedback pacing on the same tracker, isolating
+/// what the 2005 mechanism does and doesn't buy:
+///  * both eliminate unbounded overproduction;
+///  * backpressure still *creates* items that later get skipped (waste)
+///    and holds them in the bounded buffer (latency), while ARU prevents
+///    their creation outright.
+///
+/// Usage: ablation_backpressure [seconds=6] [seed=42] [csv=...]
+#include "bench_common.hpp"
+
+using namespace stampede;
+using namespace stampede::bench;
+
+int main(int argc, char** argv) {
+  const Options cli = Options::parse(argc, argv);
+
+  Table table("Ablation — ARU vs bounded-buffer backpressure");
+  table.set_header({"policy", "tput (fps)", "latency (ms)", "% mem wasted",
+                    "footprint (MB)", "% comp wasted"});
+
+  struct Config {
+    std::string name;
+    aru::Mode mode;
+    std::size_t capacity;
+  };
+  const std::vector<Config> configs{
+      {"unbounded, no ARU", aru::Mode::kOff, 0},
+      {"backpressure cap=8", aru::Mode::kOff, 8},
+      {"backpressure cap=4", aru::Mode::kOff, 4},
+      {"backpressure cap=2", aru::Mode::kOff, 2},
+      {"ARU-min", aru::Mode::kMin, 0},
+      {"ARU-max", aru::Mode::kMax, 0},
+  };
+
+  for (const Config& c : configs) {
+    vision::TrackerOptions opts = tracker_options_from(cli, c.mode, 1);
+    opts.duration = seconds(cli.get_int("seconds", 6));
+    opts.frame_capacity = c.capacity;
+    std::fprintf(stderr, "  running %s...\n", c.name.c_str());
+    const auto a = vision::run_tracker(opts).analysis;
+    table.add_row({c.name, Table::num(a.perf.throughput_fps),
+                   Table::num(a.perf.latency_ms_mean, 0),
+                   Table::num(a.res.wasted_mem_pct, 1),
+                   Table::num(a.res.footprint_mb_mean),
+                   Table::num(a.res.wasted_comp_pct, 1)});
+  }
+
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf(
+      "reading: tight caps bound the footprint like ARU does, but items are still\n"
+      "produced-then-skipped (waste persists) and queue in the bounded buffer;\n"
+      "ARU prevents doomed items from being created at all.\n");
+  maybe_write_csv(cli, table);
+  return 0;
+}

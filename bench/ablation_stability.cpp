@@ -1,0 +1,89 @@
+/// \file ablation_stability.cpp
+/// \brief Maps the control-loop design space the paper's §6 leaves open
+///        ("find the right balance between wasted resource usage and
+///        application performance"): pacing gain × feedback noise, with
+///        and without smoothing filters, on the deterministic feedback
+///        model (core/simulator.hpp).
+///
+/// For the tracker-shaped fan-out (fast digitizer, two detectors of
+/// 28/33 ms) it reports, per (operator, gain, noise, filter) cell:
+/// rounds-to-converge, settled source period, its std (production-rate
+/// jitter — the paper's §3.3.2 noise problem) and overshoot.
+///
+/// Usage: ablation_stability [rounds=600] [csv=...]
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+
+using namespace stampede;
+using namespace stampede::bench;
+
+namespace {
+
+/// Tracker-shaped model: source -> {background 12, histogram 15} -> both
+/// -> detectors 28/33 -> gui 6 (the Fig. 5 topology collapsed to its rate
+/// skeleton).
+std::vector<aru::SimStage> tracker_model(double noise) {
+  using aru::SimStage;
+  return {
+      SimStage{.name = "digitizer", .cost = millis(5), .noise = noise, .consumers = {1, 2, 3, 4}},
+      SimStage{.name = "background", .cost = millis(12), .noise = noise, .consumers = {3, 4}},
+      SimStage{.name = "histogram", .cost = millis(15), .noise = noise, .consumers = {3, 4}},
+      SimStage{.name = "detect1", .cost = millis(28), .noise = noise, .consumers = {5}},
+      SimStage{.name = "detect2", .cost = millis(33), .noise = noise, .consumers = {5}},
+      SimStage{.name = "gui", .cost = millis(6), .noise = noise, .consumers = {}},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options cli = Options::parse(argc, argv);
+  const int rounds = static_cast<int>(cli.get_int("rounds", 600));
+
+  Table table("Ablation — feedback-loop stability (gain x noise x filter)");
+  table.set_header({"operator", "gain", "noise", "filter", "settle (rounds)",
+                    "period (ms)", "period std", "overshoot (ms)"});
+
+  for (const aru::Mode mode : {aru::Mode::kMin, aru::Mode::kMax}) {
+    for (const double gain : {1.0, 0.5, 0.2}) {
+      for (const double noise : {0.0, 0.15, 0.3}) {
+        for (const char* filter : {"passthrough", "median:7"}) {
+          for (const double deadband : {0.0, 0.2}) {
+            if (noise == 0.0 && (std::string(filter) != "passthrough" || deadband > 0)) {
+              continue;
+            }
+            if (deadband > 0 && (gain != 1.0 || std::string(filter) != "passthrough")) {
+              continue;  // deadband studied on the undamped, unfiltered loop
+            }
+            aru::SimConfig cfg{.mode = mode,
+                               .pace_gain = gain,
+                               .deadband = deadband,
+                               .filter = filter,
+                               .seed = 9};
+            aru::RateSimulator sim(tracker_model(noise), std::move(cfg));
+            const auto conv = sim.analyze(0, rounds);
+            std::string label = filter;
+            if (deadband > 0) label += " +deadband";
+            table.add_row({aru::to_string(mode), Table::num(gain, 2),
+                           Table::num(noise, 2), label,
+                           conv.rounds_to_converge >= 0
+                               ? std::to_string(conv.rounds_to_converge)
+                               : "n/a",
+                           Table::num(conv.final_period_ms, 2),
+                           Table::num(conv.final_std_ms, 3),
+                           Table::num(conv.overshoot_ms, 2)});
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf(
+      "reading: min settles at the fast detector (~28 ms), max at the slow one\n"
+      "(~33 ms); noise inflates max's settled period (upward bias -> starvation);\n"
+      "lower gain slows settling but damps jitter; the median filter recovers\n"
+      "most of the noise-free behaviour — the paper's proposed future work.\n");
+  maybe_write_csv(cli, table);
+  return 0;
+}

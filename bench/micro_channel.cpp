@@ -1,0 +1,105 @@
+/// \file micro_channel.cpp
+/// \brief Micro-benchmarks of the runtime primitives: channel put/get at
+///        varying occupancy and consumer counts, queue ops, and item
+///        allocation at the paper's payload sizes.
+#include <benchmark/benchmark.h>
+
+#include "runtime/channel.hpp"
+#include "runtime/queue.hpp"
+#include "vision/records.hpp"
+
+namespace stampede {
+namespace {
+
+struct Fixture {
+  ManualClock clock;
+  MemoryTracker tracker{1};
+  stats::Recorder recorder;
+  cluster::Topology topo = cluster::Topology::single_node();
+  RunContext ctx;
+  std::stop_source stop;
+
+  Fixture() {
+    ctx.clock = &clock;
+    ctx.tracker = &tracker;
+    ctx.recorder = &recorder;
+    ctx.topology = &topo;
+    ctx.gc = gc::Kind::kDeadTimestamp;
+  }
+
+  std::shared_ptr<Item> item(Timestamp ts, std::size_t bytes = 256) {
+    return std::make_shared<Item>(ctx, ts, bytes, 100, 0, std::vector<ItemId>{}, Nanos{0});
+  }
+};
+
+void BM_ChannelGetLatest_MultiConsumer(benchmark::State& state) {
+  Fixture f;
+  Channel ch(f.ctx, 0, ChannelConfig{.name = "c"}, aru::Mode::kOff, make_filter(""),
+             f.recorder.new_shard());
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> consumers;
+  for (int i = 0; i < n; ++i) consumers.push_back(ch.register_consumer(200 + i, 0));
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    ch.put(f.item(ts), f.stop.get_token());
+    for (const int c : consumers) {
+      benchmark::DoNotOptimize(
+          ch.get_latest(c, aru::kUnknownStp, kNoTimestamp, f.stop.get_token()));
+    }
+    ++ts;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelGetLatest_MultiConsumer)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ChannelSkipScan(benchmark::State& state) {
+  // One get skipping over `n-1` stale items — the cost of the skip-over
+  // access pattern itself.
+  Fixture f;
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Channel ch(f.ctx, 0, ChannelConfig{.name = "c"}, aru::Mode::kOff, make_filter(""),
+               f.recorder.new_shard());
+    const int c = ch.register_consumer(200, 0);
+    for (Timestamp ts = 0; ts < n; ++ts) ch.put(f.item(ts), f.stop.get_token());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        ch.get_latest(c, aru::kUnknownStp, kNoTimestamp, f.stop.get_token()));
+  }
+}
+BENCHMARK(BM_ChannelSkipScan)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_QueuePutGet(benchmark::State& state) {
+  Fixture f;
+  Queue q(f.ctx, 0, QueueConfig{.name = "q"}, aru::Mode::kOff, make_filter(""),
+          f.recorder.new_shard());
+  const int c = q.register_consumer(200, 0);
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    q.put(f.item(ts), f.stop.get_token());
+    benchmark::DoNotOptimize(q.get(c, aru::kUnknownStp, f.stop.get_token()));
+    ++ts;
+  }
+}
+BENCHMARK(BM_QueuePutGet);
+
+void BM_ItemAllocFree(benchmark::State& state) {
+  Fixture f;
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.item(ts++, bytes));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ItemAllocFree)
+    ->Arg(static_cast<std::int64_t>(vision::kLocationBytes))
+    ->Arg(static_cast<std::int64_t>(vision::kMaskBytes))
+    ->Arg(static_cast<std::int64_t>(vision::kFrameBytes))
+    ->Arg(static_cast<std::int64_t>(vision::kHistogramBytes));
+
+}  // namespace
+}  // namespace stampede
+
+BENCHMARK_MAIN();

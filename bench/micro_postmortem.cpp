@@ -1,0 +1,110 @@
+/// \file micro_postmortem.cpp
+/// \brief Micro-benchmarks of the measurement infrastructure itself: trace
+///        analysis and serialization throughput on synthetic traces.
+///
+/// The paper's methodology depends on recording everything and analyzing
+/// postmortem; these benches show the analysis pipeline handles
+/// million-event traces comfortably.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "stats/breakdown.hpp"
+#include "stats/postmortem.hpp"
+#include "stats/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace stampede::stats {
+namespace {
+
+/// Synthetic trace: `chains` linear lineage chains of depth 3, each with
+/// alloc/put/consume/free events; ~40% of chains end in an emit.
+Trace synthetic_trace(std::int64_t chains, std::uint64_t seed = 7) {
+  Xoshiro256 rng(seed);
+  Trace t;
+  t.t_begin = 0;
+  t.node_names = {"src", "chan", "mid", "chan2", "sink"};
+  ItemId next_id = 1;
+  std::int64_t now = 0;
+  for (std::int64_t c = 0; c < chains; ++c) {
+    const ItemId frame = next_id++;
+    const ItemId derived = next_id++;
+    const bool emitted = rng.uniform() < 0.4;
+    const Ts ts = c;
+    now += 1000;
+    t.items.push_back(ItemRecord{
+        .id = frame, .ts = ts, .bytes = 4096, .producer = 0, .t_alloc = now,
+        .produce_cost = 500, .lineage = {}});
+    t.events.push_back(Event{.type = EventType::kAlloc, .node = 0, .ts = ts,
+                             .item = frame, .t = now, .a = 4096});
+    t.events.push_back(Event{.type = EventType::kPut, .node = 1, .ts = ts,
+                             .item = frame, .t = now + 10});
+    t.events.push_back(Event{.type = EventType::kConsume, .node = 2, .ts = ts,
+                             .item = frame, .t = now + 50});
+    t.items.push_back(ItemRecord{
+        .id = derived, .ts = ts, .bytes = 256, .producer = 2, .t_alloc = now + 60,
+        .produce_cost = 300, .lineage = {frame}});
+    t.events.push_back(Event{.type = EventType::kAlloc, .node = 2, .ts = ts,
+                             .item = derived, .t = now + 60, .a = 256});
+    t.events.push_back(Event{.type = EventType::kPut, .node = 3, .ts = ts,
+                             .item = derived, .t = now + 70});
+    if (emitted) {
+      t.events.push_back(Event{.type = EventType::kConsume, .node = 4, .ts = ts,
+                               .item = derived, .t = now + 120});
+      t.events.push_back(Event{.type = EventType::kEmit, .node = 4, .ts = ts,
+                               .item = derived, .t = now + 120});
+    }
+    t.events.push_back(Event{.type = EventType::kFree, .node = 0, .ts = ts,
+                             .item = frame, .t = now + 200, .a = 4096});
+    t.events.push_back(Event{.type = EventType::kFree, .node = 2, .ts = ts,
+                             .item = derived, .t = now + 210, .a = 256});
+  }
+  t.t_end = now + 1000;
+  return t;
+}
+
+void BM_AnalyzerFullRun(benchmark::State& state) {
+  const Trace trace = synthetic_trace(state.range(0));
+  for (auto _ : state) {
+    const Analyzer analyzer(trace);
+    benchmark::DoNotOptimize(analyzer.run());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.events.size()));
+}
+BENCHMARK(BM_AnalyzerFullRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BreakdownCompute(benchmark::State& state) {
+  const Trace trace = synthetic_trace(state.range(0));
+  const Analyzer analyzer(trace);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_breakdown(trace, analyzer));
+  }
+}
+BENCHMARK(BM_BreakdownCompute)->Arg(1000)->Arg(10000);
+
+void BM_TraceSaveLoad(benchmark::State& state) {
+  const Trace trace = synthetic_trace(state.range(0));
+  for (auto _ : state) {
+    std::stringstream buf;
+    save_trace(trace, buf);
+    benchmark::DoNotOptimize(load_trace(buf));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.events.size()));
+}
+BENCHMARK(BM_TraceSaveLoad)->Arg(1000)->Arg(10000);
+
+void BM_FootprintReconstruction(benchmark::State& state) {
+  const Trace trace = synthetic_trace(state.range(0));
+  for (auto _ : state) {
+    auto series = footprint_from_events(trace.events, trace.t_begin, trace.t_end);
+    benchmark::DoNotOptimize(series.weighted());
+  }
+}
+BENCHMARK(BM_FootprintReconstruction)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace stampede::stats
+
+BENCHMARK_MAIN();

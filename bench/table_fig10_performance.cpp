@@ -1,0 +1,48 @@
+/// \file table_fig10_performance.cpp
+/// \brief Regenerates paper Figure 10: throughput (fps, mean/σ), latency
+///        (ms, mean/σ) and jitter (ms) of the tracker per policy and
+///        configuration.
+///
+/// Paper reference values:
+///   cfg1: No-ARU 3.30±0.02 fps, 661±23 ms, 77 ms jitter
+///         min    4.68±0.09,     594±9,     34
+///         max    4.18±0.10,     350±7,     46
+///   cfg2: No-ARU 4.27±0.06,     648±23,    96
+///         min    4.47±0.10,     605±24,    89
+///         max    3.53±0.15,     480±13,    162
+/// Shape targets: ARU-min has the best throughput; ARU-max trades
+/// throughput for the lowest latency (the §5.2 aggressiveness artifact);
+/// No-ARU pays for wasted work with throughput and latency.
+///
+/// Usage: table_fig10_performance [seconds=8] [repeats=1] [seed=42] [csv=...]
+#include "bench_common.hpp"
+
+using namespace stampede;
+using namespace stampede::bench;
+
+int main(int argc, char** argv) {
+  const Options cli = Options::parse(argc, argv);
+
+  Table table("Fig. 10 — Latency, throughput and jitter of the tracker");
+  table.set_header({"config", "policy", "tput (fps)", "tput STD", "latency (ms)",
+                    "lat STD", "jitter (ms)"});
+
+  for (const int config : {1, 2}) {
+    for (const aru::Mode mode : paper_modes()) {
+      const Cell cell = run_cell(cli, mode, config);
+      const auto& perf = cell.analysis.perf;
+      table.add_row({"cfg" + std::to_string(config),
+                     mode == aru::Mode::kOff ? "No ARU" : "ARU-" + aru::to_string(mode),
+                     Table::num(perf.throughput_fps), Table::num(perf.throughput_fps_std),
+                     Table::num(perf.latency_ms_mean, 0), Table::num(perf.latency_ms_std, 0),
+                     Table::num(perf.jitter_ms, 0)});
+    }
+  }
+
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf(
+      "shape check: ARU-min >= No-ARU throughput; ARU-max lowest latency but pays\n"
+      "throughput for its aggressiveness (paper's balance discussion, Sec. 5.2/6).\n");
+  maybe_write_csv(cli, table);
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "cluster/topology.hpp"
+
+#include <stdexcept>
+
+namespace stampede::cluster {
+
+Topology Topology::single_node() { return Topology(1, Link{}); }
+
+Topology Topology::uniform(int n, Link link) {
+  if (n <= 0) throw std::invalid_argument("Topology: node count must be positive");
+  return Topology(n, link);
+}
+
+Link Topology::gigabit_link() {
+  // Gigabit Ethernet: ~125 MB/s payload bandwidth, ~100 us end-to-end
+  // latency (the paper's testbed interconnect).
+  return Link{.latency = micros(100), .bytes_per_sec = 125.0e6};
+}
+
+Nanos Topology::transfer_time(NodeIndex from, NodeIndex to, std::size_t bytes) const {
+  if (!valid(from) || !valid(to)) {
+    throw std::out_of_range("Topology: invalid node index");
+  }
+  if (from == to) return Nanos{0};
+  return link_.transfer_time(bytes);
+}
+
+std::string Topology::describe() const {
+  if (nodes_ == 1) return "1 node (shared memory)";
+  return std::to_string(nodes_) + " nodes, link latency " +
+         std::to_string(to_micros(link_.latency)) + " us, bandwidth " +
+         std::to_string(link_.bytes_per_sec / 1e6) + " MB/s";
+}
+
+}  // namespace stampede::cluster

@@ -1,0 +1,74 @@
+/// \file topology.hpp
+/// \brief Simulated cluster topology (substitute for the paper's 17-node
+///        Gigabit-Ethernet cluster of 8-way SMPs).
+///
+/// Tasks and channels are *placed* on virtual cluster nodes. A `get` or
+/// `put` whose endpoints live on different nodes pays a transfer delay of
+/// `latency + bytes / bandwidth` — the first-order cost that distinguishes
+/// the paper's config 1 (everything on one node) from config 2 (five
+/// tasks on five nodes). See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace stampede::cluster {
+
+/// Virtual cluster node index.
+using NodeIndex = int;
+
+/// Point-to-point link model.
+struct Link {
+  /// One-way message latency.
+  Nanos latency{0};
+  /// Sustained bandwidth in bytes per second (<= 0 means infinite).
+  double bytes_per_sec = 0.0;
+
+  /// Transfer time for a payload of `bytes`.
+  Nanos transfer_time(std::size_t bytes) const {
+    Nanos t = latency;
+    if (bytes_per_sec > 0.0) {
+      t += Nanos{static_cast<std::int64_t>(static_cast<double>(bytes) / bytes_per_sec * 1e9)};
+    }
+    return t;
+  }
+};
+
+/// Cluster description: node count plus a uniform inter-node link model.
+/// Intra-node communication is free (shared memory), as in Stampede.
+class Topology {
+ public:
+  /// Single shared-memory node (the paper's configuration 1).
+  static Topology single_node();
+
+  /// `n` nodes joined by identical links (the paper's configuration 2 uses
+  /// n = 5 with Gigabit Ethernet: ~125 MB/s, ~100 µs latency).
+  static Topology uniform(int n, Link link);
+
+  /// Gigabit-Ethernet-like defaults matching the paper's testbed.
+  static Link gigabit_link();
+
+  int nodes() const { return nodes_; }
+
+  /// True if `n` is a valid node index.
+  bool valid(NodeIndex n) const { return n >= 0 && n < nodes_; }
+
+  /// Transfer delay between two placements for a payload of `bytes`
+  /// (zero when co-located).
+  Nanos transfer_time(NodeIndex from, NodeIndex to, std::size_t bytes) const;
+
+  const Link& link() const { return link_; }
+
+  std::string describe() const;
+
+ private:
+  Topology(int nodes, Link link) : nodes_(nodes), link_(link) {}
+
+  int nodes_;
+  Link link_;
+};
+
+}  // namespace stampede::cluster

@@ -1,0 +1,23 @@
+#include "core/compress.hpp"
+
+namespace stampede::aru {
+
+Nanos compress_min(std::span<const Nanos> backward) {
+  Nanos best = kUnknownStp;
+  for (const Nanos v : backward) {
+    if (!known(v)) continue;
+    if (!known(best) || v < best) best = v;
+  }
+  return best;
+}
+
+Nanos compress_max(std::span<const Nanos> backward) {
+  Nanos best = kUnknownStp;
+  for (const Nanos v : backward) {
+    if (!known(v)) continue;
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+}  // namespace stampede::aru

@@ -1,0 +1,38 @@
+/// \file compress.hpp
+/// \brief backwardSTP-vector compression operators (paper §3.3.2).
+///
+/// Each node folds the summary-STP values received from its downstream
+/// connections into a single *compressed-backwardSTP* value. Slots with no
+/// information yet (no feedback received) are represented by `kUnknownStp`
+/// and are skipped by every operator; a vector with no known values
+/// compresses to `kUnknownStp`, which downstream logic treats as "no
+/// constraint".
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/time.hpp"
+
+namespace stampede::aru {
+
+/// Sentinel for "no feedback received yet on this connection".
+inline constexpr Nanos kUnknownStp{0};
+
+/// True if `v` carries real feedback.
+constexpr bool known(Nanos v) { return v.count() > 0; }
+
+/// A compression operator: folds the backwardSTP vector (which may contain
+/// kUnknownStp slots) into one value.
+using CompressFn = std::function<Nanos(std::span<const Nanos>)>;
+
+/// Conservative default (paper's safe operator): the smallest known
+/// summary-STP — sustain the fastest consumer so no consumer is starved.
+Nanos compress_min(std::span<const Nanos> backward);
+
+/// Aggressive operator (paper Fig. 4): the largest known summary-STP —
+/// match the slowest consumer. Correct only when all consumers' outputs
+/// feed a common downstream stage that dictates pipeline throughput.
+Nanos compress_max(std::span<const Nanos> backward);
+
+}  // namespace stampede::aru

@@ -1,0 +1,69 @@
+#include "core/feedback.hpp"
+
+#include <stdexcept>
+
+namespace stampede::aru {
+
+FeedbackState::FeedbackState(Mode mode, bool is_thread, CompressFn custom,
+                             std::unique_ptr<Filter> filter)
+    : mode_(mode), is_thread_(is_thread), filter_(std::move(filter)) {
+  switch (mode) {
+    case Mode::kOff:
+      compress_ = {};
+      break;
+    case Mode::kMin:
+      compress_ = compress_min;
+      break;
+    case Mode::kMax:
+      compress_ = compress_max;
+      break;
+    case Mode::kCustom:
+      if (!custom) {
+        throw std::invalid_argument("FeedbackState: kCustom requires a compress function");
+      }
+      compress_ = std::move(custom);
+      break;
+  }
+}
+
+int FeedbackState::add_output() {
+  backward_.push_back(kUnknownStp);
+  return static_cast<int>(backward_.size()) - 1;
+}
+
+void FeedbackState::update_backward(int slot, Nanos summary) {
+  if (mode_ == Mode::kOff) return;
+  if (slot < 0 || static_cast<std::size_t>(slot) >= backward_.size()) {
+    throw std::out_of_range("FeedbackState: bad output slot");
+  }
+  backward_[static_cast<std::size_t>(slot)] = summary;
+  recompute();
+}
+
+void FeedbackState::set_current_stp(Nanos stp) {
+  if (mode_ == Mode::kOff) return;
+  if (!is_thread_) {
+    throw std::logic_error("FeedbackState: current-STP on a non-thread node");
+  }
+  current_ = stp;
+  recompute();
+}
+
+void FeedbackState::recompute() {
+  compressed_ = compress_ ? compress_(backward_) : kUnknownStp;
+  // Thread nodes insert their own execution period: a thread slower than
+  // all of its consumers still reports its own pace upstream (paper:
+  // "allows a thread with a larger period than its consumers to insert its
+  // execution period into the summary-STP").
+  Nanos raw = compressed_;
+  if (is_thread_ && known(current_) && (!known(raw) || current_ > raw)) {
+    raw = current_;
+  }
+  if (filter_ && known(raw)) {
+    const double filtered = filter_->push(static_cast<double>(raw.count()));
+    raw = Nanos{static_cast<std::int64_t>(filtered)};
+  }
+  summary_ = raw;
+}
+
+}  // namespace stampede::aru

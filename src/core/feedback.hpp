@@ -1,0 +1,86 @@
+/// \file feedback.hpp
+/// \brief Per-node ARU feedback state: the backwardSTP vector, the
+///        compressed-backwardSTP, and the summary-STP (paper §3.3.2, Fig. 3).
+///
+/// Every node in the task graph — thread, channel, or queue — owns one
+/// `FeedbackState`. Downstream nodes piggy-back their summary-STP on get
+/// operations (`update_backward`); thread nodes additionally feed their
+/// measured current-STP (`set_current_stp`). The node's own summary-STP:
+///
+///   summary = is_thread ? max(compress(backwardSTP), current-STP)
+///                       : compress(backwardSTP)
+///
+/// optionally smoothed by a feedback filter before being propagated
+/// upstream on the next put.
+///
+/// Thread-safety: a thread node's FeedbackState is touched only by its
+/// owning thread; a channel/queue node's FeedbackState is protected by the
+/// channel/queue mutex. The class itself is not synchronized.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/compress.hpp"
+#include "core/policy.hpp"
+#include "util/filters.hpp"
+#include "util/time.hpp"
+
+namespace stampede::aru {
+
+class FeedbackState {
+ public:
+  /// \param mode       compress-operator selection (kOff disables everything;
+  ///                    summary() then always returns kUnknownStp).
+  /// \param is_thread  thread nodes blend in their current-STP.
+  /// \param custom     compress function used when mode == kCustom.
+  /// \param filter     optional smoothing of the outgoing summary-STP
+  ///                    (nullptr == passthrough).
+  FeedbackState(Mode mode, bool is_thread, CompressFn custom = {},
+                std::unique_ptr<Filter> filter = nullptr);
+
+  /// Registers one more output connection; returns its slot index in the
+  /// backwardSTP vector. Must be called during graph construction, before
+  /// any feedback flows.
+  int add_output();
+
+  /// Records a summary-STP received from the downstream node on output
+  /// connection `slot`, then recomputes this node's summary.
+  void update_backward(int slot, Nanos summary);
+
+  /// Thread nodes: records the locally measured current-STP for this
+  /// iteration, then recomputes the summary.
+  void set_current_stp(Nanos stp);
+
+  /// This node's summary-STP to piggy-back upstream (kUnknownStp if no
+  /// information yet or ARU is off).
+  Nanos summary() const { return summary_; }
+
+  /// The compressed backwardSTP (before blending current-STP); exposed for
+  /// tests and for pacing decisions.
+  Nanos compressed_backward() const { return compressed_; }
+
+  /// Last current-STP fed in (threads only).
+  Nanos current_stp() const { return current_; }
+
+  /// Read-only view of the backward vector (for diagnostics/tests).
+  std::span<const Nanos> backward() const { return backward_; }
+
+  Mode mode() const { return mode_; }
+  bool is_thread() const { return is_thread_; }
+  std::size_t outputs() const { return backward_.size(); }
+
+ private:
+  void recompute();
+
+  Mode mode_;
+  bool is_thread_;
+  CompressFn compress_;
+  std::unique_ptr<Filter> filter_;
+  std::vector<Nanos> backward_;
+  Nanos current_ = kUnknownStp;
+  Nanos compressed_ = kUnknownStp;
+  Nanos summary_ = kUnknownStp;
+};
+
+}  // namespace stampede::aru

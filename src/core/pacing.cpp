@@ -1,0 +1,19 @@
+#include "core/pacing.hpp"
+
+namespace stampede::aru {
+
+Nanos pacing_sleep(Nanos target, Nanos elapsed, double gain) {
+  if (!known(target)) return Nanos{0};
+  const Nanos gap = target - elapsed;
+  if (gap.count() <= 0) return Nanos{0};
+  if (gain >= 1.0) return gap;
+  if (gain <= 0.0) return Nanos{0};
+  return Nanos{static_cast<std::int64_t>(static_cast<double>(gap.count()) * gain)};
+}
+
+bool should_pace(const Config& cfg, bool is_source) {
+  if (!cfg.enabled()) return false;
+  return is_source || cfg.throttle_non_source;
+}
+
+}  // namespace stampede::aru

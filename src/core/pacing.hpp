@@ -1,0 +1,27 @@
+/// \file pacing.hpp
+/// \brief Producer pacing: turning the propagated summary-STP into a sleep
+///        (paper §3.3.2 — "Source threads ... use the propagated
+///        summary-STP information to adjust their rate of data item
+///        production").
+#pragma once
+
+#include "core/compress.hpp"
+#include "core/policy.hpp"
+#include "util/time.hpp"
+
+namespace stampede::aru {
+
+/// Computes how long a thread should sleep at the end of an iteration so
+/// its total period approaches `target`.
+///
+/// \param target   the thread's summary-STP (kUnknownStp → no sleep).
+/// \param elapsed  wall time already spent in this iteration.
+/// \param gain     fraction of the gap to close (Config::pace_gain).
+/// \return sleep duration, >= 0.
+Nanos pacing_sleep(Nanos target, Nanos elapsed, double gain = 1.0);
+
+/// Decides whether a thread should pace itself under `cfg`:
+/// sources always pace; non-sources only when throttle_non_source is set.
+bool should_pace(const Config& cfg, bool is_source);
+
+}  // namespace stampede::aru

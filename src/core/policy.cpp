@@ -1,0 +1,25 @@
+#include "core/policy.hpp"
+
+#include <stdexcept>
+
+namespace stampede::aru {
+
+Mode parse_mode(const std::string& s) {
+  if (s == "off" || s == "none" || s == "noaru") return Mode::kOff;
+  if (s == "min") return Mode::kMin;
+  if (s == "max") return Mode::kMax;
+  if (s == "custom") return Mode::kCustom;
+  throw std::invalid_argument("aru::parse_mode: unknown mode '" + s + "'");
+}
+
+std::string to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kMin: return "min";
+    case Mode::kMax: return "max";
+    case Mode::kCustom: return "custom";
+  }
+  return "?";
+}
+
+}  // namespace stampede::aru

@@ -1,0 +1,54 @@
+/// \file policy.hpp
+/// \brief ARU policy configuration (paper §3.3).
+///
+/// The Adaptive Resource Utilization mechanism is configured per runtime:
+/// which compress operator folds the backwardSTP vector (§3.3.2, Figs. 3-4),
+/// whether non-source threads are also paced (the paper paces sources only
+/// and lets the slow-down cascade), and which smoothing filter — if any —
+/// is applied to outgoing summary-STP values (the paper's named future-work
+/// extension).
+#pragma once
+
+#include <string>
+
+namespace stampede::aru {
+
+/// Backward-STP compression operator selection.
+enum class Mode {
+  kOff,     ///< ARU disabled: no feedback, no pacing (paper's "No ARU").
+  kMin,     ///< Default conservative operator: sustain the fastest consumer.
+  kMax,     ///< Aggressive operator: match the slowest consumer; safe only
+            ///< when consumers' results all feed one common sink (Fig. 4).
+  kCustom,  ///< User-supplied compress function (paper §3.3.2's
+            ///< "user-defined function that captures data-dependencies").
+};
+
+/// Parses "off" | "min" | "max" | "custom"; throws on anything else.
+Mode parse_mode(const std::string& s);
+
+/// Human-readable mode name.
+std::string to_string(Mode mode);
+
+/// Complete ARU configuration for a runtime instance.
+struct Config {
+  Mode mode = Mode::kOff;
+
+  /// Smoothing filter spec applied to each node's outgoing summary-STP
+  /// ("passthrough" reproduces the published system; "ema:a", "median:w",
+  /// "mean:w" enable the future-work extension).
+  std::string filter = "passthrough";
+
+  /// If true, every thread paces itself to its summary-STP; the paper's
+  /// system paces source threads only (§3.3.2: "Source threads ... use the
+  /// propagated summary-STP information to adjust their rate").
+  bool throttle_non_source = false;
+
+  /// Fraction of the (summary-STP − elapsed) gap that pacing sleeps each
+  /// iteration. 1.0 = exact matching (the paper's behaviour); smaller
+  /// values damp the controller (ablation knob).
+  double pace_gain = 1.0;
+
+  bool enabled() const { return mode != Mode::kOff; }
+};
+
+}  // namespace stampede::aru

@@ -1,0 +1,177 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/filters.hpp"
+
+namespace stampede::aru {
+
+RateSimulator::RateSimulator(std::vector<SimStage> stages, SimConfig config)
+    : stages_(std::move(stages)), config_(std::move(config)), rng_(config_.seed) {
+  const Mode mode = config_.mode;
+  states_.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    states_.emplace_back(mode, config_.custom, make_filter(config_.filter));
+  }
+  // Wire output slots and mark non-sources.
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    for (const int consumer : stages_[i].consumers) {
+      if (consumer < 0 || static_cast<std::size_t>(consumer) >= stages_.size()) {
+        throw std::invalid_argument("RateSimulator: bad consumer index");
+      }
+      const int slot = states_[i].feedback.add_output();
+      states_[i].output_slots.emplace_back(consumer, slot);
+      states_[static_cast<std::size_t>(consumer)].source = false;
+    }
+  }
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    states_[i].paced_period = stages_[i].cost;
+  }
+}
+
+void RateSimulator::check_stage(int stage) const {
+  if (stage < 0 || static_cast<std::size_t>(stage) >= stages_.size()) {
+    throw std::out_of_range("RateSimulator: bad stage index");
+  }
+}
+
+void RateSimulator::step() {
+  // Snapshot last round's summaries: feedback moves one hop per round.
+  std::vector<Nanos> prev_summaries(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    prev_summaries[i] = states_[i].feedback.summary();
+  }
+
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    StageState& st = states_[i];
+    // Receive consumers' previous summaries on this round's "puts".
+    for (const auto& [consumer, slot] : st.output_slots) {
+      const Nanos s = prev_summaries[static_cast<std::size_t>(consumer)];
+      if (config_.mode != Mode::kOff && known(s)) st.feedback.update_backward(slot, s);
+    }
+    // This round's noisy current-STP.
+    Nanos cost = stages_[i].cost;
+    if (stages_[i].noise > 0.0) {
+      const double factor = 1.0 + stages_[i].noise * (2.0 * rng_.uniform() - 1.0);
+      cost = Nanos{static_cast<std::int64_t>(static_cast<double>(cost.count()) * factor)};
+    }
+    if (config_.mode != Mode::kOff) st.feedback.set_current_stp(cost);
+
+    // Source pacing with gain damping and optional deadband hysteresis.
+    if (st.source && config_.mode != Mode::kOff) {
+      const Nanos target = st.feedback.summary();
+      if (known(target)) {
+        const double cur = static_cast<double>(st.paced_period.count());
+        const double gap = static_cast<double>(target.count()) - cur;
+        if (config_.deadband > 0.0 && std::abs(gap) < config_.deadband * cur) {
+          // Inside the deadband: hold the current period.
+        } else {
+          const double next = cur + config_.pace_gain * gap;
+          st.paced_period = Nanos{static_cast<std::int64_t>(std::max(
+              next, static_cast<double>(cost.count())))};
+        }
+      } else {
+        st.paced_period = cost;
+      }
+    } else {
+      st.paced_period = cost;
+    }
+    st.history_ms.push_back(static_cast<double>(st.paced_period.count()) / 1e6);
+  }
+  ++rounds_;
+}
+
+void RateSimulator::run(int rounds) {
+  for (int i = 0; i < rounds; ++i) step();
+}
+
+Nanos RateSimulator::summary(int stage) const {
+  check_stage(stage);
+  return states_[static_cast<std::size_t>(stage)].feedback.summary();
+}
+
+Nanos RateSimulator::source_period(int stage) const {
+  check_stage(stage);
+  return states_[static_cast<std::size_t>(stage)].paced_period;
+}
+
+bool RateSimulator::is_source(int stage) const {
+  check_stage(stage);
+  return states_[static_cast<std::size_t>(stage)].source;
+}
+
+const std::vector<double>& RateSimulator::period_history_ms(int stage) const {
+  check_stage(stage);
+  return states_[static_cast<std::size_t>(stage)].history_ms;
+}
+
+Nanos RateSimulator::effective_period(int stage) const {
+  check_stage(stage);
+  // Memoized depth-first resolution over the DAG (stages are few).
+  std::vector<Nanos> memo(states_.size(), Nanos{-1});
+  std::vector<std::vector<int>> parents(states_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    for (const int c : stages_[i].consumers) {
+      parents[static_cast<std::size_t>(c)].push_back(static_cast<int>(i));
+    }
+  }
+  auto resolve = [&](auto&& self, int s) -> Nanos {
+    auto& m = memo[static_cast<std::size_t>(s)];
+    if (m.count() >= 0) return m;
+    Nanos p = states_[static_cast<std::size_t>(s)].paced_period;
+    for (const int parent : parents[static_cast<std::size_t>(s)]) {
+      p = std::max(p, self(self, parent));
+    }
+    return m = p;
+  };
+  return resolve(resolve, stage);
+}
+
+double RateSimulator::predicted_skip(int producer, int consumer) const {
+  check_stage(producer);
+  check_stage(consumer);
+  const auto& consumers = stages_[static_cast<std::size_t>(producer)].consumers;
+  if (std::find(consumers.begin(), consumers.end(), consumer) == consumers.end()) {
+    throw std::invalid_argument("RateSimulator::predicted_skip: not a direct edge");
+  }
+  const double pp = static_cast<double>(effective_period(producer).count());
+  const double pc = static_cast<double>(effective_period(consumer).count());
+  if (pp <= 0.0 || pc <= pp) return 0.0;
+  return 1.0 - pp / pc;
+}
+
+RateSimulator::Convergence RateSimulator::analyze(int source, int max_rounds,
+                                                  double tolerance) {
+  check_stage(source);
+  run(max_rounds);
+  const auto& history = states_[static_cast<std::size_t>(source)].history_ms;
+
+  Convergence result;
+  if (history.size() < 4) return result;
+
+  // Settled value: mean of the last quarter of the run.
+  StreamingStats tail;
+  const std::size_t tail_start = history.size() - history.size() / 4;
+  for (std::size_t i = tail_start; i < history.size(); ++i) tail.add(history[i]);
+  result.final_period_ms = tail.mean();
+  result.final_std_ms = tail.stddev();
+
+  const double band = std::max(tolerance * result.final_period_ms, 1e-9);
+  // First round after which the period never leaves the tolerance band.
+  std::size_t settled_from = history.size();
+  for (std::size_t i = history.size(); i-- > 0;) {
+    if (std::abs(history[i] - result.final_period_ms) > band) break;
+    settled_from = i;
+  }
+  if (settled_from < history.size()) {
+    result.converged = settled_from < tail_start;  // settled before the tail window
+    result.rounds_to_converge = static_cast<int>(settled_from);
+  }
+  double peak = 0.0;
+  for (const double p : history) peak = std::max(peak, p);
+  result.overshoot_ms = std::max(0.0, peak - result.final_period_ms);
+  return result;
+}
+
+}  // namespace stampede::aru

@@ -1,0 +1,133 @@
+/// \file simulator.hpp
+/// \brief Deterministic discrete-time model of the ARU feedback loop.
+///
+/// The threaded runtime exhibits the feedback dynamics the paper measures,
+/// but OS scheduling makes them noisy and slow to evaluate. This simulator
+/// models the same control loop analytically: stages with intrinsic
+/// per-iteration costs connected in a DAG, iterated in *rounds*. Each
+/// round every stage completes one iteration and summary-STP values
+/// propagate exactly one hop upstream — matching the paper's observation
+/// (§3.3.2) that feedback travels one stage backwards per put/get, so the
+/// worst-case reaction time equals pipeline latency.
+///
+/// Used by unit tests to verify convergence/fixed-point properties of the
+/// compress operators, pacing gain and feedback filters, and by the
+/// stability ablation bench to map the gain × noise design space the
+/// paper's §6 leaves open.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compress.hpp"
+#include "core/feedback.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace stampede::aru {
+
+/// One pipeline stage in the model.
+struct SimStage {
+  std::string name;
+  /// Intrinsic per-iteration cost (the stage's unloaded current-STP).
+  Nanos cost{0};
+  /// Multiplicative uniform noise on the per-round cost (±noise).
+  double noise = 0.0;
+  /// Indices of directly downstream stages.
+  std::vector<int> consumers;
+};
+
+struct SimConfig {
+  Mode mode = Mode::kMin;
+  /// Pacing gain: paced period moves by gain × (target − period) per round.
+  double pace_gain = 1.0;
+  /// Pacing deadband: target changes smaller than this fraction of the
+  /// current paced period are ignored (hysteresis against noise-driven
+  /// dithering — a controller-hardening extension beyond the paper).
+  double deadband = 0.0;
+  /// Feedback filter applied to every stage's outgoing summary
+  /// ("passthrough", "ema:a", "median:w", "mean:w").
+  std::string filter = "passthrough";
+  /// Custom compress function (mode == kCustom).
+  CompressFn custom;
+  std::uint64_t seed = 1;
+};
+
+class RateSimulator {
+ public:
+  RateSimulator(std::vector<SimStage> stages, SimConfig config);
+
+  /// Advances one round: samples each stage's noisy cost, recomputes its
+  /// summary from the *previous* round's consumer summaries (one-hop
+  /// propagation delay), and moves each source's paced period toward its
+  /// summary by the pacing gain.
+  void step();
+
+  /// Runs `rounds` steps.
+  void run(int rounds);
+
+  /// Rounds executed so far.
+  int rounds() const { return rounds_; }
+
+  /// Stage's summary-STP after the last step (kUnknownStp before any).
+  Nanos summary(int stage) const;
+
+  /// A source stage's current paced production period.
+  Nanos source_period(int stage) const;
+
+  /// True if the stage has no upstream producers (a source).
+  bool is_source(int stage) const;
+
+  /// History of a source's paced period, one entry per round (ms).
+  const std::vector<double>& period_history_ms(int stage) const;
+
+  /// Convergence analysis of a source's paced period.
+  struct Convergence {
+    bool converged = false;
+    int rounds_to_converge = -1;   ///< first round after which the period
+                                   ///< stays within tolerance of the final mean
+    double final_period_ms = 0.0;  ///< mean period over the settled tail
+    double final_std_ms = 0.0;     ///< std over the settled tail
+    double overshoot_ms = 0.0;     ///< max period minus final mean
+  };
+
+  /// Runs up to `max_rounds` (continuing from the current state) and
+  /// characterizes the source's settling behaviour. `tolerance` is
+  /// relative (e.g. 0.05 = settle within 5% of the tail mean).
+  Convergence analyze(int source, int max_rounds, double tolerance = 0.05);
+
+  /// Steady-state iteration period of a stage given the current paced
+  /// periods: a stage cannot iterate faster than its own cost nor faster
+  /// than its slowest input arrives — period = max(own, max over parents).
+  /// Call after running to convergence.
+  Nanos effective_period(int stage) const;
+
+  /// Predicted fraction of `producer`'s items that direct consumer
+  /// `consumer` skips in steady state: 1 − period(producer)/period(consumer),
+  /// clamped to [0, 1). The analytic counterpart of the measured per-channel
+  /// skip rates (stats::Breakdown).
+  double predicted_skip(int producer, int consumer) const;
+
+ private:
+  struct StageState {
+    FeedbackState feedback;
+    std::vector<std::pair<int, int>> output_slots;  ///< (consumer stage, slot)
+    bool source = true;
+    Nanos paced_period{0};
+    std::vector<double> history_ms;
+
+    StageState(Mode mode, CompressFn custom, std::unique_ptr<Filter> filter)
+        : feedback(mode, /*is_thread=*/true, std::move(custom), std::move(filter)) {}
+  };
+
+  void check_stage(int stage) const;
+
+  std::vector<SimStage> stages_;
+  SimConfig config_;
+  std::vector<StageState> states_;
+  Xoshiro256 rng_;
+  int rounds_ = 0;
+};
+
+}  // namespace stampede::aru

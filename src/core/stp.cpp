@@ -1,0 +1,33 @@
+#include "core/stp.hpp"
+
+#include <stdexcept>
+
+namespace stampede::aru {
+
+void StpMeter::begin_iteration(Nanos now) {
+  iter_start_ = now;
+  blocked_ = Nanos{0};
+  paced_ = Nanos{0};
+  in_iteration_ = true;
+}
+
+void StpMeter::add_blocked(Nanos d) {
+  if (d.count() > 0) blocked_ += d;
+}
+
+void StpMeter::add_paced_sleep(Nanos d) {
+  if (d.count() > 0) paced_ += d;
+}
+
+Nanos StpMeter::end_iteration(Nanos now) {
+  if (!in_iteration_) throw std::logic_error("StpMeter: end_iteration without begin");
+  in_iteration_ = false;
+  last_period_ = now - iter_start_;
+  Nanos stp = last_period_ - blocked_ - paced_;
+  if (stp.count() < 0) stp = Nanos{0};
+  current_ = stp;
+  ++iterations_;
+  return current_;
+}
+
+}  // namespace stampede::aru

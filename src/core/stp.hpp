@@ -1,0 +1,59 @@
+/// \file stp.hpp
+/// \brief Sustainable-thread-period measurement (paper §3.3.1, Fig. 2).
+///
+/// The STP of a thread is the time one loop iteration takes *excluding*
+/// time spent blocked waiting for upstream data and time spent sleeping
+/// under ARU pacing: it captures "the minimum time required to produce an
+/// item given present load conditions". The runtime drives this meter from
+/// `periodicity_sync()`.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace stampede::aru {
+
+/// Per-thread iteration timer. Not thread-safe: owned and driven by the
+/// measured thread itself.
+class StpMeter {
+ public:
+  /// Marks the start of a loop iteration at instant `now`.
+  void begin_iteration(Nanos now);
+
+  /// Accumulates time spent blocked on an empty input buffer.
+  void add_blocked(Nanos d);
+
+  /// Accumulates time spent sleeping under ARU pacing.
+  void add_paced_sleep(Nanos d);
+
+  /// Ends the iteration at instant `now` and returns the measured
+  /// current-STP: (now − iteration start) − blocked − paced sleep,
+  /// clamped at zero.
+  Nanos end_iteration(Nanos now);
+
+  /// Most recent current-STP (0 before the first completed iteration).
+  Nanos current_stp() const { return current_; }
+
+  /// Whole-iteration wall period of the last iteration (including blocking
+  /// and pacing sleep) — the thread's *observed* production period.
+  Nanos last_period() const { return last_period_; }
+
+  /// Blocked time accumulated in the current (not yet ended) iteration.
+  Nanos blocked_in_flight() const { return blocked_; }
+
+  /// Iteration start instant (valid between begin/end).
+  Nanos iteration_start() const { return iter_start_; }
+
+  /// Completed iterations so far.
+  std::int64_t iterations() const { return iterations_; }
+
+ private:
+  Nanos iter_start_{0};
+  Nanos blocked_{0};
+  Nanos paced_{0};
+  Nanos current_{0};
+  Nanos last_period_{0};
+  std::int64_t iterations_ = 0;
+  bool in_iteration_ = false;
+};
+
+}  // namespace stampede::aru

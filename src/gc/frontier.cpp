@@ -1,0 +1,50 @@
+#include "gc/frontier.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace stampede::gc {
+
+Kind parse_kind(const std::string& s) {
+  if (s == "none") return Kind::kNone;
+  if (s == "tgc" || s == "transparent") return Kind::kTransparent;
+  if (s == "dgc" || s == "dead-timestamp") return Kind::kDeadTimestamp;
+  throw std::invalid_argument("gc::parse_kind: unknown kind '" + s + "'");
+}
+
+std::string to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kTransparent: return "tgc";
+    case Kind::kDeadTimestamp: return "dgc";
+  }
+  return "?";
+}
+
+int ConsumerFrontiers::add_consumer() {
+  guarantees_.push_back(0);
+  return static_cast<int>(guarantees_.size()) - 1;
+}
+
+void ConsumerFrontiers::raise(int idx, Timestamp g) {
+  if (idx < 0 || static_cast<std::size_t>(idx) >= guarantees_.size()) {
+    throw std::out_of_range("ConsumerFrontiers: bad consumer index");
+  }
+  auto& cur = guarantees_[static_cast<std::size_t>(idx)];
+  cur = std::max(cur, g);
+}
+
+Timestamp ConsumerFrontiers::frontier() const {
+  if (guarantees_.empty()) return std::numeric_limits<Timestamp>::max();
+  return *std::min_element(guarantees_.begin(), guarantees_.end());
+}
+
+Timestamp ConsumerFrontiers::guarantee(int idx) const {
+  if (idx < 0 || static_cast<std::size_t>(idx) >= guarantees_.size()) {
+    throw std::out_of_range("ConsumerFrontiers: bad consumer index");
+  }
+  return guarantees_[static_cast<std::size_t>(idx)];
+}
+
+}  // namespace stampede::gc

@@ -1,0 +1,76 @@
+/// \file frontier.hpp
+/// \brief Timestamp-frontier bookkeeping shared by the garbage collectors.
+///
+/// The runtime supports three reclamation strategies for channel items
+/// (paper §2/§4 and the Stampede GC line of work it builds on):
+///
+///  * **kNone** — items are never reclaimed (unbounded footprint; useful
+///    only to demonstrate why GC is required).
+///  * **kTransparent (TGC)** — an item is garbage once it is unreachable:
+///    every attached consumer has either consumed it or skipped past it.
+///    This is the "traditional GC" analogue of the paper's §2 discussion.
+///  * **kDeadTimestamp (DGC)** — consumers additionally propagate
+///    *timestamp guarantees* ("I will never again request a timestamp
+///    below g") transitively through the graph; items below the combined
+///    frontier are dead even before any cursor physically passes them, and
+///    threads may elide computations whose output timestamp is already
+///    dead. This is the paper's Dead Timestamp GC [6], the baseline on
+///    which ARU is layered.
+///
+/// `ConsumerFrontiers` tracks per-consumer guarantees for one channel and
+/// exposes their minimum — the channel's frontier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stampede::gc {
+
+/// Virtual-time index (mirrors runtime::Timestamp; kept dependency-free).
+using Timestamp = std::int64_t;
+
+/// Reclamation strategy selection.
+enum class Kind {
+  kNone,
+  kTransparent,
+  kDeadTimestamp,
+};
+
+/// Parses "none" | "tgc" | "dgc"; throws on anything else.
+Kind parse_kind(const std::string& s);
+
+/// Human-readable name.
+std::string to_string(Kind kind);
+
+/// Per-channel consumer guarantee table.
+///
+/// A guarantee g means: this consumer will never again request an item
+/// with timestamp < g. Guarantees are monotonically non-decreasing.
+/// The channel frontier is the minimum guarantee across all consumers
+/// (−infinity semantics when a consumer has never reported: represented
+/// by the initial guarantee 0 — timestamps in this runtime start at 0).
+class ConsumerFrontiers {
+ public:
+  /// Registers a consumer; returns its index.
+  int add_consumer();
+
+  /// Raises consumer `idx`'s guarantee to `g` (ignored if lower than the
+  /// current guarantee — guarantees never regress).
+  void raise(int idx, Timestamp g);
+
+  /// The channel frontier: min over all consumer guarantees; items with
+  /// ts < frontier are dead. A channel with no consumers has an infinite
+  /// frontier (everything is dead on arrival).
+  Timestamp frontier() const;
+
+  /// Guarantee of one consumer.
+  Timestamp guarantee(int idx) const;
+
+  std::size_t consumers() const { return guarantees_.size(); }
+
+ private:
+  std::vector<Timestamp> guarantees_;
+};
+
+}  // namespace stampede::gc

@@ -1,0 +1,433 @@
+#include "runtime/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stampede {
+
+namespace {
+/// A per-node custom operator (the paper's data-dependency parameter on
+/// buffer/thread creation) overrides the runtime-wide mode — unless ARU
+/// is off entirely.
+aru::Mode effective_mode(aru::Mode global, const aru::CompressFn& custom) {
+  if (global == aru::Mode::kOff || !custom) return global;
+  return aru::Mode::kCustom;
+}
+}  // namespace
+
+Channel::Channel(RunContext& ctx, NodeId id, ChannelConfig config, aru::Mode mode,
+                 std::unique_ptr<Filter> filter, stats::Shard* shard)
+    : ctx_(ctx),
+      id_(id),
+      config_(std::move(config)),
+      shard_(shard),
+      feedback_(effective_mode(mode, config_.custom_compress), /*is_thread=*/false,
+                config_.custom_compress, std::move(filter)) {}
+
+void Channel::register_producer(NodeId /*thread*/) { ++producer_count_; }
+
+int Channel::register_consumer(NodeId thread, int cluster_node) {
+  if (consumer_states_.size() >= static_cast<std::size_t>(kMaxConsumers)) {
+    throw std::length_error("Channel: too many consumers");
+  }
+  consumer_states_.push_back(ConsumerState{.thread = thread, .cluster_node = cluster_node});
+  const int idx = frontiers_.add_consumer();
+  feedback_.add_output();
+  return idx;
+}
+
+void Channel::record_locked(stats::EventType type, const Item& item, std::int64_t now,
+                            NodeId node, std::int64_t a, std::int64_t b) {
+  shard_->record(stats::Event{
+      .type = type,
+      .node = node,
+      .ts = item.ts(),
+      .item = item.id(),
+      .t = now,
+      .a = a,
+      .b = b,
+  });
+}
+
+bool Channel::all_passed(const Entry& e) const {
+  const std::uint64_t passed = e.consumed_mask | e.skipped_mask;
+  const std::uint64_t all =
+      consumer_states_.size() >= 64 ? ~0ULL : ((1ULL << consumer_states_.size()) - 1);
+  return (passed & all) == all;
+}
+
+void Channel::collect_locked(std::int64_t now) {
+  if (ctx_.gc == gc::Kind::kNone) return;
+  // The frontier (min consumer guarantee) caps what may be reclaimed in
+  // every mode: window/random-access consumers hold it back to keep items
+  // they may re-read resident. Below the frontier, Transparent GC frees
+  // entries every consumer has consumed or skipped; Dead-Timestamp GC
+  // frees everything (the guarantees assert no future request).
+  const Timestamp frontier = frontiers_.frontier();
+
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool below_frontier = it->first < frontier;
+    const bool passed = all_passed(it->second);
+    const bool collectible =
+        below_frontier && (passed || ctx_.gc == gc::Kind::kDeadTimestamp);
+    if (!collectible) {
+      ++it;
+      continue;
+    }
+    if (it->second.consumed_mask == 0) {
+      // Reclaimed without ever being consumed: this is the wasted item the
+      // paper's instrumentation marks.
+      record_locked(stats::EventType::kDrop, *it->second.item, now, id_);
+    }
+    it = entries_.erase(it);
+  }
+}
+
+Channel::PutResult Channel::put(std::shared_ptr<Item> item, std::stop_token st) {
+  if (!item) throw std::invalid_argument("Channel::put: null item");
+  std::unique_lock<std::mutex> lock(mu_);
+
+  PutResult result;
+
+  // Bounded channel: classic backpressure — block until space frees up.
+  if (config_.capacity > 0) {
+    const Nanos wait_start = ctx_.clock->now();
+    cv_.wait(lock, st, [&] { return closed_ || entries_.size() < config_.capacity; });
+    result.blocked = ctx_.clock->now() - wait_start;
+  }
+  if (closed_ || st.stop_requested()) {
+    result.channel_summary = feedback_.summary();
+    return result;
+  }
+
+  const std::int64_t now = ctx_.now_ns();
+  const Timestamp ts = item->ts();
+
+  record_locked(stats::EventType::kPut, *item, now, id_);
+
+  // Dead on arrival: a DGC frontier already guarantees no consumer will
+  // ever request this timestamp.
+  const bool dead = ctx_.gc == gc::Kind::kDeadTimestamp && ts < frontiers_.frontier() &&
+                    !consumer_states_.empty();
+  if (dead) {
+    record_locked(stats::EventType::kDrop, *item, now, id_);
+  } else {
+    auto [it, inserted] = entries_.insert_or_assign(ts, Entry{.item = std::move(item)});
+    (void)it;
+    (void)inserted;
+  }
+
+  result.stored = !dead;
+  result.overhead = ctx_.pressure.scan_cost(entries_.size());
+  result.channel_summary = feedback_.summary();
+  collect_locked(now);
+  cv_.notify_all();
+  return result;
+}
+
+Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
+                                       Timestamp extra_guarantee, std::stop_token st) {
+  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
+    throw std::out_of_range("Channel::get_latest: bad consumer index");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+  const std::uint64_t my_bit = 1ULL << consumer_idx;
+
+  GetResult result;
+
+  // Feedback piggy-back: fold the consumer's summary-STP into our
+  // backwardSTP vector (paper §3.3.2).
+  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+    feedback_.update_backward(consumer_idx, consumer_summary);
+  }
+
+  // DGC: raise this consumer's guarantee with its downstream knowledge.
+  if (ctx_.gc == gc::Kind::kDeadTimestamp && extra_guarantee != kNoTimestamp) {
+    frontiers_.raise(consumer_idx, extra_guarantee);
+  }
+
+  auto newest_unseen = [&]() -> Timestamp {
+    if (entries_.empty()) return kNoTimestamp;
+    const Timestamp newest = entries_.rbegin()->first;
+    return newest > me.cursor ? newest : kNoTimestamp;
+  };
+
+  const Nanos wait_start = ctx_.clock->now();
+  cv_.wait(lock, st, [&] { return closed_ || newest_unseen() != kNoTimestamp; });
+  result.blocked = ctx_.clock->now() - wait_start;
+
+  const Timestamp target = newest_unseen();
+  if (target == kNoTimestamp) {
+    return result;  // closed and drained, or stop requested
+  }
+
+  const std::int64_t now = ctx_.now_ns();
+
+  // Mark everything older than the target (and newer than our cursor) as
+  // skipped by this consumer — the paper's skip-over semantics.
+  for (auto it = entries_.upper_bound(me.cursor); it != entries_.end() && it->first < target;
+       ++it) {
+    if ((it->second.skipped_mask & my_bit) == 0 && (it->second.consumed_mask & my_bit) == 0) {
+      it->second.skipped_mask |= my_bit;
+      record_locked(stats::EventType::kSkip, *it->second.item, now, me.thread);
+      ++result.skipped;
+    }
+  }
+
+  auto chosen = entries_.find(target);
+  chosen->second.consumed_mask |= my_bit;
+  result.item = chosen->second.item;
+  record_locked(stats::EventType::kConsume, *result.item, now, me.thread);
+
+  me.cursor = target;
+  // The consumer will never again request a timestamp <= target.
+  frontiers_.raise(consumer_idx, target + 1);
+
+  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                 result.item->bytes());
+  result.overhead = ctx_.pressure.scan_cost(entries_.size());
+
+  collect_locked(now);
+  cv_.notify_all();  // a bounded channel may have freed space
+  return result;
+}
+
+Channel::GetResult Channel::get_next(int consumer_idx, Nanos consumer_summary,
+                                     Timestamp extra_guarantee, std::stop_token st) {
+  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
+    throw std::out_of_range("Channel::get_next: bad consumer index");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+  const std::uint64_t my_bit = 1ULL << consumer_idx;
+
+  GetResult result;
+  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+    feedback_.update_backward(consumer_idx, consumer_summary);
+  }
+  if (ctx_.gc == gc::Kind::kDeadTimestamp && extra_guarantee != kNoTimestamp) {
+    frontiers_.raise(consumer_idx, extra_guarantee);
+  }
+
+  auto oldest_unseen = [&]() -> Timestamp {
+    const auto it = entries_.upper_bound(me.cursor);
+    return it == entries_.end() ? kNoTimestamp : it->first;
+  };
+
+  const Nanos wait_start = ctx_.clock->now();
+  cv_.wait(lock, st, [&] { return closed_ || oldest_unseen() != kNoTimestamp; });
+  result.blocked = ctx_.clock->now() - wait_start;
+
+  const Timestamp target = oldest_unseen();
+  if (target == kNoTimestamp) return result;
+
+  const std::int64_t now = ctx_.now_ns();
+  auto chosen = entries_.find(target);
+  chosen->second.consumed_mask |= my_bit;
+  result.item = chosen->second.item;
+  record_locked(stats::EventType::kConsume, *result.item, now, me.thread);
+
+  me.cursor = target;
+  frontiers_.raise(consumer_idx, target + 1);
+  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                 result.item->bytes());
+  result.overhead = ctx_.pressure.scan_cost(entries_.size());
+  collect_locked(now);
+  cv_.notify_all();
+  return result;
+}
+
+Channel::GetResult Channel::get_at(int consumer_idx, Timestamp ts, Nanos consumer_summary) {
+  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
+    throw std::out_of_range("Channel::get_at: bad consumer index");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  const ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+  const std::uint64_t my_bit = 1ULL << consumer_idx;
+
+  GetResult result;
+  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+    feedback_.update_backward(consumer_idx, consumer_summary);
+  }
+  const auto it = entries_.find(ts);
+  if (it == entries_.end()) return result;
+
+  const std::int64_t now = ctx_.now_ns();
+  it->second.consumed_mask |= my_bit;
+  result.item = it->second.item;
+  record_locked(stats::EventType::kConsume, *result.item, now, me.thread);
+  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                 result.item->bytes());
+  result.overhead = ctx_.pressure.scan_cost(entries_.size());
+  // Random access does not move the cursor or raise any guarantee.
+  return result;
+}
+
+Channel::GetResult Channel::get_nearest(int consumer_idx, Timestamp ts, Timestamp tolerance,
+                                        Nanos consumer_summary) {
+  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
+    throw std::out_of_range("Channel::get_nearest: bad consumer index");
+  }
+  if (tolerance < 0) throw std::invalid_argument("Channel::get_nearest: negative tolerance");
+  const std::lock_guard<std::mutex> lock(mu_);
+  const ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+  const std::uint64_t my_bit = 1ULL << consumer_idx;
+
+  GetResult result;
+  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+    feedback_.update_backward(consumer_idx, consumer_summary);
+  }
+  if (entries_.empty()) return result;
+
+  // Candidates: the first entry at/after ts, and its predecessor.
+  auto best = entries_.end();
+  Timestamp best_dist = 0;
+  const auto after = entries_.lower_bound(ts);
+  auto consider = [&](std::map<Timestamp, Entry>::iterator it) {
+    if (it == entries_.end()) return;
+    const Timestamp dist = it->first >= ts ? it->first - ts : ts - it->first;
+    if (dist > tolerance) return;
+    // Prefer smaller distance; on ties prefer the newer timestamp.
+    if (best == entries_.end() || dist < best_dist ||
+        (dist == best_dist && it->first > best->first)) {
+      best = it;
+      best_dist = dist;
+    }
+  };
+  consider(after);
+  if (after != entries_.begin()) consider(std::prev(after));
+  if (best == entries_.end()) return result;
+
+  const std::int64_t now = ctx_.now_ns();
+  best->second.consumed_mask |= my_bit;
+  result.item = best->second.item;
+  record_locked(stats::EventType::kConsume, *result.item, now, me.thread);
+  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                 result.item->bytes());
+  result.overhead = ctx_.pressure.scan_cost(entries_.size());
+  return result;
+}
+
+Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
+                                          Nanos consumer_summary, std::stop_token st) {
+  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
+    throw std::out_of_range("Channel::get_window: bad consumer index");
+  }
+  if (window == 0) throw std::invalid_argument("Channel::get_window: window must be > 0");
+  std::unique_lock<std::mutex> lock(mu_);
+  ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+  const std::uint64_t my_bit = 1ULL << consumer_idx;
+
+  WindowResult result;
+  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+    feedback_.update_backward(consumer_idx, consumer_summary);
+  }
+
+  auto newest_unseen = [&]() -> Timestamp {
+    if (entries_.empty()) return kNoTimestamp;
+    const Timestamp newest = entries_.rbegin()->first;
+    return newest > me.cursor ? newest : kNoTimestamp;
+  };
+
+  const Nanos wait_start = ctx_.clock->now();
+  cv_.wait(lock, st, [&] { return closed_ || newest_unseen() != kNoTimestamp; });
+  result.blocked = ctx_.clock->now() - wait_start;
+
+  const Timestamp target = newest_unseen();
+  if (target == kNoTimestamp) return result;
+
+  const std::int64_t now = ctx_.now_ns();
+
+  // Collect the newest `window` entries, ascending.
+  auto it = entries_.find(target);
+  std::vector<std::shared_ptr<const Item>> items;
+  items.push_back(it->second.item);
+  while (items.size() < window && it != entries_.begin()) {
+    --it;
+    items.push_back(it->second.item);
+  }
+  std::reverse(items.begin(), items.end());
+  result.items = std::move(items);
+
+  // Mark intermediate unseen items (between cursor and target) that are
+  // not part of the window as skipped; consume the newest.
+  const Timestamp window_tail = result.items.front()->ts();
+  for (auto jt = entries_.upper_bound(me.cursor); jt != entries_.end() && jt->first < target;
+       ++jt) {
+    if (jt->first >= window_tail) continue;  // still observable via the window
+    if ((jt->second.skipped_mask & my_bit) == 0 && (jt->second.consumed_mask & my_bit) == 0) {
+      jt->second.skipped_mask |= my_bit;
+      record_locked(stats::EventType::kSkip, *jt->second.item, now, me.thread);
+    }
+  }
+  auto chosen = entries_.find(target);
+  chosen->second.consumed_mask |= my_bit;
+  record_locked(stats::EventType::kConsume, *chosen->second.item, now, me.thread);
+
+  me.cursor = target;
+  // Hold the guarantee back at the window tail so the window's older
+  // members stay collectible only once they fall out of every window.
+  frontiers_.raise(consumer_idx, window_tail);
+
+  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                 chosen->second.item->bytes());
+  result.overhead = ctx_.pressure.scan_cost(entries_.size());
+  collect_locked(now);
+  cv_.notify_all();
+  return result;
+}
+
+void Channel::raise_guarantee(int consumer_idx, Timestamp g) {
+  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
+    throw std::out_of_range("Channel::raise_guarantee: bad consumer index");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  frontiers_.raise(consumer_idx, g);
+  // Mark now-dead, never-touched entries as skipped by this consumer so
+  // Transparent GC can also reclaim them.
+  const std::uint64_t my_bit = 1ULL << consumer_idx;
+  const std::int64_t now = ctx_.now_ns();
+  for (auto it = entries_.begin(); it != entries_.end() && it->first < g; ++it) {
+    if ((it->second.skipped_mask & my_bit) == 0 && (it->second.consumed_mask & my_bit) == 0) {
+      it->second.skipped_mask |= my_bit;
+      record_locked(stats::EventType::kSkip, *it->second.item, now,
+                    consumer_states_[static_cast<std::size_t>(consumer_idx)].thread);
+    }
+  }
+  collect_locked(now);
+  cv_.notify_all();
+}
+
+Timestamp Channel::latest_ts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? kNoTimestamp : entries_.rbegin()->first;
+}
+
+void Channel::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::size_t Channel::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Timestamp Channel::frontier() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return frontiers_.frontier();
+}
+
+Nanos Channel::summary() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return feedback_.summary();
+}
+
+std::size_t Channel::consumers() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return consumer_states_.size();
+}
+
+}  // namespace stampede

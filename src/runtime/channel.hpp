@@ -1,0 +1,223 @@
+/// \file channel.hpp
+/// \brief Timestamped channel: the Stampede buffer abstraction.
+///
+/// A channel stores timestamped items and supports the access pattern the
+/// paper's application class depends on (§1): consumers repeatedly fetch
+/// the *latest* item newer than the one they last processed, implicitly
+/// skipping over stale items. The channel simultaneously implements:
+///
+///  * **feedback piggy-backing** (paper §3.3.2): consumers hand their
+///    summary-STP to the channel on every `get`; the channel folds those
+///    into its backwardSTP vector and hands its own summary back to the
+///    producer on every `put`;
+///  * **garbage collection**: per-consumer consumed/skipped masks
+///    (Transparent GC) and timestamp guarantees (Dead-Timestamp GC) decide
+///    when stored items are reclaimed;
+///  * **accounting**: every put/consume/skip/drop is recorded in the trace;
+///  * **memory-pressure costs**: put/get report a scan overhead
+///    proportional to channel occupancy which the calling task realizes
+///    outside the channel lock (see PressureModel);
+///  * optional **bounded capacity**: a classic backpressure baseline used
+///    by the ablation benches (put blocks while the channel is full).
+///
+/// Thread-safety: all public operations are safe to call concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stop_token>
+#include <string>
+
+#include "core/feedback.hpp"
+#include "gc/frontier.hpp"
+#include "runtime/context.hpp"
+#include "runtime/item.hpp"
+#include "stats/recorder.hpp"
+
+namespace stampede {
+
+/// Construction-time channel settings.
+struct ChannelConfig {
+  std::string name;
+  /// Virtual cluster node the channel (and its item copies) lives on. In
+  /// the paper channels are allocated on their producer's node.
+  int cluster_node = 0;
+  /// Maximum number of stored items; 0 = unbounded. A bounded channel
+  /// blocks `put` when full — the classic backpressure baseline.
+  std::size_t capacity = 0;
+  /// Custom compress operator (used when the runtime's ARU mode is kCustom).
+  aru::CompressFn custom_compress;
+  /// Feedback filter spec for this channel's outgoing summary-STP
+  /// (empty = use the runtime-wide setting).
+  std::string filter;
+};
+
+class Channel {
+ public:
+  /// Maximum consumers per channel (consumed/skipped state is a bitmask).
+  static constexpr int kMaxConsumers = 64;
+
+  Channel(RunContext& ctx, NodeId id, ChannelConfig config, aru::Mode mode,
+          std::unique_ptr<Filter> filter, stats::Shard* shard);
+
+  // -- graph wiring (single-threaded construction phase) --------------------
+
+  /// Registers a producing thread. Multiple producers are allowed.
+  void register_producer(NodeId thread);
+
+  /// Registers a consuming thread on `cluster_node`; returns the consumer
+  /// index used by get operations.
+  int register_consumer(NodeId thread, int cluster_node);
+
+  // -- data plane ------------------------------------------------------------
+
+  struct PutResult {
+    /// The channel's summary-STP, piggy-backed to the producer (paper
+    /// §3.3.2). kUnknownStp when ARU is off or no feedback arrived yet.
+    Nanos channel_summary{0};
+    /// Buffer-management overhead the caller must realize (pressure model).
+    Nanos overhead{0};
+    /// Time spent blocked on a full bounded channel (backpressure mode).
+    Nanos blocked{0};
+    /// False if the channel is closed (item was not stored).
+    bool stored = false;
+  };
+
+  /// Inserts `item`. Blocks while a bounded channel is full (unless the
+  /// stop token fires). An item whose timestamp is already below the DGC
+  /// frontier is dead on arrival and dropped immediately.
+  PutResult put(std::shared_ptr<Item> item, std::stop_token st);
+
+  struct GetResult {
+    /// The fetched item; nullptr when the channel closed with nothing left
+    /// to deliver or the stop token fired.
+    std::shared_ptr<const Item> item;
+    /// Time spent blocked waiting for a new item.
+    Nanos blocked{0};
+    /// Simulated inter-node transfer delay the caller must realize.
+    Nanos transfer{0};
+    /// Buffer-management overhead the caller must realize.
+    Nanos overhead{0};
+    /// Number of stale items skipped over by this get.
+    int skipped = 0;
+  };
+
+  /// Fetches the newest item strictly newer than this consumer's cursor,
+  /// skipping (and marking) everything in between; blocks until one exists
+  /// or the channel closes / `st` fires.
+  ///
+  /// \param consumer_idx   index from register_consumer.
+  /// \param consumer_summary the consumer thread's summary-STP, folded into
+  ///        this channel's backwardSTP vector (pass kUnknownStp when ARU is
+  ///        off).
+  /// \param extra_guarantee DGC: lowest output timestamp still wanted by
+  ///        the consumer's own downstream (kNoTimestamp = none).
+  GetResult get_latest(int consumer_idx, Nanos consumer_summary,
+                       Timestamp extra_guarantee, std::stop_token st);
+
+  /// Fetches the *oldest* item strictly newer than this consumer's cursor
+  /// — in-order access without skipping (Stampede's sequential access
+  /// mode). Blocks like get_latest. Skips nothing, so a consumer using
+  /// only get_next never wastes items.
+  GetResult get_next(int consumer_idx, Nanos consumer_summary, Timestamp extra_guarantee,
+                     std::stop_token st);
+
+  /// Non-blocking: the item with exactly timestamp `ts`, if present.
+  /// Marks it consumed but does not move the cursor (random access —
+  /// e.g. fetching the frame matching another stream's timestamp).
+  /// Returns a null item when absent; never blocks.
+  GetResult get_at(int consumer_idx, Timestamp ts, Nanos consumer_summary);
+
+  /// Non-blocking: the stored item whose timestamp is closest to `ts`
+  /// within ±`tolerance` — the paper's §1 footnote: "corresponding
+  /// timestamps could be timestamps with the same value or with values
+  /// close enough within a pre-defined threshold". Ties prefer the newer
+  /// item. Marks it consumed; does not move the cursor.
+  GetResult get_nearest(int consumer_idx, Timestamp ts, Timestamp tolerance,
+                        Nanos consumer_summary);
+
+  /// Sliding-window access (e.g. gesture recognition over recent video):
+  /// blocks until an item newer than the cursor exists, then returns the
+  /// newest `window` items in ascending timestamp order. The newest is
+  /// marked consumed and advances the cursor; older window members are
+  /// only observed (they may already be consumed/skipped). The consumer's
+  /// DGC guarantee is held back by `window` so the window's tail is not
+  /// collected under it.
+  struct WindowResult {
+    std::vector<std::shared_ptr<const Item>> items;  ///< ascending ts; empty if closed
+    Nanos blocked{0};
+    Nanos transfer{0};  ///< transfer for the newest (new) item only
+    Nanos overhead{0};
+  };
+  WindowResult get_window(int consumer_idx, std::size_t window, Nanos consumer_summary,
+                          std::stop_token st);
+
+  /// Explicit guarantee: consumer `consumer_idx` declares it will never
+  /// again request a timestamp below `g`. Required by consumers that use
+  /// only random access (`get_at`) — their cursor never moves, so without
+  /// this call they pin the channel frontier at zero and nothing is ever
+  /// collected.
+  void raise_guarantee(int consumer_idx, Timestamp g);
+
+  /// Non-blocking probe: timestamp of the newest stored item
+  /// (kNoTimestamp when empty).
+  Timestamp latest_ts() const;
+
+  /// Wakes all waiters; subsequent puts are rejected, gets drain what is
+  /// left and then return null.
+  void close();
+
+  // -- introspection ----------------------------------------------------------
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return config_.name; }
+  int cluster_node() const { return config_.cluster_node; }
+  std::size_t size() const;
+  /// DGC frontier: min consumer guarantee (for thread guarantee
+  /// propagation — paper's dead-timestamp reasoning).
+  Timestamp frontier() const;
+  /// Current channel summary-STP (diagnostics/tests).
+  Nanos summary() const;
+  std::size_t consumers() const;
+  std::size_t producers() const { return producer_count_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<Item> item;
+    std::uint64_t consumed_mask = 0;
+    std::uint64_t skipped_mask = 0;
+  };
+
+  struct ConsumerState {
+    NodeId thread = kNoNode;
+    int cluster_node = 0;
+    Timestamp cursor = kNoTimestamp;  // last timestamp delivered
+  };
+
+  /// Reclaims dead entries. Caller holds mu_.
+  void collect_locked(std::int64_t now);
+
+  /// True if every registered consumer has consumed or skipped the entry.
+  bool all_passed(const Entry& e) const;
+
+  void record_locked(stats::EventType type, const Item& item, std::int64_t now,
+                     NodeId node, std::int64_t a = 0, std::int64_t b = 0);
+
+  RunContext& ctx_;
+  NodeId id_;
+  ChannelConfig config_;
+  stats::Shard* shard_;
+
+  mutable std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::map<Timestamp, Entry> entries_;
+  std::vector<ConsumerState> consumer_states_;
+  gc::ConsumerFrontiers frontiers_;
+  aru::FeedbackState feedback_;
+  std::size_t producer_count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace stampede

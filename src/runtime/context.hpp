@@ -1,0 +1,36 @@
+/// \file context.hpp
+/// \brief Shared run-wide services handed to channels, items and tasks.
+#pragma once
+
+#include <atomic>
+
+#include "cluster/topology.hpp"
+#include "core/policy.hpp"
+#include "gc/frontier.hpp"
+#include "runtime/memory.hpp"
+#include "runtime/types.hpp"
+#include "stats/recorder.hpp"
+#include "util/clock.hpp"
+
+namespace stampede {
+
+/// Aggregates the services every runtime component needs. Owned by the
+/// Runtime; outlives all channels, tasks and items of that runtime.
+struct RunContext {
+  Clock* clock = nullptr;
+  MemoryTracker* tracker = nullptr;
+  stats::Recorder* recorder = nullptr;
+  const cluster::Topology* topology = nullptr;
+  PressureModel pressure;
+  SchedulerNoise sched_noise;
+  CostMode cost_mode = CostMode::kSleep;
+  gc::Kind gc = gc::Kind::kDeadTimestamp;
+  aru::Config aru;
+
+  /// Set once when the runtime begins shutting down.
+  std::atomic<bool> stopping{false};
+
+  std::int64_t now_ns() const { return clock->now().count(); }
+};
+
+}  // namespace stampede

@@ -1,0 +1,124 @@
+#include "runtime/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace stampede {
+
+void Graph::add_node(NodeInfo info) {
+  if (info.id != static_cast<NodeId>(nodes_.size())) {
+    throw std::logic_error("Graph: node ids must be dense and in order");
+  }
+  nodes_.push_back(std::move(info));
+}
+
+void Graph::add_edge(NodeId from, NodeId to) {
+  edges_.push_back(EdgeInfo{from, to});
+}
+
+const NodeInfo& Graph::node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    throw std::out_of_range("Graph: unknown node id");
+  }
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId> Graph::successors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& e : edges_) {
+    if (e.from == id) out.push_back(e.to);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::predecessors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& e : edges_) {
+    if (e.to == id) out.push_back(e.from);
+  }
+  return out;
+}
+
+bool Graph::is_source(NodeId id) const {
+  return std::none_of(edges_.begin(), edges_.end(),
+                      [id](const EdgeInfo& e) { return e.to == id; });
+}
+
+bool Graph::is_sink(NodeId id) const {
+  return std::none_of(edges_.begin(), edges_.end(),
+                      [id](const EdgeInfo& e) { return e.from == id; });
+}
+
+void Graph::validate() const {
+  for (const auto& e : edges_) {
+    if (e.from < 0 || static_cast<std::size_t>(e.from) >= nodes_.size() || e.to < 0 ||
+        static_cast<std::size_t>(e.to) >= nodes_.size()) {
+      throw std::logic_error("Graph: edge references unknown node");
+    }
+    const NodeKind a = nodes_[static_cast<std::size_t>(e.from)].kind;
+    const NodeKind b = nodes_[static_cast<std::size_t>(e.to)].kind;
+    const bool thread_to_buffer = a == NodeKind::kThread && b != NodeKind::kThread;
+    const bool buffer_to_thread = a != NodeKind::kThread && b == NodeKind::kThread;
+    if (!thread_to_buffer && !buffer_to_thread) {
+      throw std::logic_error("Graph: edges must alternate thread <-> buffer");
+    }
+  }
+  (void)topological_order();  // throws on cycles
+}
+
+std::vector<NodeId> Graph::topological_order() const {
+  std::vector<int> indegree(nodes_.size(), 0);
+  for (const auto& e : edges_) ++indegree[static_cast<std::size_t>(e.to)];
+
+  std::vector<NodeId> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<NodeId>(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (const auto& e : edges_) {
+      if (e.from != n) continue;
+      if (--indegree[static_cast<std::size_t>(e.to)] == 0) ready.push_back(e.to);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::logic_error("Graph: cycle detected (pipelines must be DAGs)");
+  }
+  return order;
+}
+
+std::string Graph::to_dot() const {
+  std::ostringstream out;
+  out << "digraph pipeline {\n  rankdir=LR;\n";
+
+  // Group nodes by cluster placement.
+  std::map<int, std::vector<const NodeInfo*>> by_cluster;
+  for (const auto& n : nodes_) by_cluster[n.cluster_node].push_back(&n);
+
+  for (const auto& [cluster, members] : by_cluster) {
+    const bool clustered = by_cluster.size() > 1;
+    if (clustered) {
+      out << "  subgraph cluster_" << cluster << " {\n    label=\"node " << cluster
+          << "\";\n";
+    }
+    for (const NodeInfo* n : members) {
+      const char* shape = n->kind == NodeKind::kThread ? "box" : "ellipse";
+      out << (clustered ? "    " : "  ") << 'n' << n->id << " [label=\"" << n->name
+          << "\", shape=" << shape << "];\n";
+    }
+    if (clustered) out << "  }\n";
+  }
+  for (const auto& e : edges_) {
+    out << "  n" << e.from << " -> n" << e.to << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace stampede

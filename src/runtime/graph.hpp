@@ -1,0 +1,71 @@
+/// \file graph.hpp
+/// \brief Task-graph registry: nodes, connections, validation, DOT export.
+///
+/// ARU's second assumption (paper §3.3.3) is that "the application task
+/// graph is made available to the runtime system". The Runtime populates
+/// this registry as channels/queues/tasks are wired; the graph is frozen
+/// before threads start, validated to be a DAG (timestamp guarantees and
+/// backward STP propagation both assume acyclic pipelines), and can be
+/// exported as Graphviz DOT for documentation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace stampede {
+
+struct NodeInfo {
+  NodeId id = kNoNode;
+  NodeKind kind = NodeKind::kThread;
+  std::string name;
+  int cluster_node = 0;
+};
+
+struct EdgeInfo {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+};
+
+class Graph {
+ public:
+  /// Registers a node; ids must be dense and added in order.
+  void add_node(NodeInfo info);
+
+  /// Registers a directed edge (producer thread -> buffer, or buffer ->
+  /// consumer thread).
+  void add_edge(NodeId from, NodeId to);
+
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  const std::vector<EdgeInfo>& edges() const { return edges_; }
+
+  const NodeInfo& node(NodeId id) const;
+
+  /// Direct successors / predecessors of a node.
+  std::vector<NodeId> successors(NodeId id) const;
+  std::vector<NodeId> predecessors(NodeId id) const;
+
+  /// True if the node has no incoming edges (a source thread).
+  bool is_source(NodeId id) const;
+
+  /// True if the node has no outgoing edges (a sink thread).
+  bool is_sink(NodeId id) const;
+
+  /// Throws std::logic_error if the graph contains a cycle or an edge
+  /// references an unknown node.
+  void validate() const;
+
+  /// Topological order of node ids (throws on cycles).
+  std::vector<NodeId> topological_order() const;
+
+  /// Graphviz DOT rendering (threads as boxes, buffers as ellipses,
+  /// cluster nodes as subgraph clusters).
+  std::string to_dot() const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<EdgeInfo> edges_;
+};
+
+}  // namespace stampede

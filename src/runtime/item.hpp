@@ -1,0 +1,71 @@
+/// \file item.hpp
+/// \brief Timestamped data item — the unit of communication, accounting
+///        and garbage collection.
+///
+/// An item owns its payload bytes. Channels and consumers share ownership
+/// via shared_ptr; the memory is accounted as *freed* when the last
+/// reference drops (exactly when the bytes become reclaimable), which the
+/// destructor reports to the MemoryTracker and the trace.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "runtime/types.hpp"
+
+namespace stampede {
+
+class Item {
+ public:
+  /// Creates an item and accounts its allocation (tracker + trace).
+  ///
+  /// \param ctx          run services; must outlive the item.
+  /// \param ts           virtual timestamp.
+  /// \param bytes        payload size (zero-filled).
+  /// \param producer     producing thread node.
+  /// \param cluster_node virtual cluster node charged for the memory.
+  /// \param lineage      ids of the input items this one was derived from.
+  /// \param produce_cost compute time spent producing it (trace metadata).
+  Item(RunContext& ctx, Timestamp ts, std::size_t bytes, NodeId producer,
+       int cluster_node, std::vector<ItemId> lineage, Nanos produce_cost);
+
+  /// Accounts the release (tracker + trace). May run on any thread.
+  ~Item();
+
+  Item(const Item&) = delete;
+  Item& operator=(const Item&) = delete;
+
+  ItemId id() const { return id_; }
+  Timestamp ts() const { return ts_; }
+  std::size_t bytes() const { return data_.size(); }
+  NodeId producer() const { return producer_; }
+  int cluster_node() const { return cluster_node_; }
+  Nanos produce_cost() const { return produce_cost_; }
+
+  /// Sets the production cost after the fact (the runtime attributes
+  /// accumulated compute when the item is put into its buffer).
+  void set_produce_cost(Nanos cost) { produce_cost_ = cost; }
+  std::int64_t t_alloc() const { return t_alloc_; }
+  const std::vector<ItemId>& lineage() const { return lineage_; }
+
+  /// Payload access. Producers fill the payload before putting the item
+  /// into a channel; after that, consumers only use the const view.
+  std::span<std::byte> mutable_data() { return data_; }
+  std::span<const std::byte> data() const { return data_; }
+
+ private:
+  RunContext& ctx_;
+  ItemId id_;
+  Timestamp ts_;
+  NodeId producer_;
+  int cluster_node_;
+  Nanos produce_cost_;
+  std::int64_t t_alloc_;
+  std::vector<ItemId> lineage_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace stampede

@@ -1,0 +1,234 @@
+#include "runtime/runtime.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace stampede {
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(std::move(config)), tracker_(config_.topology.nodes()) {
+  if (config_.clock == nullptr) config_.clock = &RealClock::instance();
+  run_.clock = config_.clock;
+  run_.tracker = &tracker_;
+  run_.recorder = &recorder_;
+  run_.topology = &config_.topology;
+  run_.pressure = config_.pressure;
+  run_.sched_noise = config_.sched_noise;
+  run_.cost_mode = config_.cost_mode;
+  run_.gc = config_.gc;
+  run_.aru = config_.aru;
+  t_start_ = run_.now_ns();
+}
+
+Runtime::~Runtime() { stop(); }
+
+std::unique_ptr<Filter> Runtime::filter_for(const std::string& override_spec) const {
+  const std::string& spec = override_spec.empty() ? config_.aru.filter : override_spec;
+  return make_filter(spec);
+}
+
+void Runtime::check_mutable(const char* op) const {
+  if (running_ || stopped_) {
+    throw std::logic_error(std::string("Runtime: ") + op + " after start()");
+  }
+}
+
+Channel& Runtime::add_channel(ChannelConfig config) {
+  check_mutable("add_channel");
+  if (!config_.topology.valid(config.cluster_node)) {
+    throw std::invalid_argument("Runtime: channel placed on invalid cluster node");
+  }
+  const NodeId id = next_node_id();
+  auto filter = filter_for(config.filter);
+  graph_.add_node(NodeInfo{.id = id,
+                           .kind = NodeKind::kChannel,
+                           .name = config.name,
+                           .cluster_node = config.cluster_node});
+  recorder_.set_node_name(id, config.name);
+  channels_.push_back(std::make_unique<Channel>(run_, id, std::move(config),
+                                                config_.aru.mode, std::move(filter),
+                                                recorder_.new_shard()));
+  return *channels_.back();
+}
+
+Queue& Runtime::add_queue(QueueConfig config) {
+  check_mutable("add_queue");
+  if (!config_.topology.valid(config.cluster_node)) {
+    throw std::invalid_argument("Runtime: queue placed on invalid cluster node");
+  }
+  const NodeId id = next_node_id();
+  auto filter = filter_for(config.filter);
+  graph_.add_node(NodeInfo{.id = id,
+                           .kind = NodeKind::kQueue,
+                           .name = config.name,
+                           .cluster_node = config.cluster_node});
+  recorder_.set_node_name(id, config.name);
+  queues_.push_back(std::make_unique<Queue>(run_, id, std::move(config), config_.aru.mode,
+                                            std::move(filter), recorder_.new_shard()));
+  return *queues_.back();
+}
+
+TaskContext& Runtime::add_task(TaskConfig config) {
+  check_mutable("add_task");
+  if (!config.body) throw std::invalid_argument("Runtime: task has no body");
+  if (!config_.topology.valid(config.cluster_node)) {
+    throw std::invalid_argument("Runtime: task placed on invalid cluster node");
+  }
+  const NodeId id = next_node_id();
+  auto filter = filter_for({});
+  graph_.add_node(NodeInfo{.id = id,
+                           .kind = NodeKind::kThread,
+                           .name = config.name,
+                           .cluster_node = config.cluster_node});
+  recorder_.set_node_name(id, config.name);
+  const std::uint64_t seed = SplitMix64(config_.seed ^ (0x5151BEEFULL + id)).next();
+  tasks_.push_back(std::make_unique<TaskContext>(run_, id, std::move(config),
+                                                 config_.aru.mode, std::move(filter),
+                                                 recorder_.new_shard(), seed));
+  return *tasks_.back();
+}
+
+void Runtime::connect(TaskContext& task, Channel& channel) {
+  check_mutable("connect");
+  task.add_output(channel);
+  graph_.add_edge(task.id(), channel.id());
+}
+
+void Runtime::connect(TaskContext& task, Queue& queue) {
+  check_mutable("connect");
+  task.add_output(queue);
+  graph_.add_edge(task.id(), queue.id());
+}
+
+void Runtime::connect(Channel& channel, TaskContext& task) {
+  check_mutable("connect");
+  task.add_input(channel);
+  graph_.add_edge(channel.id(), task.id());
+}
+
+void Runtime::connect(Queue& queue, TaskContext& task) {
+  check_mutable("connect");
+  task.add_input(queue);
+  graph_.add_edge(queue.id(), task.id());
+}
+
+void Runtime::start() {
+  check_mutable("start");
+  graph_.validate();
+
+  // Source detection: threads with no inputs pace themselves under ARU.
+  for (auto& task : tasks_) {
+    task->set_source(graph_.is_source(task->id()));
+  }
+
+  t_start_ = run_.now_ns();
+  running_ = true;
+  threads_.reserve(tasks_.size() + 1);
+  for (auto& task : tasks_) {
+    threads_.emplace_back([t = task.get()](std::stop_token st) { t->run_loop(st); });
+  }
+
+  if (config_.monitor_period.count() > 0) {
+    stats::Shard* shard = recorder_.new_shard();
+    threads_.emplace_back([this, shard](std::stop_token st) {
+      while (!st.stop_requested() && !run_.stopping.load(std::memory_order_relaxed)) {
+        const std::int64_t now = run_.now_ns();
+        for (const auto& ch : channels_) {
+          shard->record(stats::Event{
+              .type = stats::EventType::kGauge,
+              .node = ch->id(),
+              .t = now,
+              .a = static_cast<std::int64_t>(ch->size()),
+              .b = tracker_.node_bytes(ch->cluster_node()),
+          });
+        }
+        for (const auto& q : queues_) {
+          shard->record(stats::Event{
+              .type = stats::EventType::kGauge,
+              .node = q->id(),
+              .t = now,
+              .a = static_cast<std::int64_t>(q->size()),
+              .b = tracker_.node_bytes(q->cluster_node()),
+          });
+        }
+        shard->record(stats::Event{.type = stats::EventType::kGauge,
+                                   .node = kNoNode,
+                                   .t = now,
+                                   .a = tracker_.total_bytes(),
+                                   .b = tracker_.peak_bytes()});
+        run_.clock->sleep_for(config_.monitor_period);
+      }
+    });
+  }
+  STAMPEDE_LOG(kInfo) << "runtime started: " << tasks_.size() << " tasks, "
+                      << channels_.size() << " channels, " << queues_.size() << " queues";
+}
+
+bool Runtime::wait_emits(std::int64_t n, Nanos timeout) {
+  const Nanos deadline = run_.clock->now() + timeout;
+  while (recorder_.emits() < n) {
+    if (run_.clock->now() >= deadline) return false;
+    run_.clock->sleep_for(millis(2));
+  }
+  return true;
+}
+
+void Runtime::run_for(Nanos d) {
+  if (!running_) start();
+  run_.clock->sleep_for(d);
+}
+
+void Runtime::stop() {
+  if (!running_ || stopped_) {
+    stopped_ = true;
+    return;
+  }
+  run_.stopping.store(true, std::memory_order_relaxed);
+  for (auto& th : threads_) th.request_stop();
+  for (auto& ch : channels_) ch->close();
+  for (auto& q : queues_) q->close();
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+  threads_.clear();
+  running_ = false;
+  stopped_ = true;
+  t_stop_ = run_.now_ns();
+  STAMPEDE_LOG(kInfo) << "runtime stopped after "
+                      << to_millis(Nanos{t_stop_ - t_start_}) << " ms";
+}
+
+bool Runtime::drain(Nanos timeout) {
+  if (!running_) return true;
+  // Close the buffers: producers' puts start failing (bodies should treat
+  // a failed put / null get as kDone) while consumers still drain stored
+  // items.
+  for (auto& ch : channels_) ch->close();
+  for (auto& q : queues_) q->close();
+
+  const Nanos deadline = run_.clock->now() + timeout;
+  bool all_done = false;
+  while (run_.clock->now() < deadline) {
+    all_done = true;
+    for (const auto& ch : channels_) all_done &= ch->size() == 0;
+    for (const auto& q : queues_) all_done &= q->size() == 0;
+    if (all_done) break;
+    run_.clock->sleep_for(millis(2));
+  }
+  stop();
+  return all_done;
+}
+
+stats::Trace Runtime::take_trace() {
+  if (running_) throw std::logic_error("Runtime: take_trace while running");
+  if (t_stop_ == 0) t_stop_ = run_.now_ns();
+
+  // Drain buffers so every remaining item's free event lands in the trace
+  // before the merge.
+  channels_.clear();
+  queues_.clear();
+  return recorder_.merge(t_start_, t_stop_);
+}
+
+}  // namespace stampede

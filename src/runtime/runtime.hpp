@@ -1,0 +1,136 @@
+/// \file runtime.hpp
+/// \brief The Stampede-style runtime: owns the task graph, buffers,
+///        threads, clock, accounting and the ARU/GC configuration.
+///
+/// Typical use:
+/// \code
+///   Runtime rt({.aru = {.mode = aru::Mode::kMax}, .gc = gc::Kind::kDeadTimestamp});
+///   Channel& frames = rt.add_channel({.name = "frames"});
+///   TaskContext& dig = rt.add_task({.name = "digitizer", .body = digitizer_body});
+///   TaskContext& trk = rt.add_task({.name = "tracker", .body = tracker_body});
+///   rt.connect(dig, frames);   // dig produces into frames
+///   rt.connect(frames, trk);   // trk consumes frames (input port 0)
+///   rt.start();
+///   rt.wait_emits(100, seconds(30));
+///   rt.stop();
+///   stats::Trace trace = rt.take_trace();
+/// \endcode
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/queue.hpp"
+#include "runtime/task.hpp"
+
+namespace stampede {
+
+struct RuntimeConfig {
+  /// Clock driving all timing; defaults to the process steady clock.
+  Clock* clock = nullptr;
+  aru::Config aru;
+  gc::Kind gc = gc::Kind::kDeadTimestamp;
+  CostMode cost_mode = CostMode::kSleep;
+  cluster::Topology topology = cluster::Topology::single_node();
+  PressureModel pressure;
+  /// Preemption-burst injection (heavy-tailed STP noise, paper §3.3.2).
+  SchedulerNoise sched_noise;
+  /// Master seed; each task derives its own deterministic stream.
+  std::uint64_t seed = 1;
+  /// When positive, a monitor thread samples every channel's occupancy and
+  /// the per-node footprints into the trace (kGauge events) at this period.
+  Nanos monitor_period{0};
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // -- graph construction (before start) --------------------------------------
+
+  Channel& add_channel(ChannelConfig config);
+  Queue& add_queue(QueueConfig config);
+  TaskContext& add_task(TaskConfig config);
+
+  /// Producer edge: `task` puts into `buffer` (output ports are indexed in
+  /// connect order).
+  void connect(TaskContext& task, Channel& channel);
+  void connect(TaskContext& task, Queue& queue);
+
+  /// Consumer edge: `task` reads `buffer` (input ports indexed in order).
+  void connect(Channel& channel, TaskContext& task);
+  void connect(Queue& queue, TaskContext& task);
+
+  // -- execution ---------------------------------------------------------------
+
+  /// Validates the graph and launches one thread per task.
+  void start();
+
+  /// Blocks until at least `n` sink emissions were recorded or `timeout`
+  /// elapses; returns whether the target was reached. (Counts emissions
+  /// since runtime construction.)
+  bool wait_emits(std::int64_t n, Nanos timeout);
+
+  /// Runs for (roughly) `d` of clock time, then returns (runtime keeps
+  /// running; call stop()).
+  void run_for(Nanos d);
+
+  /// Requests all tasks to stop, closes all buffers, joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Graceful shutdown: closes all buffers *without* signalling tasks, so
+  /// consumers drain what is already buffered (their gets return the
+  /// remaining items, then null and the bodies exit with kDone), then
+  /// joins everything. Returns false if draining exceeded `timeout` and a
+  /// hard stop() was issued instead.
+  bool drain(Nanos timeout);
+
+  bool running() const { return running_; }
+
+  // -- results & introspection -------------------------------------------------
+
+  /// Merges and returns the recorded trace (call after stop()).
+  stats::Trace take_trace();
+
+  const Graph& graph() const { return graph_; }
+  MemoryTracker& memory() { return tracker_; }
+  stats::Recorder& recorder() { return recorder_; }
+  Clock& clock() { return *run_.clock; }
+  const RunContext& context() const { return run_; }
+
+  std::size_t channels() const { return channels_.size(); }
+  std::size_t queues() const { return queues_.size(); }
+  std::size_t tasks() const { return tasks_.size(); }
+
+ private:
+  NodeId next_node_id() { return static_cast<NodeId>(graph_.nodes().size()); }
+  std::unique_ptr<Filter> filter_for(const std::string& override_spec) const;
+  void check_mutable(const char* op) const;
+
+  RuntimeConfig config_;
+  stats::Recorder recorder_;
+  MemoryTracker tracker_;
+  RunContext run_;
+  Graph graph_;
+
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<TaskContext>> tasks_;
+  std::vector<std::jthread> threads_;
+
+  bool running_ = false;
+  bool stopped_ = false;
+  std::int64_t t_start_ = 0;
+  std::int64_t t_stop_ = 0;
+};
+
+}  // namespace stampede

@@ -1,0 +1,283 @@
+#include "runtime/spd.hpp"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/log.hpp"
+
+namespace stampede::spd {
+
+namespace {
+
+struct ThreadSpec {
+  spd_thread_fn fn = nullptr;
+  void* arg = nullptr;
+};
+
+}  // namespace
+
+/// Per-thread context: bridges the paper's loop style onto the runtime's
+/// per-iteration body model. The TaskBody runs the user function once (it
+/// owns its loop); spd_periodicity_sync closes one iteration and opens the
+/// next.
+struct spd_ctx {
+  TaskContext* task = nullptr;
+};
+
+struct spd_runtime {
+  explicit spd_runtime(const RuntimeConfig& cfg) : runtime(cfg) {}
+
+  /// Channels and queues share one handle space.
+  struct Buffer {
+    Channel* channel = nullptr;
+    Queue* queue = nullptr;
+  };
+
+  Runtime runtime;
+  std::vector<Buffer> buffers;
+  std::vector<TaskContext*> threads;
+  std::vector<std::unique_ptr<spd_ctx>> contexts;
+  bool started = false;
+};
+
+spd_runtime* spd_init(const spd_attr* attr) {
+  const spd_attr defaults;
+  const spd_attr& a = attr != nullptr ? *attr : defaults;
+  if (a.cluster_nodes <= 0) return nullptr;
+
+  RuntimeConfig cfg;
+  switch (a.aru) {
+    case SPD_ARU_OFF: cfg.aru.mode = aru::Mode::kOff; break;
+    case SPD_ARU_MIN: cfg.aru.mode = aru::Mode::kMin; break;
+    case SPD_ARU_MAX: cfg.aru.mode = aru::Mode::kMax; break;
+    default: return nullptr;
+  }
+  cfg.gc = a.gc_dgc != 0 ? gc::Kind::kDeadTimestamp : gc::Kind::kTransparent;
+  cfg.seed = a.seed;
+  if (a.cluster_nodes > 1) {
+    cfg.topology =
+        cluster::Topology::uniform(a.cluster_nodes, cluster::Topology::gigabit_link());
+  }
+  try {
+    return new spd_runtime(cfg);
+  } catch (const std::exception& e) {
+    STAMPEDE_LOG(kError) << "spd_init: " << e.what();
+    return nullptr;
+  }
+}
+
+void spd_shutdown(spd_runtime* rt) {
+  if (rt == nullptr) return;
+  rt->runtime.stop();
+  delete rt;
+}
+
+spd_chan spd_chan_alloc(spd_runtime* rt, const char* name, int cluster_node,
+                        spd_dependency dep) {
+  if (rt == nullptr || name == nullptr) return SPD_ERR_ARG;
+  try {
+    ChannelConfig cfg{.name = name, .cluster_node = cluster_node};
+    // The paper's dependency parameter: a common-sink assertion upgrades
+    // this buffer's compress operator from min to max.
+    if (dep == SPD_DEP_COMMON_SINK) {
+      cfg.custom_compress = aru::compress_max;
+    } else if (rt->runtime.context().aru.mode == aru::Mode::kCustom) {
+      cfg.custom_compress = aru::compress_min;
+    }
+    Channel& ch = rt->runtime.add_channel(std::move(cfg));
+    rt->buffers.push_back({.channel = &ch});
+    return static_cast<spd_chan>(rt->buffers.size()) - 1;
+  } catch (const std::exception& e) {
+    STAMPEDE_LOG(kError) << "spd_chan_alloc: " << e.what();
+    return SPD_ERR_STATE;
+  }
+}
+
+spd_queue spd_queue_alloc(spd_runtime* rt, const char* name, int cluster_node,
+                          spd_dependency dep) {
+  if (rt == nullptr || name == nullptr) return SPD_ERR_ARG;
+  try {
+    QueueConfig cfg{.name = name, .cluster_node = cluster_node};
+    if (dep == SPD_DEP_COMMON_SINK) cfg.custom_compress = aru::compress_max;
+    Queue& q = rt->runtime.add_queue(std::move(cfg));
+    rt->buffers.push_back({.queue = &q});
+    return static_cast<spd_queue>(rt->buffers.size()) - 1;
+  } catch (const std::exception& e) {
+    STAMPEDE_LOG(kError) << "spd_queue_alloc: " << e.what();
+    return SPD_ERR_STATE;
+  }
+}
+
+spd_thread spd_thread_create(spd_runtime* rt, const char* name, int cluster_node,
+                             spd_thread_fn fn, void* arg) {
+  if (rt == nullptr || name == nullptr || fn == nullptr) return SPD_ERR_ARG;
+  try {
+    rt->contexts.push_back(std::make_unique<spd_ctx>());
+    spd_ctx* ctx = rt->contexts.back().get();
+    const ThreadSpec spec{fn, arg};
+    TaskContext& task = rt->runtime.add_task(
+        {.name = name, .cluster_node = cluster_node, .body = [ctx, spec](TaskContext& tc) {
+           // Paper style: the user function owns its loop; one TaskBody
+           // invocation runs it to completion.
+           ctx->task = &tc;
+           spec.fn(ctx, spec.arg);
+           return TaskStatus::kDone;
+         }});
+    rt->threads.push_back(&task);
+    return static_cast<spd_thread>(rt->threads.size()) - 1;
+  } catch (const std::exception& e) {
+    STAMPEDE_LOG(kError) << "spd_thread_create: " << e.what();
+    return SPD_ERR_STATE;
+  }
+}
+
+namespace {
+
+bool valid_chan(const spd_runtime* rt, spd_chan ch) {
+  return ch >= 0 && static_cast<std::size_t>(ch) < rt->buffers.size();
+}
+bool valid_thread(const spd_runtime* rt, spd_thread th) {
+  return th >= 0 && static_cast<std::size_t>(th) < rt->threads.size();
+}
+
+}  // namespace
+
+int spd_attach_input(spd_runtime* rt, spd_thread th, spd_chan ch) {
+  if (rt == nullptr || !valid_thread(rt, th) || !valid_chan(rt, ch)) return SPD_ERR_ARG;
+  try {
+    const auto& buf = rt->buffers[static_cast<std::size_t>(ch)];
+    TaskContext& task = *rt->threads[static_cast<std::size_t>(th)];
+    if (buf.channel != nullptr) {
+      rt->runtime.connect(*buf.channel, task);
+    } else {
+      rt->runtime.connect(*buf.queue, task);
+    }
+    return SPD_OK;
+  } catch (const std::exception&) {
+    return SPD_ERR_STATE;
+  }
+}
+
+int spd_attach_output(spd_runtime* rt, spd_thread th, spd_chan ch) {
+  if (rt == nullptr || !valid_thread(rt, th) || !valid_chan(rt, ch)) return SPD_ERR_ARG;
+  try {
+    const auto& buf = rt->buffers[static_cast<std::size_t>(ch)];
+    TaskContext& task = *rt->threads[static_cast<std::size_t>(th)];
+    if (buf.channel != nullptr) {
+      rt->runtime.connect(task, *buf.channel);
+    } else {
+      rt->runtime.connect(task, *buf.queue);
+    }
+    return SPD_OK;
+  } catch (const std::exception&) {
+    return SPD_ERR_STATE;
+  }
+}
+
+int spd_start(spd_runtime* rt) {
+  if (rt == nullptr) return SPD_ERR_ARG;
+  if (rt->started) return SPD_ERR_STATE;
+  try {
+    rt->runtime.start();
+    rt->started = true;
+    return SPD_OK;
+  } catch (const std::exception& e) {
+    STAMPEDE_LOG(kError) << "spd_start: " << e.what();
+    return SPD_ERR_STATE;
+  }
+}
+
+void spd_run_ms(spd_runtime* rt, std::int64_t ms) {
+  if (rt == nullptr) return;
+  rt->runtime.clock().sleep_for(millis(ms));
+}
+
+int spd_stop(spd_runtime* rt) {
+  if (rt == nullptr) return SPD_ERR_ARG;
+  rt->runtime.stop();
+  return SPD_OK;
+}
+
+std::int64_t spd_emit_count(spd_runtime* rt) {
+  return rt == nullptr ? 0 : rt->runtime.recorder().emits();
+}
+
+std::int64_t spd_graph_dot(spd_runtime* rt, char* buf, std::size_t len) {
+  if (rt == nullptr) return SPD_ERR_ARG;
+  const std::string dot = rt->runtime.graph().to_dot();
+  if (buf != nullptr && len > 0) {
+    const std::size_t n = std::min(len - 1, dot.size());
+    std::memcpy(buf, dot.data(), n);
+    buf[n] = '\0';
+  }
+  return static_cast<std::int64_t>(dot.size());
+}
+
+bool spd_stopping(spd_ctx* ctx) {
+  return ctx == nullptr || ctx->task == nullptr || ctx->task->stopping();
+}
+
+int spd_get_latest(spd_ctx* ctx, int idx, spd_item* out) {
+  if (ctx == nullptr || ctx->task == nullptr || out == nullptr || idx < 0) return SPD_ERR_ARG;
+  try {
+    auto item = ctx->task->get(static_cast<std::size_t>(idx));
+    if (!item) return SPD_ERR_CLOSED;
+    out->ts = item->ts();
+    out->id = item->id();
+    out->data = item->data().data();
+    out->len = item->bytes();
+    // Transfer ownership of one shared_ptr reference into the view.
+    out->opaque = new std::shared_ptr<const Item>(std::move(item));
+    return SPD_OK;
+  } catch (const std::exception&) {
+    return SPD_ERR_ARG;
+  }
+}
+
+void spd_item_release(spd_item* item) {
+  if (item == nullptr || item->opaque == nullptr) return;
+  delete static_cast<std::shared_ptr<const Item>*>(item->opaque);
+  item->opaque = nullptr;
+  item->data = nullptr;
+  item->len = 0;
+}
+
+int spd_put(spd_ctx* ctx, int idx, std::int64_t ts, const void* data, std::size_t len,
+            const std::uint64_t* lineage, std::size_t lineage_len) {
+  if (ctx == nullptr || ctx->task == nullptr || idx < 0) return SPD_ERR_ARG;
+  if (len > 0 && data == nullptr) return SPD_ERR_ARG;
+  try {
+    std::vector<ItemId> parents(lineage, lineage + (lineage != nullptr ? lineage_len : 0));
+    auto item = ctx->task->make_item(ts, len, std::move(parents));
+    if (len > 0) std::memcpy(item->mutable_data().data(), data, len);
+    return ctx->task->put(static_cast<std::size_t>(idx), std::move(item)) ? SPD_OK
+                                                                          : SPD_ERR_CLOSED;
+  } catch (const std::exception&) {
+    return SPD_ERR_ARG;
+  }
+}
+
+void spd_compute_ms(spd_ctx* ctx, double ms) {
+  if (ctx == nullptr || ctx->task == nullptr) return;
+  ctx->task->compute(from_millis(ms));
+}
+
+void spd_emit(spd_ctx* ctx, const spd_item* item) {
+  if (ctx == nullptr || ctx->task == nullptr || item == nullptr || item->opaque == nullptr) {
+    return;
+  }
+  const auto& shared = *static_cast<std::shared_ptr<const Item>*>(item->opaque);
+  ctx->task->emit(*shared);
+}
+
+void spd_periodicity_sync(spd_ctx* ctx) {
+  if (ctx == nullptr || ctx->task == nullptr) return;
+  // Close this loop iteration (STP measurement, summary update, pacing)
+  // and open the next one — the paper's end-of-loop convention.
+  ctx->task->periodicity_sync();
+  ctx->task->begin_iteration();
+}
+
+}  // namespace stampede::spd

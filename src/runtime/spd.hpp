@@ -1,0 +1,163 @@
+/// \file spd.hpp
+/// \brief Stampede-style flat C API facade (paper §4).
+///
+/// The paper describes ARU's integration into Stampede's C API: a new
+/// `periodicity_sync()` call that every thread invokes at the end of its
+/// loop iteration, and a data-dependency parameter added to the
+/// channel/queue/thread creation calls (`spd_chan_alloc()` et al.) that
+/// selects the compress operator. This facade reproduces that API surface
+/// on top of the C++ runtime, for ports of legacy Stampede-style code and
+/// as an executable record of the published interface.
+///
+/// Threads are written in the paper's style — a function owning its own
+/// loop, calling `spd_get_latest` / `spd_put` / `spd_periodicity_sync`:
+///
+/// \code
+///   void tracker(spd_ctx* ctx, void* arg) {
+///     while (!spd_stopping(ctx)) {
+///       spd_item in;
+///       if (spd_get_latest(ctx, 0, &in) != SPD_OK) break;
+///       ...
+///       spd_put(ctx, 0, in.ts, out_buf, out_len, &in.id, 1);
+///       spd_item_release(&in);
+///       spd_periodicity_sync(ctx);  // the paper's ARU call
+///     }
+///   }
+/// \endcode
+///
+/// Error handling: every call returns SPD_OK or a negative error code;
+/// no exceptions cross this boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stampede::spd {
+
+// -- handles and codes ------------------------------------------------------------
+
+struct spd_runtime;  ///< opaque runtime handle
+struct spd_ctx;      ///< opaque per-thread context (passed to thread functions)
+
+using spd_chan = int;    ///< channel handle (>= 0)
+using spd_queue = int;   ///< queue handle (>= 0)
+using spd_thread = int;  ///< thread handle (>= 0)
+
+inline constexpr int SPD_OK = 0;
+inline constexpr int SPD_ERR_ARG = -1;      ///< bad argument / handle
+inline constexpr int SPD_ERR_STATE = -2;    ///< wrong lifecycle state
+inline constexpr int SPD_ERR_CLOSED = -3;   ///< buffer closed / runtime stopping
+inline constexpr int SPD_ERR_NOSPACE = -4;  ///< caller buffer too small
+inline constexpr int SPD_ERR_INTERNAL = -5;
+
+/// ARU mode for the whole runtime (paper: min is the safe default).
+enum spd_aru_mode : int {
+  SPD_ARU_OFF = 0,
+  SPD_ARU_MIN = 1,
+  SPD_ARU_MAX = 2,
+};
+
+/// Per-buffer data-dependency hint — the parameter the paper added to
+/// `spd_chan_alloc()`: SPD_DEP_INDEPENDENT keeps the conservative min
+/// operator; SPD_DEP_COMMON_SINK asserts all consumers feed one sink, so
+/// the aggressive max operator is safe (paper Fig. 4).
+enum spd_dependency : int {
+  SPD_DEP_INDEPENDENT = 0,
+  SPD_DEP_COMMON_SINK = 1,
+};
+
+/// Runtime creation attributes.
+struct spd_attr {
+  spd_aru_mode aru = SPD_ARU_OFF;
+  int gc_dgc = 1;        ///< 1 = Dead-Timestamp GC (paper baseline), 0 = transparent
+  int cluster_nodes = 1; ///< simulated cluster size (1 = shared memory)
+  std::uint64_t seed = 1;
+};
+
+/// A fetched item view. `data` stays valid until spd_item_release.
+struct spd_item {
+  std::int64_t ts = -1;
+  std::uint64_t id = 0;
+  const void* data = nullptr;
+  std::size_t len = 0;
+  void* opaque = nullptr;  ///< internal ownership token
+};
+
+/// Thread entry point, paper style (owns its loop).
+using spd_thread_fn = void (*)(spd_ctx* ctx, void* arg);
+
+// -- lifecycle ---------------------------------------------------------------------
+
+/// Creates a runtime. Returns nullptr on bad attributes.
+spd_runtime* spd_init(const spd_attr* attr);
+
+/// Stops (if running) and destroys the runtime and all its objects.
+void spd_shutdown(spd_runtime* rt);
+
+/// Allocates a channel on `cluster_node` with dependency hint `dep`
+/// (the ARU parameter the paper added). Returns a handle or SPD_ERR_*.
+spd_chan spd_chan_alloc(spd_runtime* rt, const char* name, int cluster_node,
+                        spd_dependency dep);
+
+/// Allocates a FIFO queue (exactly-once delivery) with the same ARU
+/// dependency parameter. Queue handles share the channel handle space:
+/// attach/get/put work identically.
+spd_queue spd_queue_alloc(spd_runtime* rt, const char* name, int cluster_node,
+                          spd_dependency dep);
+
+/// Creates a thread running `fn(ctx, arg)` on `cluster_node`.
+spd_thread spd_thread_create(spd_runtime* rt, const char* name, int cluster_node,
+                             spd_thread_fn fn, void* arg);
+
+/// Wires channel `ch` as the next input of thread `th` (consumer edge).
+int spd_attach_input(spd_runtime* rt, spd_thread th, spd_chan ch);
+
+/// Wires channel `ch` as the next output of thread `th` (producer edge).
+int spd_attach_output(spd_runtime* rt, spd_thread th, spd_chan ch);
+
+/// Validates the graph and starts all threads.
+int spd_start(spd_runtime* rt);
+
+/// Sleeps the calling thread for `ms` of runtime clock time.
+void spd_run_ms(spd_runtime* rt, std::int64_t ms);
+
+/// Requests stop, closes buffers, joins threads. Idempotent.
+int spd_stop(spd_runtime* rt);
+
+/// Emissions recorded so far (sink results).
+std::int64_t spd_emit_count(spd_runtime* rt);
+
+/// Renders the wired task graph as Graphviz DOT into `buf` (NUL
+/// terminated). Returns the full length needed (excluding the NUL) —
+/// call with buf=nullptr/len=0 to size, like snprintf.
+std::int64_t spd_graph_dot(spd_runtime* rt, char* buf, std::size_t len);
+
+// -- data plane (from within thread functions) ---------------------------------------
+
+/// True when the thread should exit its loop.
+bool spd_stopping(spd_ctx* ctx);
+
+/// Blocking latest-item fetch from input `idx`; fills `*out`.
+/// Returns SPD_OK, or SPD_ERR_CLOSED when upstream is gone.
+int spd_get_latest(spd_ctx* ctx, int idx, spd_item* out);
+
+/// Releases an item view obtained from spd_get_latest.
+void spd_item_release(spd_item* item);
+
+/// Produces an item of `len` bytes with timestamp `ts` into output `idx`;
+/// `lineage` lists the input item ids it derives from.
+int spd_put(spd_ctx* ctx, int idx, std::int64_t ts, const void* data, std::size_t len,
+            const std::uint64_t* lineage, std::size_t lineage_len);
+
+/// Emulates `ms` of stage computation (accounted to the next put).
+void spd_compute_ms(spd_ctx* ctx, double ms);
+
+/// Marks a result as leaving the pipeline (sinks only).
+void spd_emit(spd_ctx* ctx, const spd_item* item);
+
+/// The paper's ARU call: closes the current loop iteration — measures the
+/// current-STP, refreshes the summary-STP, paces the thread if ARU says so
+/// — and opens the next iteration.
+void spd_periodicity_sync(spd_ctx* ctx);
+
+}  // namespace stampede::spd

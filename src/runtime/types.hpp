@@ -1,0 +1,101 @@
+/// \file types.hpp
+/// \brief Fundamental runtime identifiers and shared configuration PODs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace stampede {
+
+/// Virtual-time index attached to every data item (paper §1: "associating
+/// every piece of data with a timestamp allows for an index into the
+/// virtual (or wall-clock) time of the application"). Source threads
+/// assign consecutive timestamps 0, 1, 2, ... and downstream stages tag
+/// their outputs with the timestamp of the inputs they were derived from.
+using Timestamp = std::int64_t;
+
+inline constexpr Timestamp kNoTimestamp = -1;
+
+/// Dense graph-node identity assigned by the Runtime (threads, channels
+/// and queues share one id space — they are all "nodes" to ARU and DGC).
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// Globally unique item identity within a run.
+using ItemId = std::uint64_t;
+
+/// Node flavor.
+enum class NodeKind : std::uint8_t { kThread, kChannel, kQueue };
+
+/// How emulated compute cost is realized.
+enum class CostMode : std::uint8_t {
+  kSleep,  ///< sleep for the cost duration (deterministic on any core count)
+  kSpin,   ///< busy-spin (real CPU contention, closest to the paper's testbed)
+};
+
+const char* to_string(NodeKind kind);
+
+/// OS-scheduling noise model (paper §3.3.2: "Variances in the OS
+/// scheduling of threads result in variances in the execution time of
+/// task iterations ... consumer tasks intermittently emit large or small
+/// summary-STP values"). With probability `preempt_prob`, a compute call
+/// is stretched by an exponentially distributed preemption burst of mean
+/// `slice_mean` — producing exactly the heavy-tailed STP spikes the
+/// paper's proposed feedback filters are meant to absorb.
+struct SchedulerNoise {
+  double preempt_prob = 0.0;
+  Nanos slice_mean{0};
+
+  bool enabled() const { return preempt_prob > 0.0 && slice_mean.count() > 0; }
+};
+
+/// Buffer-management / memory-pressure cost model.
+///
+/// The paper's testbed slows down under load for reasons outside ARU
+/// itself: channels holding many timestamped items cost more to scan and
+/// garbage-collect, and a bloated footprint pressures the allocator and
+/// memory system. We model both first-order effects explicitly so the
+/// "No ARU" baseline exhibits the throughput/latency degradation the paper
+/// measures (Fig. 10). Setting both knobs to zero disables the model.
+struct PressureModel {
+  /// Charged on every channel put/get, multiplied by the number of items
+  /// currently stored in that channel (skip-scan + GC bookkeeping cost).
+  Nanos per_item_scan{0};
+
+  /// Charged on every item allocation, multiplied by the allocating
+  /// cluster node's resident megabytes (allocator/VM pressure).
+  Nanos per_mb_alloc{0};
+
+  /// Relative compute-cost dilation per resident megabyte on the node:
+  /// effective_cost = cost × (1 + dilation · MB). Models the cache /
+  /// memory-bus contention of a bloated working set (the paper's testbed
+  /// had 2 MB L2 caches against 738 kB frames — wasted items slow *all*
+  /// computation, which is why the No-ARU tracker loses throughput and
+  /// latency in Fig. 10).
+  double compute_dilation_per_mb = 0.0;
+
+  Nanos scan_cost(std::size_t items_stored) const {
+    return Nanos{per_item_scan.count() * static_cast<std::int64_t>(items_stored)};
+  }
+
+  Nanos alloc_cost(std::int64_t node_bytes) const {
+    const double mb = static_cast<double>(node_bytes) / (1024.0 * 1024.0);
+    return Nanos{static_cast<std::int64_t>(static_cast<double>(per_mb_alloc.count()) * mb)};
+  }
+
+  /// Multiplier applied to emulated compute given node-resident bytes.
+  double dilation(std::int64_t node_bytes) const {
+    if (compute_dilation_per_mb <= 0.0) return 1.0;
+    return 1.0 + compute_dilation_per_mb * static_cast<double>(node_bytes) / (1024.0 * 1024.0);
+  }
+
+  bool enabled() const {
+    return per_item_scan.count() > 0 || per_mb_alloc.count() > 0 ||
+           compute_dilation_per_mb > 0.0;
+  }
+};
+
+}  // namespace stampede

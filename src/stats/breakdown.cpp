@@ -1,0 +1,127 @@
+#include "stats/breakdown.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/table.hpp"
+
+namespace stampede::stats {
+
+namespace {
+constexpr double kMb = 1024.0 * 1024.0;
+
+std::string node_name(const Trace& trace, NodeRef node) {
+  if (node >= 0 && static_cast<std::size_t>(node) < trace.node_names.size() &&
+      !trace.node_names[static_cast<std::size_t>(node)].empty()) {
+    return trace.node_names[static_cast<std::size_t>(node)];
+  }
+  return "node" + std::to_string(node);
+}
+}  // namespace
+
+Breakdown compute_breakdown(const Trace& trace, const Analyzer& analyzer) {
+  std::map<NodeRef, ProducerUsage> producers;
+  std::map<NodeRef, BufferUsage> buffers;
+
+  for (const ItemRecord& rec : trace.items) {
+    ProducerUsage& p = producers[rec.producer];
+    p.node = rec.producer;
+    ++p.items;
+    p.bytes_mb += static_cast<double>(rec.bytes) / kMb;
+    p.compute_ms += static_cast<double>(rec.produce_cost) / 1e6;
+    if (!analyzer.successful(rec.id)) {
+      ++p.items_wasted;
+      p.wasted_bytes_mb += static_cast<double>(rec.bytes) / kMb;
+      p.wasted_compute_ms += static_cast<double>(rec.produce_cost) / 1e6;
+    }
+  }
+
+  // Buffer flows: puts/drops carry the buffer node id; consume/skip carry
+  // the consumer thread id, so map them back via the item's containing
+  // put. Simpler and exact: count consumes/skips against the buffer that
+  // stored the item — the last kPut for that item id seen so far.
+  std::map<ItemId, NodeRef> item_buffer;
+  std::map<ItemId, std::int64_t> item_put_time;
+  std::map<NodeRef, StreamingStats> wait_stats;
+  for (const Event& e : trace.events) {
+    switch (e.type) {
+      case EventType::kPut: {
+        buffers[e.node].node = e.node;
+        ++buffers[e.node].puts;
+        item_buffer[e.item] = e.node;
+        item_put_time[e.item] = e.t;
+        break;
+      }
+      case EventType::kConsume: {
+        const auto it = item_buffer.find(e.item);
+        if (it != item_buffer.end()) {
+          ++buffers[it->second].consumes;
+          // First consumption measures buffer residency; erase so later
+          // consumers of the same item don't double-count.
+          const auto pt = item_put_time.find(e.item);
+          if (pt != item_put_time.end()) {
+            wait_stats[it->second].add(static_cast<double>(e.t - pt->second) / 1e6);
+            item_put_time.erase(pt);
+          }
+        }
+        break;
+      }
+      case EventType::kSkip: {
+        const auto it = item_buffer.find(e.item);
+        if (it != item_buffer.end()) ++buffers[it->second].skips;
+        break;
+      }
+      case EventType::kDrop: {
+        const auto it = item_buffer.find(e.item);
+        ++buffers[it != item_buffer.end() ? it->second : e.node].drops;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  Breakdown out;
+  for (auto& [node, usage] : producers) {
+    usage.name = node_name(trace, node);
+    out.producers.push_back(std::move(usage));
+  }
+  for (auto& [node, usage] : buffers) {
+    usage.node = node;
+    usage.name = node_name(trace, node);
+    const auto ws = wait_stats.find(node);
+    if (ws != wait_stats.end() && ws->second.count() > 0) {
+      usage.wait_ms_mean = ws->second.mean();
+      usage.wait_ms_max = ws->second.max();
+    }
+    out.buffers.push_back(std::move(usage));
+  }
+  std::sort(out.producers.begin(), out.producers.end(),
+            [](const auto& a, const auto& b) { return a.bytes_mb > b.bytes_mb; });
+  std::sort(out.buffers.begin(), out.buffers.end(),
+            [](const auto& a, const auto& b) { return a.puts > b.puts; });
+  return out;
+}
+
+std::string render_breakdown(const Breakdown& breakdown) {
+  Table producers("Per-producer usage");
+  producers.set_header(
+      {"producer", "items", "wasted", "MB", "wasted MB", "compute ms", "wasted ms"});
+  for (const auto& p : breakdown.producers) {
+    producers.add_row({p.name, std::to_string(p.items), std::to_string(p.items_wasted),
+                       Table::num(p.bytes_mb), Table::num(p.wasted_bytes_mb),
+                       Table::num(p.compute_ms, 1), Table::num(p.wasted_compute_ms, 1)});
+  }
+
+  Table buffers("Per-buffer flow");
+  buffers.set_header(
+      {"buffer", "puts", "consumes", "skips", "drops", "wait ms (mean)", "wait ms (max)"});
+  for (const auto& b : breakdown.buffers) {
+    buffers.add_row({b.name, std::to_string(b.puts), std::to_string(b.consumes),
+                     std::to_string(b.skips), std::to_string(b.drops),
+                     Table::num(b.wait_ms_mean, 2), Table::num(b.wait_ms_max, 2)});
+  }
+  return producers.to_ascii() + buffers.to_ascii();
+}
+
+}  // namespace stampede::stats

@@ -1,0 +1,56 @@
+/// \file breakdown.hpp
+/// \brief Per-node resource-usage breakdown derived from a trace.
+///
+/// Complements the whole-application metrics of postmortem.hpp with the
+/// per-stage view the paper's discussion reasons about informally: which
+/// producer's items get wasted, which channel skips/drops the most, and
+/// where compute goes. Powers `trace_inspect breakdown` and diagnostics in
+/// the benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/postmortem.hpp"
+
+namespace stampede::stats {
+
+/// Production/consumption accounting for one producing thread node.
+struct ProducerUsage {
+  NodeRef node = -1;
+  std::string name;
+  std::int64_t items = 0;
+  std::int64_t items_wasted = 0;
+  double bytes_mb = 0.0;          ///< total bytes produced / MB
+  double wasted_bytes_mb = 0.0;   ///< bytes of wasted items / MB
+  double compute_ms = 0.0;        ///< production compute attributed to items
+  double wasted_compute_ms = 0.0;
+};
+
+/// Flow accounting for one buffer (channel/queue) node.
+struct BufferUsage {
+  NodeRef node = -1;
+  std::string name;
+  std::int64_t puts = 0;
+  std::int64_t consumes = 0;  ///< consume events by this buffer's consumers
+  std::int64_t skips = 0;
+  std::int64_t drops = 0;     ///< reclaimed without any consumption
+  /// Time items sat in the buffer before (first) consumption — the §5.2
+  /// mechanism behind ARU-max's latency win ("items never spend time in
+  /// buffers themselves").
+  double wait_ms_mean = 0.0;
+  double wait_ms_max = 0.0;
+};
+
+struct Breakdown {
+  std::vector<ProducerUsage> producers;  ///< sorted by bytes desc
+  std::vector<BufferUsage> buffers;      ///< sorted by puts desc
+};
+
+/// Computes the breakdown; `analyzer` supplies the successful-item set.
+Breakdown compute_breakdown(const Trace& trace, const Analyzer& analyzer);
+
+/// Renders both tables as ASCII.
+std::string render_breakdown(const Breakdown& breakdown);
+
+}  // namespace stampede::stats

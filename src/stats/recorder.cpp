@@ -1,0 +1,81 @@
+#include "stats/recorder.hpp"
+
+#include <algorithm>
+
+namespace stampede::stats {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kAlloc: return "alloc";
+    case EventType::kFree: return "free";
+    case EventType::kPut: return "put";
+    case EventType::kConsume: return "consume";
+    case EventType::kSkip: return "skip";
+    case EventType::kDrop: return "drop";
+    case EventType::kCompute: return "compute";
+    case EventType::kElide: return "elide";
+    case EventType::kEmit: return "emit";
+    case EventType::kDisplay: return "display";
+    case EventType::kStp: return "stp";
+    case EventType::kSleep: return "sleep";
+    case EventType::kBlocked: return "blocked";
+    case EventType::kTransfer: return "transfer";
+    case EventType::kOverhead: return "overhead";
+    case EventType::kGauge: return "gauge";
+    case EventType::kReplicate: return "replicate";
+    case EventType::kReplicaFree: return "replica-free";
+  }
+  return "?";
+}
+
+Shard* Recorder::new_shard() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  return shards_.back().get();
+}
+
+void Recorder::set_node_name(NodeRef node, std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (node < 0) return;
+  if (static_cast<std::size_t>(node) >= node_names_.size()) {
+    node_names_.resize(static_cast<std::size_t>(node) + 1);
+  }
+  node_names_[static_cast<std::size_t>(node)] = std::move(name);
+}
+
+void Recorder::record_any_thread(const Event& e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  any_thread_shard_.record(e);
+}
+
+Trace Recorder::merge(std::int64_t t_begin, std::int64_t t_end) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Trace trace;
+  trace.t_begin = t_begin;
+  trace.t_end = t_end;
+  trace.node_names = node_names_;
+
+  std::size_t total_events = any_thread_shard_.events_.size();
+  std::size_t total_items = any_thread_shard_.items_.size();
+  for (const auto& s : shards_) {
+    total_events += s->events_.size();
+    total_items += s->items_.size();
+  }
+  trace.events.reserve(total_events);
+  trace.items.reserve(total_items);
+
+  auto take = [&](const Shard& s) {
+    trace.events.insert(trace.events.end(), s.events_.begin(), s.events_.end());
+    trace.items.insert(trace.items.end(), s.items_.begin(), s.items_.end());
+  };
+  for (const auto& s : shards_) take(*s);
+  take(any_thread_shard_);
+
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const Event& a, const Event& b) { return a.t < b.t; });
+  std::sort(trace.items.begin(), trace.items.end(),
+            [](const ItemRecord& a, const ItemRecord& b) { return a.id < b.id; });
+  return trace;
+}
+
+}  // namespace stampede::stats

@@ -1,0 +1,76 @@
+/// \file recorder.hpp
+/// \brief Low-overhead, sharded trace recorder.
+///
+/// Writers obtain a `Shard` handle during graph construction; each shard is
+/// only ever written under its owner's serialization domain (a task's own
+/// thread, or a channel's mutex), so appends are lock-free. Item frees can
+/// happen on any thread (last shared_ptr release), so they go through a
+/// dedicated mutex-protected shard. `merge()` collects and time-sorts
+/// everything into a `Trace` after the run.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/events.hpp"
+
+namespace stampede::stats {
+
+class Recorder;
+
+/// Append-only event buffer owned by one serialization domain.
+class Shard {
+ public:
+  void record(const Event& e) { events_.push_back(e); }
+  void record_item(ItemRecord rec) { items_.push_back(std::move(rec)); }
+
+ private:
+  friend class Recorder;
+  std::vector<Event> events_;
+  std::vector<ItemRecord> items_;
+};
+
+/// Owns all shards; hands out handles and merges them postmortem.
+class Recorder {
+ public:
+  Recorder() = default;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Creates a shard for one writer domain. Must be called during
+  /// construction (not concurrently with recording).
+  Shard* new_shard();
+
+  /// Registers a node's display name (node ids are dense, assigned by the
+  /// runtime graph).
+  void set_node_name(NodeRef node, std::string name);
+
+  /// Thread-safe recording path for events that can fire on any thread
+  /// (item destructors).
+  void record_any_thread(const Event& e);
+
+  /// Allocates a fresh globally unique item id (thread-safe).
+  ItemId next_item_id() { return next_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Thread-safe run-progress counter (used by Runtime::wait_emits).
+  void count_emit() { emits_.fetch_add(1, std::memory_order_relaxed); }
+  std::int64_t emits() const { return emits_.load(std::memory_order_relaxed); }
+
+  /// Merges all shards into one time-sorted trace. Call only after all
+  /// writer threads have stopped. `t_begin`/`t_end` bound the observation
+  /// window (clock instants).
+  Trace merge(std::int64_t t_begin, std::int64_t t_end) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Shard any_thread_shard_;
+  std::vector<std::string> node_names_;
+  std::atomic<ItemId> next_id_{0};
+  std::atomic<std::int64_t> emits_{0};
+};
+
+}  // namespace stampede::stats

@@ -1,0 +1,115 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace stampede::stats {
+
+TimeWeightedStats FootprintSeries::weighted() const {
+  TimeWeightedStats w;
+  w.sample(t_begin, 0.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    w.sample(std::clamp(t[i], t_begin, t_end), bytes[i]);
+  }
+  w.finish(t_end);
+  return w;
+}
+
+std::vector<double> FootprintSeries::resample(std::size_t buckets) const {
+  std::vector<double> out(buckets, 0.0);
+  if (buckets == 0 || t_end <= t_begin) return out;
+  const double span = static_cast<double>(t_end - t_begin);
+
+  // Walk the step function and distribute value*dt into bins.
+  std::vector<double> weight(buckets, 0.0);
+  double cur = 0.0;
+  std::int64_t cur_t = t_begin;
+  std::size_t i = 0;
+  auto flush_until = [&](std::int64_t until) {
+    std::int64_t from = std::clamp(cur_t, t_begin, t_end);
+    until = std::clamp(until, t_begin, t_end);
+    while (from < until) {
+      const double pos = static_cast<double>(from - t_begin) / span;
+      auto bin = static_cast<std::size_t>(pos * static_cast<double>(buckets));
+      if (bin >= buckets) bin = buckets - 1;
+      const std::int64_t bin_end =
+          t_begin + static_cast<std::int64_t>(span * static_cast<double>(bin + 1) /
+                                              static_cast<double>(buckets));
+      const std::int64_t seg_end = std::min(until, std::max(bin_end, from + 1));
+      const double dt = static_cast<double>(seg_end - from);
+      out[bin] += cur * dt;
+      weight[bin] += dt;
+      from = seg_end;
+    }
+  };
+  for (; i < t.size(); ++i) {
+    flush_until(t[i]);
+    cur_t = std::max(t[i], t_begin);
+    cur = bytes[i];
+  }
+  flush_until(t_end);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (weight[b] > 0) out[b] /= weight[b];
+  }
+  return out;
+}
+
+std::string FootprintSeries::to_csv() const {
+  std::ostringstream out;
+  out << "t_ms,bytes\n";
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out << static_cast<double>(t[i] - t_begin) / 1e6 << ',' << bytes[i] << '\n';
+  }
+  return out.str();
+}
+
+FootprintSeries footprint_from_events(std::span<const Event> events, std::int64_t t_begin,
+                                      std::int64_t t_end) {
+  FootprintSeries s;
+  s.t_begin = t_begin;
+  s.t_end = t_end;
+  double cur = 0.0;
+  for (const Event& e : events) {
+    if (e.type == EventType::kAlloc || e.type == EventType::kReplicate) {
+      cur += static_cast<double>(e.a);
+    } else if (e.type == EventType::kFree || e.type == EventType::kReplicaFree) {
+      cur -= static_cast<double>(e.a);
+    } else {
+      continue;
+    }
+    s.t.push_back(std::clamp(e.t, t_begin, t_end));
+    s.bytes.push_back(cur);
+  }
+  return s;
+}
+
+FootprintSeries footprint_from_intervals(std::span<const std::int64_t> alloc_t,
+                                         std::span<const std::int64_t> free_t,
+                                         std::span<const std::int64_t> bytes,
+                                         std::int64_t t_begin, std::int64_t t_end) {
+  struct Delta {
+    std::int64_t t;
+    double d;
+  };
+  std::vector<Delta> deltas;
+  deltas.reserve(alloc_t.size() * 2);
+  for (std::size_t i = 0; i < alloc_t.size(); ++i) {
+    deltas.push_back({std::clamp(alloc_t[i], t_begin, t_end), static_cast<double>(bytes[i])});
+    deltas.push_back({std::clamp(free_t[i], t_begin, t_end), -static_cast<double>(bytes[i])});
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const Delta& a, const Delta& b) { return a.t < b.t; });
+
+  FootprintSeries s;
+  s.t_begin = t_begin;
+  s.t_end = t_end;
+  double cur = 0.0;
+  for (const Delta& d : deltas) {
+    cur += d.d;
+    s.t.push_back(d.t);
+    s.bytes.push_back(cur);
+  }
+  return s;
+}
+
+}  // namespace stampede::stats

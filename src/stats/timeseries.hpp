@@ -1,0 +1,49 @@
+/// \file timeseries.hpp
+/// \brief Memory-footprint step-series reconstruction from trace events
+///        (paper Figures 8 and 9: footprint as a function of time).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/events.hpp"
+#include "util/stats.hpp"
+
+namespace stampede::stats {
+
+/// Right-continuous step function: value `bytes[i]` holds from `t[i]`
+/// until `t[i+1]`.
+struct FootprintSeries {
+  std::vector<std::int64_t> t;
+  std::vector<double> bytes;
+  std::int64_t t_begin = 0;
+  std::int64_t t_end = 0;
+
+  /// Time-weighted mean/σ/peak over [t_begin, t_end] — exactly the
+  /// paper's §4 footprint formulas.
+  TimeWeightedStats weighted() const;
+
+  /// Resamples into `buckets` equal time bins (time-weighted mean per
+  /// bin) for plotting.
+  std::vector<double> resample(std::size_t buckets) const;
+
+  /// CSV rendering: "t_ms,bytes" rows.
+  std::string to_csv() const;
+};
+
+/// Builds the footprint series from kAlloc/kFree events. Frees recorded
+/// after `t_end` (items drained at shutdown) are clamped to `t_end`.
+FootprintSeries footprint_from_events(std::span<const Event> events, std::int64_t t_begin,
+                                      std::int64_t t_end);
+
+/// Builds the footprint series of a hypothetical run in which only the
+/// items in `keep` are ever allocated, each freed at its recorded last
+/// use (`last_use` parallel to `keep`). This is the Ideal Garbage
+/// Collector bound (paper §4/[14]).
+FootprintSeries footprint_from_intervals(std::span<const std::int64_t> alloc_t,
+                                         std::span<const std::int64_t> free_t,
+                                         std::span<const std::int64_t> bytes,
+                                         std::int64_t t_begin, std::int64_t t_end);
+
+}  // namespace stampede::stats

@@ -1,0 +1,162 @@
+#include "stats/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stampede::stats {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("trace_io: truncated input");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto len = read_pod<std::uint32_t>(in);
+  if (len > (1u << 20)) throw std::runtime_error("trace_io: implausible string length");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw std::runtime_error("trace_io: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void save_trace(const Trace& trace, std::ostream& out) {
+  write_pod(out, kTraceMagic);
+  write_pod(out, kTraceVersion);
+  write_pod<std::int64_t>(out, trace.t_begin);
+  write_pod<std::int64_t>(out, trace.t_end);
+
+  write_pod<std::uint64_t>(out, trace.node_names.size());
+  for (const auto& name : trace.node_names) write_string(out, name);
+
+  write_pod<std::uint64_t>(out, trace.events.size());
+  for (const Event& e : trace.events) {
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(e.type));
+    write_pod<std::int32_t>(out, e.node);
+    write_pod<std::int64_t>(out, e.ts);
+    write_pod<std::uint64_t>(out, e.item);
+    write_pod<std::int64_t>(out, e.t);
+    write_pod<std::int64_t>(out, e.a);
+    write_pod<std::int64_t>(out, e.b);
+  }
+
+  write_pod<std::uint64_t>(out, trace.items.size());
+  for (const ItemRecord& rec : trace.items) {
+    write_pod<std::uint64_t>(out, rec.id);
+    write_pod<std::int64_t>(out, rec.ts);
+    write_pod<std::int64_t>(out, rec.bytes);
+    write_pod<std::int32_t>(out, rec.producer);
+    write_pod<std::int32_t>(out, rec.cluster_node);
+    write_pod<std::int64_t>(out, rec.t_alloc);
+    write_pod<std::int64_t>(out, rec.produce_cost);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(rec.lineage.size()));
+    for (const ItemId parent : rec.lineage) write_pod<std::uint64_t>(out, parent);
+  }
+  if (!out) throw std::runtime_error("trace_io: write failed");
+}
+
+void save_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace_io: cannot open '" + path + "' for writing");
+  save_trace(trace, out);
+}
+
+Trace load_trace(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kTraceMagic) {
+    throw std::runtime_error("trace_io: bad magic (not a stampede trace)");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kTraceVersion) {
+    throw std::runtime_error("trace_io: unsupported version " + std::to_string(version));
+  }
+  Trace trace;
+  trace.t_begin = read_pod<std::int64_t>(in);
+  trace.t_end = read_pod<std::int64_t>(in);
+
+  const auto n_names = read_pod<std::uint64_t>(in);
+  if (n_names > (1u << 20)) throw std::runtime_error("trace_io: implausible node count");
+  trace.node_names.reserve(n_names);
+  for (std::uint64_t i = 0; i < n_names; ++i) trace.node_names.push_back(read_string(in));
+
+  const auto n_events = read_pod<std::uint64_t>(in);
+  if (n_events > (1ull << 32)) throw std::runtime_error("trace_io: implausible event count");
+  trace.events.reserve(n_events);
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    Event e;
+    e.type = static_cast<EventType>(read_pod<std::uint8_t>(in));
+    e.node = read_pod<std::int32_t>(in);
+    e.ts = read_pod<std::int64_t>(in);
+    e.item = read_pod<std::uint64_t>(in);
+    e.t = read_pod<std::int64_t>(in);
+    e.a = read_pod<std::int64_t>(in);
+    e.b = read_pod<std::int64_t>(in);
+    trace.events.push_back(e);
+  }
+
+  const auto n_items = read_pod<std::uint64_t>(in);
+  if (n_items > (1ull << 32)) throw std::runtime_error("trace_io: implausible item count");
+  trace.items.reserve(n_items);
+  for (std::uint64_t i = 0; i < n_items; ++i) {
+    ItemRecord rec;
+    rec.id = read_pod<std::uint64_t>(in);
+    rec.ts = read_pod<std::int64_t>(in);
+    rec.bytes = read_pod<std::int64_t>(in);
+    rec.producer = read_pod<std::int32_t>(in);
+    rec.cluster_node = read_pod<std::int32_t>(in);
+    rec.t_alloc = read_pod<std::int64_t>(in);
+    rec.produce_cost = read_pod<std::int64_t>(in);
+    const auto n_lineage = read_pod<std::uint32_t>(in);
+    if (n_lineage > (1u << 16)) throw std::runtime_error("trace_io: implausible lineage");
+    rec.lineage.reserve(n_lineage);
+    for (std::uint32_t j = 0; j < n_lineage; ++j) {
+      rec.lineage.push_back(read_pod<std::uint64_t>(in));
+    }
+    trace.items.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace_io: cannot open '" + path + "'");
+  return load_trace(in);
+}
+
+std::string format_event(const Trace& trace, const Event& event) {
+  std::ostringstream out;
+  out << static_cast<double>(event.t - trace.t_begin) / 1e6 << "ms " << to_string(event.type);
+  if (event.node >= 0) {
+    out << " node=";
+    if (static_cast<std::size_t>(event.node) < trace.node_names.size() &&
+        !trace.node_names[static_cast<std::size_t>(event.node)].empty()) {
+      out << trace.node_names[static_cast<std::size_t>(event.node)];
+    } else {
+      out << event.node;
+    }
+  }
+  if (event.ts >= 0) out << " ts=" << event.ts;
+  if (event.item != 0) out << " item=" << event.item;
+  if (event.a != 0) out << " a=" << event.a;
+  if (event.b != 0) out << " b=" << event.b;
+  return out.str();
+}
+
+}  // namespace stampede::stats

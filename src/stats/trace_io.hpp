@@ -1,0 +1,43 @@
+/// \file trace_io.hpp
+/// \brief Trace persistence: save a recorded run to disk and load it back
+///        for offline postmortem analysis.
+///
+/// The paper's methodology separates measurement from analysis: "A
+/// postmortem analysis program uses these statistics to derive the
+/// metrics of interest." Persisted traces make that split real — a run
+/// can be archived, re-analyzed with different options, or inspected with
+/// the trace_dump tool.
+///
+/// Format: a small versioned binary container (little-endian, fixed-width
+/// fields). Not interchange-grade — a reproducible local format with
+/// integrity checks on load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stats/events.hpp"
+
+namespace stampede::stats {
+
+/// Magic + version of the container format.
+inline constexpr std::uint32_t kTraceMagic = 0x53544D54;  // "STMT"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Serializes `trace` to `out`. Throws std::runtime_error on I/O failure.
+void save_trace(const Trace& trace, std::ostream& out);
+
+/// Serializes to a file path.
+void save_trace_file(const Trace& trace, const std::string& path);
+
+/// Deserializes a trace. Throws std::runtime_error on corrupt or
+/// version-mismatched input.
+Trace load_trace(std::istream& in);
+
+/// Deserializes from a file path.
+Trace load_trace_file(const std::string& path);
+
+/// Human-readable one-line rendering of an event (for trace_dump).
+std::string format_event(const Trace& trace, const Event& event);
+
+}  // namespace stampede::stats

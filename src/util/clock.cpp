@@ -1,0 +1,31 @@
+#include "util/clock.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace stampede {
+
+Nanos RealClock::now() const {
+  return std::chrono::duration_cast<Nanos>(
+      std::chrono::steady_clock::now().time_since_epoch());
+}
+
+void RealClock::sleep_for(Nanos d) {
+  if (d.count() <= 0) return;
+  std::this_thread::sleep_for(d);
+}
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+void ManualClock::set(Nanos t) {
+  const std::int64_t cur = now_ns_.load(std::memory_order_acquire);
+  if (t.count() < cur) {
+    throw std::invalid_argument("ManualClock::set: time must not move backwards");
+  }
+  now_ns_.store(t.count(), std::memory_order_release);
+}
+
+}  // namespace stampede

@@ -1,0 +1,79 @@
+/// \file clock.hpp
+/// \brief Clock abstraction: real steady clock for live runs, manual clock
+///        for deterministic unit tests.
+///
+/// The Stampede runtime measures *sustainable thread periods* (STP) and
+/// paces producers by sleeping; both operations go through this interface
+/// so the pure feedback logic can be tested without real threads or real
+/// time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/time.hpp"
+
+namespace stampede {
+
+/// Abstract monotonic clock.
+///
+/// Implementations must be thread-safe: `now()` and `sleep_for()` may be
+/// called concurrently from any number of threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current instant (nanoseconds since an arbitrary fixed epoch).
+  virtual Nanos now() const = 0;
+
+  /// Blocks the calling thread for (at least) `d`. Non-positive durations
+  /// return immediately.
+  virtual void sleep_for(Nanos d) = 0;
+
+  /// Blocks until `now() >= t`.
+  void sleep_until(Nanos t) {
+    const Nanos cur = now();
+    if (t > cur) sleep_for(t - cur);
+  }
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  Nanos now() const override;
+  void sleep_for(Nanos d) override;
+
+  /// Process-wide shared instance (clocks are stateless).
+  static RealClock& instance();
+};
+
+/// Deterministic, manually advanced clock for tests.
+///
+/// `sleep_for` simply advances the clock: a single-threaded test can step
+/// through feedback-control logic without real delays. When used from
+/// multiple threads the advance is atomic, but tests should prefer
+/// single-threaded deterministic stepping.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = Nanos{0}) : now_ns_(start.count()) {}
+
+  Nanos now() const override { return Nanos{now_ns_.load(std::memory_order_acquire)}; }
+
+  void sleep_for(Nanos d) override {
+    if (d.count() > 0) advance(d);
+  }
+
+  /// Moves time forward by `d` (no-op for non-positive durations).
+  void advance(Nanos d) {
+    if (d.count() > 0) now_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  /// Jumps directly to instant `t` (must not move backwards).
+  void set(Nanos t);
+
+ private:
+  std::atomic<std::int64_t> now_ns_;
+};
+
+}  // namespace stampede

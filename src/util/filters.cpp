@@ -1,0 +1,78 @@
+#include "util/filters.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace stampede {
+
+EmaFilter::EmaFilter(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("EmaFilter: alpha must be in (0, 1]");
+  }
+}
+
+double EmaFilter::push(double x) {
+  if (!primed_) {
+    primed_ = true;
+    value_ = x;
+  } else {
+    value_ += alpha_ * (x - value_);
+  }
+  return value_;
+}
+
+std::string EmaFilter::name() const { return "ema:" + std::to_string(alpha_); }
+
+MedianFilter::MedianFilter(std::size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("MedianFilter: window must be > 0");
+}
+
+double MedianFilter::push(double x) {
+  window_vals_.push_back(x);
+  if (window_vals_.size() > window_) window_vals_.pop_front();
+  std::vector<double> sorted(window_vals_.begin(), window_vals_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  value_ = (n % 2 == 1) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  return value_;
+}
+
+std::string MedianFilter::name() const { return "median:" + std::to_string(window_); }
+
+SlidingMeanFilter::SlidingMeanFilter(std::size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("SlidingMeanFilter: window must be > 0");
+}
+
+double SlidingMeanFilter::push(double x) {
+  window_vals_.push_back(x);
+  sum_ += x;
+  if (window_vals_.size() > window_) {
+    sum_ -= window_vals_.front();
+    window_vals_.pop_front();
+  }
+  value_ = sum_ / static_cast<double>(window_vals_.size());
+  return value_;
+}
+
+std::string SlidingMeanFilter::name() const { return "mean:" + std::to_string(window_); }
+
+std::unique_ptr<Filter> make_filter(const std::string& spec) {
+  if (spec.empty() || spec == "passthrough" || spec == "none") {
+    return std::make_unique<PassthroughFilter>();
+  }
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "ema") {
+    return std::make_unique<EmaFilter>(arg.empty() ? 0.25 : std::stod(arg));
+  }
+  if (kind == "median") {
+    return std::make_unique<MedianFilter>(arg.empty() ? 5 : std::stoul(arg));
+  }
+  if (kind == "mean") {
+    return std::make_unique<SlidingMeanFilter>(arg.empty() ? 5 : std::stoul(arg));
+  }
+  throw std::invalid_argument("make_filter: unknown filter spec '" + spec + "'");
+}
+
+}  // namespace stampede

@@ -1,0 +1,119 @@
+/// \file filters.hpp
+/// \brief Feedback-signal smoothing filters.
+///
+/// The paper (§3.3.2) observes that summary-STP feedback is noisy because
+/// OS scheduling perturbs per-iteration execution time, and names filters —
+/// as used by the Swift feedback toolbox [Pu et al.] — as the natural
+/// extension ("Filters to smooth summary-STP noise have currently not been
+/// implemented in ARU and is left for future work"). We implement that
+/// extension: a small filter family that can be attached to any node's
+/// outgoing summary-STP stream, plus an ablation bench comparing them.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace stampede {
+
+/// Online scalar filter: push raw samples, read the smoothed value.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// Feeds one raw sample, returns the filtered output.
+  virtual double push(double x) = 0;
+
+  /// Last filtered output (0 before the first push).
+  virtual double value() const = 0;
+
+  /// Resets to the initial (empty) state.
+  virtual void reset() = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Identity filter (the paper's published configuration: no smoothing).
+class PassthroughFilter final : public Filter {
+ public:
+  double push(double x) override { return value_ = x; }
+  double value() const override { return value_; }
+  void reset() override { value_ = 0.0; }
+  std::string name() const override { return "passthrough"; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Exponential moving average: y += alpha * (x - y).
+class EmaFilter final : public Filter {
+ public:
+  /// \param alpha smoothing factor in (0, 1]; 1 degenerates to passthrough.
+  explicit EmaFilter(double alpha);
+
+  double push(double x) override;
+  double value() const override { return value_; }
+  void reset() override {
+    primed_ = false;
+    value_ = 0.0;
+  }
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  bool primed_ = false;
+  double value_ = 0.0;
+};
+
+/// Sliding-window median — robust to the intermittent large/small spikes
+/// the paper describes.
+class MedianFilter final : public Filter {
+ public:
+  explicit MedianFilter(std::size_t window);
+
+  double push(double x) override;
+  double value() const override { return value_; }
+  void reset() override {
+    window_vals_.clear();
+    value_ = 0.0;
+  }
+  std::string name() const override;
+
+  std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> window_vals_;
+  double value_ = 0.0;
+};
+
+/// Sliding-window arithmetic mean.
+class SlidingMeanFilter final : public Filter {
+ public:
+  explicit SlidingMeanFilter(std::size_t window);
+
+  double push(double x) override;
+  double value() const override { return value_; }
+  void reset() override {
+    window_vals_.clear();
+    sum_ = 0.0;
+    value_ = 0.0;
+  }
+  std::string name() const override;
+
+ private:
+  std::size_t window_;
+  std::deque<double> window_vals_;
+  double sum_ = 0.0;
+  double value_ = 0.0;
+};
+
+/// Factory: "passthrough" | "ema:<alpha>" | "median:<window>" | "mean:<window>".
+std::unique_ptr<Filter> make_filter(const std::string& spec);
+
+}  // namespace stampede

@@ -1,0 +1,56 @@
+/// \file log.hpp
+/// \brief Minimal leveled logger.
+///
+/// Runtime-internal diagnostics only; experiment output goes through
+/// `stats::report` tables instead. Level is controlled programmatically or
+/// via the STAMPEDE_LOG environment variable (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace stampede {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace log_detail {
+LogLevel current_level();
+void set_level(LogLevel level);
+void write(LogLevel level, const std::string& msg);
+}  // namespace log_detail
+
+/// Sets the global log level.
+inline void set_log_level(LogLevel level) { log_detail::set_level(level); }
+
+/// True if messages at `level` would be emitted.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_detail::current_level());
+}
+
+/// Stream-style logging: LOG(kInfo) << "...";  Messages below the global
+/// level are formatted lazily (the macro short-circuits).
+#define STAMPEDE_LOG(level)                                      \
+  if (!::stampede::log_enabled(::stampede::LogLevel::level)) {   \
+  } else                                                         \
+    ::stampede::LogLine(::stampede::LogLevel::level)
+
+/// One log statement; flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_detail::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace stampede

@@ -1,0 +1,56 @@
+#include "util/options.hpp"
+
+#include <stdexcept>
+
+namespace stampede {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      opts.kv_[arg] = "true";
+    } else if (eq == 0) {
+      throw std::invalid_argument("Options: malformed argument '" + arg + "'");
+    } else {
+      opts.kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return opts;
+}
+
+std::string Options::get_string(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::stod(it->second);
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Options: non-boolean value for '" + key + "': " + v);
+}
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, _] : kv_) out.push_back(k);
+  return out;
+}
+
+}  // namespace stampede

@@ -1,0 +1,42 @@
+/// \file options.hpp
+/// \brief Tiny `key=value` command-line option parser for bench/example
+///        binaries (no external dependency).
+///
+/// Usage:   table_fig6 frames=600 seed=7 csv=out.csv
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stampede {
+
+/// Parsed `key=value` arguments with typed getters and defaults.
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv[1..argc); each argument must be `key=value` (a bare token
+  /// is treated as `token=true`). Throws std::invalid_argument on
+  /// malformed input.
+  static Options parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// All keys, for help/diagnostic output.
+  std::vector<std::string> keys() const;
+
+  /// Inserts/overrides a value programmatically.
+  void set(const std::string& key, const std::string& value) { kv_[key] = value; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace stampede

@@ -1,0 +1,91 @@
+/// \file rng.hpp
+/// \brief Small deterministic PRNGs used by workload generators.
+///
+/// Experiments must be reproducible run-to-run, so every randomized
+/// component (scene generation, compute-cost jitter, noise injection)
+/// derives its stream from an explicit seed instead of std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace stampede {
+
+/// SplitMix64: tiny, fast generator; also used to seed Xoshiro streams.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the workhorse generator for synthetic workloads.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) for n > 0.
+  constexpr std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Approximate standard normal via sum of 12 uniforms (Irwin–Hall);
+  /// adequate for workload jitter, avoids <cmath> in constexpr contexts.
+  constexpr double gaussian() {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform();
+    return acc - 6.0;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace stampede

@@ -1,0 +1,36 @@
+#include "util/spin.hpp"
+
+namespace stampede {
+
+namespace {
+// Volatile sink so mix_work's result is always observable.
+volatile std::uint64_t g_sink = 0;
+}  // namespace
+
+std::uint64_t mix_work(std::uint64_t seed, std::uint64_t iters) {
+  std::uint64_t x = seed | 1;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x += 0x9E3779B97F4A7C15ULL;
+  }
+  return x;
+}
+
+void busy_spin_for(Clock& clock, Nanos d) {
+  if (d.count() <= 0) return;
+  // ManualClock: sleep_for advances virtual time; real clock: poll-and-mix.
+  if (auto* manual = dynamic_cast<ManualClock*>(&clock)) {
+    manual->advance(d);
+    return;
+  }
+  const Nanos deadline = clock.now() + d;
+  std::uint64_t x = static_cast<std::uint64_t>(d.count());
+  while (clock.now() < deadline) {
+    x = mix_work(x, 64);  // ~sub-microsecond granule between clock polls
+  }
+  g_sink = x;
+}
+
+}  // namespace stampede

@@ -1,0 +1,30 @@
+/// \file spin.hpp
+/// \brief Calibrated busy-work used to emulate data-dependent compute cost.
+///
+/// The people-tracker stages in the paper burn real CPU; our synthetic
+/// reproduction runs genuine pixel kernels and then pads each stage to a
+/// configured cost with `busy_spin_for`, which *actively consumes CPU*
+/// (unlike sleeping) so the OS-scheduling noise the paper discusses in
+/// §3.3.2 is present in our runs too.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.hpp"
+#include "util/time.hpp"
+
+namespace stampede {
+
+/// Burns CPU for approximately `d` measured on `clock`.
+///
+/// With a `ManualClock` this returns immediately after advancing the clock,
+/// keeping deterministic tests fast.
+void busy_spin_for(Clock& clock, Nanos d);
+
+/// Pure arithmetic kernel: `iters` rounds of integer mixing. Returns a
+/// value that must be consumed (prevents the optimizer from deleting the
+/// work). Used by micro-benchmarks that need fixed work independent of a
+/// clock.
+std::uint64_t mix_work(std::uint64_t seed, std::uint64_t iters);
+
+}  // namespace stampede

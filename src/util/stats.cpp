@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stampede {
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ += delta * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void TimeWeightedStats::accumulate_until(std::int64_t t) {
+  const double dt = static_cast<double>(t - last_t_);
+  if (dt > 0) {
+    weighted_sum_ += cur_value_ * dt;
+    weighted_sqsum_ += cur_value_ * cur_value_ * dt;
+  }
+  last_t_ = t;
+}
+
+void TimeWeightedStats::sample(std::int64_t t, double value) {
+  if (finished_) throw std::logic_error("TimeWeightedStats: sample after finish");
+  if (!have_first_) {
+    have_first_ = true;
+    first_t_ = t;
+    last_t_ = t;
+  } else {
+    if (t < last_t_) throw std::invalid_argument("TimeWeightedStats: time went backwards");
+    accumulate_until(t);
+  }
+  cur_value_ = value;
+  peak_ = std::max(peak_, value);
+}
+
+void TimeWeightedStats::finish(std::int64_t t_end) {
+  if (finished_) return;
+  if (have_first_) {
+    if (t_end < last_t_) throw std::invalid_argument("TimeWeightedStats: finish before last sample");
+    accumulate_until(t_end);
+  }
+  finished_ = true;
+}
+
+double TimeWeightedStats::mean() const {
+  const double s = static_cast<double>(span());
+  return s > 0 ? weighted_sum_ / s : cur_value_;
+}
+
+double TimeWeightedStats::stddev() const {
+  const double s = static_cast<double>(span());
+  if (s <= 0) return 0.0;
+  const double m = weighted_sum_ / s;
+  const double var = weighted_sqsum_ / s - m * m;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace stampede

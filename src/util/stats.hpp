@@ -1,0 +1,90 @@
+/// \file stats.hpp
+/// \brief Streaming and time-weighted statistics used by the measurement
+///        infrastructure.
+///
+/// `TimeWeightedStats` implements exactly the paper's §4 memory-footprint
+/// formulas:
+///   MU_mean  = Σ( MU_{t_{i+1}} · (t_{i+1} − t_i) ) / (t_N − t_0)
+///   MU_sigma = sqrt( Σ( (MU_mean − MU_{t_{i+1}})² · (t_{i+1} − t_i) ) / (t_N − t_0) )
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace stampede {
+
+/// Welford online mean/variance plus min/max over a stream of doubles.
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (σ², divides by n), matching the paper's σ usage.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted mean and standard deviation of a right-continuous step
+/// function (e.g. bytes-in-use over time).
+///
+/// Feed `(t_i, value-from-t_i-onwards)` samples in non-decreasing time
+/// order, then `finish(t_end)` to close the last interval.
+class TimeWeightedStats {
+ public:
+  /// Records that the tracked quantity equals `value` starting at time `t`
+  /// (nanoseconds). `t` must be >= the previous sample's time.
+  void sample(std::int64_t t, double value);
+
+  /// Closes the final interval at `t_end` and freezes the accumulator.
+  void finish(std::int64_t t_end);
+
+  bool finished() const { return finished_; }
+  /// Time-weighted mean over [t_0, t_end].
+  double mean() const;
+  /// Time-weighted population standard deviation.
+  double stddev() const;
+  /// Peak value observed.
+  double peak() const { return peak_; }
+  /// Total observation span in nanoseconds.
+  std::int64_t span() const { return have_first_ ? last_t_ - first_t_ : 0; }
+
+ private:
+  void accumulate_until(std::int64_t t);
+
+  bool have_first_ = false;
+  bool finished_ = false;
+  std::int64_t first_t_ = 0;
+  std::int64_t last_t_ = 0;
+  double cur_value_ = 0.0;
+  double peak_ = 0.0;
+  double weighted_sum_ = 0.0;    // Σ value·dt
+  double weighted_sqsum_ = 0.0;  // Σ value²·dt
+};
+
+/// Percentile over a sample vector (nearest-rank). `p` in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace stampede

@@ -1,0 +1,113 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace stampede {
+
+void Table::set_header(std::vector<std::string> header) {
+  if (!rows_.empty()) throw std::logic_error("Table: set_header after add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    out << '+';
+    for (const std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  emit_rule();
+  if (!header_.empty()) {
+    emit_row(header_);
+    emit_rule();
+  }
+  for (const auto& r : rows_) emit_row(r);
+  emit_rule();
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::string cell = row[i];
+      std::replace(cell.begin(), cell.end(), ',', ';');
+      out << cell;
+      if (i + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string ascii_chart(const std::vector<double>& values, std::size_t width,
+                        std::size_t height, double y_max) {
+  if (values.empty() || width == 0 || height == 0) return "(empty series)\n";
+
+  // Bucket the series into `width` columns (mean per bucket).
+  std::vector<double> cols(std::min(width, values.size()), 0.0);
+  const double per = static_cast<double>(values.size()) / static_cast<double>(cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto lo = static_cast<std::size_t>(per * static_cast<double>(c));
+    auto hi = static_cast<std::size_t>(per * static_cast<double>(c + 1));
+    hi = std::max(hi, lo + 1);
+    hi = std::min(hi, values.size());
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += values[i];
+    cols[c] = sum / static_cast<double>(hi - lo);
+  }
+
+  double top = y_max;
+  if (top <= 0.0) top = *std::max_element(cols.begin(), cols.end());
+  if (top <= 0.0) top = 1.0;
+
+  std::ostringstream out;
+  for (std::size_t row = height; row > 0; --row) {
+    const double threshold = top * (static_cast<double>(row) - 0.5) / static_cast<double>(height);
+    out << (row == height ? '^' : '|');
+    for (const double v : cols) out << (v >= threshold ? '#' : ' ');
+    out << '\n';
+  }
+  out << '+' << std::string(cols.size(), '-') << "> (max=" << Table::num(top, 2) << ")\n";
+  return out.str();
+}
+
+}  // namespace stampede

@@ -1,0 +1,52 @@
+/// \file table.hpp
+/// \brief ASCII table / CSV rendering for benchmark reports.
+///
+/// The paper's evaluation artifacts are tables (Figures 6, 7, 10) and
+/// footprint-vs-time plots (Figures 8, 9). Bench binaries render both as
+/// aligned ASCII tables (stdout) and CSV (optional file) so results are
+/// both human-readable and machine-comparable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stampede {
+
+/// Column-aligned text table with a title, a header row, and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; its width must match the header's.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` decimal digits.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the aligned ASCII table.
+  std::string to_ascii() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed for
+  /// our numeric content; commas in cells are replaced by ';').
+  std::string to_csv() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders `values` as a fixed-height ASCII sparkline chart (for the
+/// Fig. 8/9 footprint-over-time series). `width` columns are produced by
+/// bucketing the series; `height` rows of block characters follow.
+std::string ascii_chart(const std::vector<double>& values, std::size_t width,
+                        std::size_t height, double y_max = 0.0);
+
+}  // namespace stampede

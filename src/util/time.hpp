@@ -1,0 +1,39 @@
+/// \file time.hpp
+/// \brief Common time representation used across the runtime.
+///
+/// All runtime-facing times are expressed as signed nanosecond counts
+/// (`Nanos`). Using a plain integral duration (instead of a clock-specific
+/// `time_point`) lets the same code run against the real steady clock and
+/// against the deterministic `ManualClock` used in unit tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace stampede {
+
+/// Nanosecond duration / instant since an arbitrary epoch.
+using Nanos = std::chrono::nanoseconds;
+
+/// Convenience literals-free constructors.
+constexpr Nanos nanos(std::int64_t n) { return Nanos{n}; }
+constexpr Nanos micros(std::int64_t us) { return Nanos{us * 1000}; }
+constexpr Nanos millis(std::int64_t ms) { return Nanos{ms * 1'000'000}; }
+constexpr Nanos seconds(std::int64_t s) { return Nanos{s * 1'000'000'000}; }
+
+/// Conversion helpers for reporting.
+constexpr double to_seconds(Nanos d) { return static_cast<double>(d.count()) / 1e9; }
+constexpr double to_millis(Nanos d) { return static_cast<double>(d.count()) / 1e6; }
+constexpr double to_micros(Nanos d) { return static_cast<double>(d.count()) / 1e3; }
+
+/// Builds a Nanos from a (possibly fractional) millisecond count.
+constexpr Nanos from_millis(double ms) {
+  return Nanos{static_cast<std::int64_t>(ms * 1e6)};
+}
+
+/// Builds a Nanos from a (possibly fractional) second count.
+constexpr Nanos from_seconds(double s) {
+  return Nanos{static_cast<std::int64_t>(s * 1e9)};
+}
+
+}  // namespace stampede

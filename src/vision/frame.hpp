@@ -1,0 +1,107 @@
+/// \file frame.hpp
+/// \brief Synthetic video frames and the scene generator — the substitute
+///        for the paper's live camera feed (DESIGN.md §2).
+///
+/// Frames are interpreted views over item payload bytes. Dimensions match
+/// the paper's reported item sizes exactly: 640×384 RGB = 737 280 B
+/// ("Digitizer 738 kB"), 640×384×1 = 245 760 B ("Background 246 kB").
+///
+/// The scene is a noisy gray background with two moving colored blobs
+/// (the two "people" tracked by the two color models). Generation is
+/// fully deterministic given (seed, frame index), so every experiment is
+/// reproducible and both pipeline configurations see identical input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace stampede::vision {
+
+inline constexpr int kWidth = 640;
+inline constexpr int kHeight = 384;
+inline constexpr std::size_t kFrameBytes = static_cast<std::size_t>(kWidth) * kHeight * 3;
+inline constexpr std::size_t kMaskBytes = static_cast<std::size_t>(kWidth) * kHeight;
+
+/// Default pixel stride for kernels and generation: only every Nth pixel
+/// in every Nth row is touched, keeping real CPU work small relative to
+/// the emulated stage costs while still exercising genuine pixel code.
+inline constexpr int kDefaultStride = 8;
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+/// Mutable RGB frame view over a payload buffer (no ownership).
+class FrameView {
+ public:
+  FrameView(std::span<std::byte> data, int width = kWidth, int height = kHeight);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Rgb get(int x, int y) const;
+  void set(int x, int y, Rgb c);
+
+  /// Grayscale intensity of a pixel (0-255).
+  int luminance(int x, int y) const;
+
+ private:
+  std::span<std::byte> data_;
+  int width_;
+  int height_;
+};
+
+/// Read-only frame view.
+class ConstFrameView {
+ public:
+  ConstFrameView(std::span<const std::byte> data, int width = kWidth, int height = kHeight);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  Rgb get(int x, int y) const;
+  int luminance(int x, int y) const;
+
+ private:
+  std::span<const std::byte> data_;
+  int width_;
+  int height_;
+};
+
+/// One tracked blob ("person") with a distinctive color.
+struct Blob {
+  Rgb color;
+  double radius = 28.0;
+  /// Center position for a given frame index (smooth deterministic path).
+  double cx = 0.0, cy = 0.0;
+};
+
+/// Ground-truth scene state at one frame index.
+struct Scene {
+  Blob blobs[2];
+};
+
+/// Deterministic synthetic scene/frame source.
+class SceneGenerator {
+ public:
+  explicit SceneGenerator(std::uint64_t seed);
+
+  /// Ground truth for frame `index` (used by tests to validate detection).
+  Scene scene_at(std::int64_t index) const;
+
+  /// Renders frame `index` into `data` (size >= kFrameBytes). Touches
+  /// every `stride`-th pixel of every `stride`-th row; untouched bytes are
+  /// left as-is (zero for fresh payloads).
+  void render(std::int64_t index, std::span<std::byte> data, int stride = kDefaultStride) const;
+
+  /// The two color models the target-detection stages search for.
+  Rgb model_color(int model) const;
+
+ private:
+  std::uint64_t seed_;
+  Rgb colors_[2];
+};
+
+}  // namespace stampede::vision

@@ -1,0 +1,72 @@
+#include "vision/image_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace stampede::vision {
+
+void write_ppm(const std::string& path, ConstFrameView frame) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open '" + path + "'");
+  out << "P6\n" << frame.width() << ' ' << frame.height() << "\n255\n";
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      const Rgb c = frame.get(x, y);
+      const char px[3] = {static_cast<char>(c.r), static_cast<char>(c.g),
+                          static_cast<char>(c.b)};
+      out.write(px, 3);
+    }
+  }
+  if (!out) throw std::runtime_error("write_ppm: write failed for '" + path + "'");
+}
+
+void write_pgm(const std::string& path, std::span<const std::byte> mask, int width,
+               int height) {
+  if (mask.size() < static_cast<std::size_t>(width) * static_cast<std::size_t>(height)) {
+    throw std::invalid_argument("write_pgm: mask buffer too small");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open '" + path + "'");
+  out << "P5\n" << width << ' ' << height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(mask.data()),
+            static_cast<std::streamsize>(width) * height);
+  if (!out) throw std::runtime_error("write_pgm: write failed for '" + path + "'");
+}
+
+void draw_marker(FrameView frame, int cx, int cy, Rgb color, int arm) {
+  for (int d = -arm; d <= arm; ++d) {
+    const int x = cx + d;
+    const int y = cy + d;
+    if (x >= 0 && x < frame.width() && cy >= 0 && cy < frame.height()) {
+      frame.set(x, cy, color);
+    }
+    if (cx >= 0 && cx < frame.width() && y >= 0 && y < frame.height()) {
+      frame.set(cx, y, color);
+    }
+  }
+}
+
+void overlay_detection(FrameView frame, const LocationRecord& rec) {
+  if (rec.found != 0) {
+    draw_marker(frame, static_cast<int>(rec.x), static_cast<int>(rec.y),
+                Rgb{255, 255, 0});
+  }
+  draw_marker(frame, static_cast<int>(rec.truth_x), static_cast<int>(rec.truth_y),
+              Rgb{0, 255, 0}, 5);
+}
+
+bool read_ppm(const std::string& path, std::vector<std::byte>& data, int& width,
+              int& height) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string magic;
+  int maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  if (magic != "P6" || width <= 0 || height <= 0 || maxval != 255) return false;
+  in.get();  // single whitespace after header
+  data.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * 3);
+  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(in);
+}
+
+}  // namespace stampede::vision

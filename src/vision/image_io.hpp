@@ -1,0 +1,38 @@
+/// \file image_io.hpp
+/// \brief PPM/PGM image output for frames, masks and detection overlays.
+///
+/// Debugging aid for the synthetic vision substrate: dump any frame, a
+/// motion mask, or a frame with detection/ground-truth markers to NetPBM
+/// files viewable anywhere. Used by the `dump_frames` example and the
+/// vision tests' failure diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vision/frame.hpp"
+#include "vision/records.hpp"
+
+namespace stampede::vision {
+
+/// Writes an RGB frame as binary PPM (P6). Throws std::runtime_error on
+/// I/O failure.
+void write_ppm(const std::string& path, ConstFrameView frame);
+
+/// Writes a single-channel mask as binary PGM (P5).
+void write_pgm(const std::string& path, std::span<const std::byte> mask,
+               int width = kWidth, int height = kHeight);
+
+/// Draws a cross marker (no clipping issues: silently clipped at edges).
+void draw_marker(FrameView frame, int cx, int cy, Rgb color, int arm = 9);
+
+/// Draws detection (solid cross) and ground truth (outlined cross) for a
+/// location record onto `frame`.
+void overlay_detection(FrameView frame, const LocationRecord& rec);
+
+/// Reads back a PPM written by write_ppm (tests); returns false when the
+/// file is missing or malformed.
+bool read_ppm(const std::string& path, std::vector<std::byte>& data, int& width,
+              int& height);
+
+}  // namespace stampede::vision

@@ -1,0 +1,237 @@
+#include "vision/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace stampede::vision {
+
+int frame_difference(ConstFrameView cur, ConstFrameView prev, std::span<std::byte> mask_out,
+                     int threshold, int stride) {
+  if (mask_out.size() < kMaskBytes) {
+    throw std::invalid_argument("frame_difference: mask buffer too small");
+  }
+  int moving = 0;
+  for (int y = 0; y < cur.height(); y += stride) {
+    for (int x = 0; x < cur.width(); x += stride) {
+      const int d = std::abs(cur.luminance(x, y) - prev.luminance(x, y));
+      const bool on = d > threshold;
+      mask_out[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)] =
+          std::byte{static_cast<unsigned char>(on ? 255 : 0)};
+      moving += on ? 1 : 0;
+    }
+  }
+  return moving;
+}
+
+void color_histogram(ConstFrameView frame, std::span<std::byte> histogram_payload,
+                     int stride) {
+  HistogramView hist(histogram_payload);
+  auto bins = hist.bins();
+  std::fill(bins.begin(), bins.end(), 0.0f);
+
+  int samples = 0;
+  for (int y = 0; y < frame.height(); y += stride) {
+    for (int x = 0; x < frame.width(); x += stride) {
+      bins[static_cast<std::size_t>(hist_bin(frame.get(x, y)))] += 1.0f;
+      ++samples;
+    }
+  }
+  if (samples > 0) {
+    for (float& b : bins) b /= static_cast<float>(samples);
+  }
+
+  // Backprojection: per-pixel bin frequency, scaled to a byte.
+  auto bp = hist.backprojection();
+  for (int y = 0; y < frame.height(); y += stride) {
+    for (int x = 0; x < frame.width(); x += stride) {
+      const float f = bins[static_cast<std::size_t>(hist_bin(frame.get(x, y)))];
+      bp[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)] =
+          std::byte{static_cast<unsigned char>(std::min(255.0f, f * 2550.0f))};
+    }
+  }
+}
+
+LocationRecord detect_target(ConstFrameView frame, std::span<const std::byte> mask,
+                             ConstHistogramView histogram, Rgb model, int model_index,
+                             int stride) {
+  const bool use_mask = mask.size() >= kMaskBytes;
+  const auto bins = histogram.bins();
+
+  double wsum = 0.0, xsum = 0.0, ysum = 0.0;
+  int considered = 0;
+  for (int y = 0; y < frame.height(); y += stride) {
+    for (int x = 0; x < frame.width(); x += stride) {
+      if (use_mask) {
+        const auto m = static_cast<unsigned char>(
+            mask[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)]);
+        if (m == 0) continue;
+      }
+      ++considered;
+      const Rgb c = frame.get(x, y);
+      const double dr = static_cast<double>(c.r) - model.r;
+      const double dg = static_cast<double>(c.g) - model.g;
+      const double db = static_cast<double>(c.b) - model.b;
+      const double dist2 = dr * dr + dg * dg + db * db;
+      // Gaussian-ish color similarity.
+      double w = std::exp(-dist2 / (2.0 * 40.0 * 40.0));
+      // Discount colors that are globally common (background): rarity from
+      // the frame histogram.
+      const float freq = bins[static_cast<std::size_t>(hist_bin(c))];
+      w *= 1.0 / (1.0 + 50.0 * static_cast<double>(freq));
+      if (w < 1e-4) continue;
+      wsum += w;
+      xsum += w * x;
+      ysum += w * y;
+    }
+  }
+
+  LocationRecord rec;
+  rec.model = model_index;
+  if (wsum > 0.05 && considered > 0) {
+    rec.found = 1;
+    rec.x = xsum / wsum;
+    rec.y = ysum / wsum;
+    rec.confidence = std::min(1.0, wsum / static_cast<double>(considered));
+  }
+  return rec;
+}
+
+MeanShiftResult mean_shift_track(ConstFrameView frame, Rgb model, double start_x,
+                                 double start_y, double window_radius, int max_iters,
+                                 int stride) {
+  if (window_radius <= 0 || max_iters <= 0 || stride <= 0) {
+    throw std::invalid_argument("mean_shift_track: bad parameters");
+  }
+  MeanShiftResult result;
+  result.x = start_x;
+  result.y = start_y;
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    ++result.iterations;
+    const int x_lo = std::max(0, static_cast<int>(result.x - window_radius));
+    const int x_hi = std::min(frame.width() - 1, static_cast<int>(result.x + window_radius));
+    const int y_lo = std::max(0, static_cast<int>(result.y - window_radius));
+    const int y_hi = std::min(frame.height() - 1, static_cast<int>(result.y + window_radius));
+
+    double wsum = 0, xsum = 0, ysum = 0;
+    // Scan the window on the stride grid.
+    for (int y = (y_lo / stride) * stride; y <= y_hi; y += stride) {
+      if (y < y_lo) continue;
+      for (int x = (x_lo / stride) * stride; x <= x_hi; x += stride) {
+        if (x < x_lo) continue;
+        const double ddx = x - result.x;
+        const double ddy = y - result.y;
+        if (ddx * ddx + ddy * ddy > window_radius * window_radius) continue;
+        const Rgb c = frame.get(x, y);
+        const double dr = static_cast<double>(c.r) - model.r;
+        const double dg = static_cast<double>(c.g) - model.g;
+        const double db = static_cast<double>(c.b) - model.b;
+        const double w = std::exp(-(dr * dr + dg * dg + db * db) / (2.0 * 40.0 * 40.0));
+        if (w < 1e-4) continue;
+        wsum += w;
+        xsum += w * x;
+        ysum += w * y;
+      }
+    }
+    if (wsum < 1e-6) return result;  // lost: no mass in the window
+
+    const double nx = xsum / wsum;
+    const double ny = ysum / wsum;
+    const double shift = std::hypot(nx - result.x, ny - result.y);
+    result.x = nx;
+    result.y = ny;
+    result.mass = wsum;
+    if (shift < static_cast<double>(stride) / 2.0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<Blob8> connected_components(std::span<const std::byte> mask, int stride,
+                                        int min_pixels) {
+  if (stride <= 0) throw std::invalid_argument("connected_components: bad stride");
+  if (mask.size() < kMaskBytes) {
+    throw std::invalid_argument("connected_components: mask buffer too small");
+  }
+  const int gw = (kWidth + stride - 1) / stride;
+  const int gh = (kHeight + stride - 1) / stride;
+
+  // Union-find over the stride grid.
+  std::vector<int> parent(static_cast<std::size_t>(gw) * gh);
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  auto find = [&](int a) {
+    while (parent[static_cast<std::size_t>(a)] != a) {
+      parent[static_cast<std::size_t>(a)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(a)])];
+      a = parent[static_cast<std::size_t>(a)];
+    }
+    return a;
+  };
+  auto unite = [&](int a, int b) { parent[static_cast<std::size_t>(find(a))] = find(b); };
+
+  auto set_at = [&](int gx, int gy) {
+    const std::size_t off = static_cast<std::size_t>(gy * stride) * kWidth +
+                            static_cast<std::size_t>(gx * stride);
+    return static_cast<unsigned char>(mask[off]) != 0;
+  };
+
+  for (int gy = 0; gy < gh; ++gy) {
+    for (int gx = 0; gx < gw; ++gx) {
+      if (!set_at(gx, gy)) continue;
+      const int me = gy * gw + gx;
+      // 8-connectivity to already-visited neighbours.
+      for (const auto [dx, dy] :
+           {std::pair{-1, 0}, std::pair{-1, -1}, std::pair{0, -1}, std::pair{1, -1}}) {
+        const int nx = gx + dx;
+        const int ny = gy + dy;
+        if (nx < 0 || nx >= gw || ny < 0) continue;
+        if (set_at(nx, ny)) unite(me, ny * gw + nx);
+      }
+    }
+  }
+
+  // Accumulate per-root statistics.
+  struct Acc {
+    int pixels = 0;
+    double sx = 0, sy = 0;
+    int min_x = kWidth, min_y = kHeight, max_x = 0, max_y = 0;
+  };
+  std::unordered_map<int, Acc> accs;
+  for (int gy = 0; gy < gh; ++gy) {
+    for (int gx = 0; gx < gw; ++gx) {
+      if (!set_at(gx, gy)) continue;
+      Acc& a = accs[find(gy * gw + gx)];
+      const int px = gx * stride;
+      const int py = gy * stride;
+      ++a.pixels;
+      a.sx += px;
+      a.sy += py;
+      a.min_x = std::min(a.min_x, px);
+      a.min_y = std::min(a.min_y, py);
+      a.max_x = std::max(a.max_x, px);
+      a.max_y = std::max(a.max_y, py);
+    }
+  }
+
+  std::vector<Blob8> blobs;
+  for (const auto& [root, a] : accs) {
+    if (a.pixels < min_pixels) continue;
+    blobs.push_back(Blob8{.pixels = a.pixels,
+                          .cx = a.sx / a.pixels,
+                          .cy = a.sy / a.pixels,
+                          .min_x = a.min_x,
+                          .min_y = a.min_y,
+                          .max_x = a.max_x,
+                          .max_y = a.max_y});
+  }
+  std::sort(blobs.begin(), blobs.end(),
+            [](const Blob8& a, const Blob8& b) { return a.pixels > b.pixels; });
+  return blobs;
+}
+
+}  // namespace stampede::vision

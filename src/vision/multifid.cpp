@@ -1,0 +1,170 @@
+#include "vision/multifid.hpp"
+
+#include <vector>
+
+#include "vision/kernels.hpp"
+#include "vision/records.hpp"
+
+namespace stampede::vision {
+
+namespace {
+
+/// Low-fi record: the 68-byte location record reusing LocationRecord.
+TaskBody make_lowfi(std::shared_ptr<SceneGenerator> gen, const MultiFidOptions& opts,
+                    std::shared_ptr<MultiFidHandles::Counters> counters) {
+  return [gen, opts, counters](TaskContext& ctx) {
+    auto frame = ctx.get(0);
+    if (!frame) return TaskStatus::kDone;
+
+    const Nanos t0 = ctx.now();
+    // Cheap full-frame scan: color centroid at coarse stride, no mask.
+    std::vector<std::byte> no_mask;
+    std::vector<std::byte> hist_payload(kHistogramBytes);
+    color_histogram(ConstFrameView(frame->data()), hist_payload, opts.lowfi_stride);
+    LocationRecord rec = detect_target(ConstFrameView(frame->data()), no_mask,
+                                       ConstHistogramView(hist_payload),
+                                       gen->model_color(0), 0, opts.lowfi_stride);
+    rec.frame_ts = frame->ts();
+    ctx.account_compute(ctx.now() - t0);
+    ctx.compute(opts.lowfi_cost);
+
+    auto out = ctx.make_item(frame->ts(), kLocationBytes, {frame->id()});
+    write_location(out->mutable_data(), rec);
+    ctx.put(0, out);
+    counters->lowfi_scans.fetch_add(1, std::memory_order_relaxed);
+    return TaskStatus::kContinue;
+  };
+}
+
+TaskBody make_decision(const MultiFidOptions& opts,
+                       std::shared_ptr<MultiFidHandles::Counters> counters) {
+  return [opts, counters](TaskContext& ctx) {
+    auto lowfi = ctx.get(0);
+    if (!lowfi) return TaskStatus::kDone;
+    const LocationRecord rec = read_location(lowfi->data());
+    ctx.compute(opts.decision_cost);
+
+    // Issue a decision record only for interesting frames.
+    if (rec.found != 0 && rec.confidence > opts.interest_threshold) {
+      auto decision = ctx.make_item(lowfi->ts(), kLocationBytes, {lowfi->id()});
+      write_location(decision->mutable_data(), rec);
+      ctx.put(0, decision);
+      counters->decisions_issued.fetch_add(1, std::memory_order_relaxed);
+    }
+    return TaskStatus::kContinue;
+  };
+}
+
+TaskBody make_highfi(std::shared_ptr<SceneGenerator> gen, const MultiFidOptions& opts,
+                     std::shared_ptr<MultiFidHandles::Counters> counters) {
+  return [gen, opts, counters](TaskContext& ctx) {
+    auto decision = ctx.get(0);  // queue input: exactly-once
+    if (!decision) return TaskStatus::kDone;
+    const LocationRecord hint = read_location(decision->data());
+
+    // Re-fetch the referenced frame by timestamp (random access). It may
+    // already be collected if the high-fi stage lags far behind — then
+    // the decision is stale and skipped.
+    auto frame = ctx.get_at(1, hint.frame_ts);
+    // Decisions arrive in timestamp order (FIFO queue), so frames below
+    // this decision's timestamp will never be requested again.
+    ctx.release_until(1, hint.frame_ts);
+    if (!frame) {
+      counters->highfi_frame_missing.fetch_add(1, std::memory_order_relaxed);
+      return TaskStatus::kContinue;
+    }
+
+    const Nanos t0 = ctx.now();
+    std::vector<std::byte> hist_payload(kHistogramBytes);
+    color_histogram(ConstFrameView(frame->data()), hist_payload, opts.highfi_stride);
+    std::vector<std::byte> no_mask;
+    LocationRecord rec = detect_target(ConstFrameView(frame->data()), no_mask,
+                                       ConstHistogramView(hist_payload),
+                                       gen->model_color(0), 0, opts.highfi_stride);
+    rec.frame_ts = frame->ts();
+    const Scene truth = gen->scene_at(frame->ts());
+    rec.truth_x = truth.blobs[0].cx;
+    rec.truth_y = truth.blobs[0].cy;
+    ctx.account_compute(ctx.now() - t0);
+    ctx.compute(opts.highfi_cost);
+
+    auto out = ctx.make_item(frame->ts(), kLocationBytes,
+                             {decision->id(), frame->id()});
+    write_location(out->mutable_data(), rec);
+    ctx.put(0, out);
+    counters->highfi_runs.fetch_add(1, std::memory_order_relaxed);
+    return TaskStatus::kContinue;
+  };
+}
+
+TaskBody make_fig1_gui(const MultiFidOptions& opts) {
+  return [opts](TaskContext& ctx) {
+    auto result = ctx.get(0);
+    if (!result) return TaskStatus::kDone;
+    ctx.compute(opts.gui_cost);
+    ctx.emit(*result);
+    ctx.display(result->ts());
+    return TaskStatus::kContinue;
+  };
+}
+
+TaskBody make_fig1_digitizer(std::shared_ptr<SceneGenerator> gen,
+                             const MultiFidOptions& opts) {
+  auto next_ts = std::make_shared<Timestamp>(0);
+  return [gen, opts, next_ts](TaskContext& ctx) {
+    const Timestamp ts = (*next_ts)++;
+    auto frame = ctx.make_item(ts, kFrameBytes, {});
+    const Nanos t0 = ctx.now();
+    gen->render(ts, frame->mutable_data(), opts.highfi_stride);
+    ctx.account_compute(ctx.now() - t0);
+    ctx.compute(opts.digitizer_cost);
+    ctx.put(0, frame);
+    return TaskStatus::kContinue;
+  };
+}
+
+}  // namespace
+
+MultiFidHandles build_multifid(Runtime& rt, const MultiFidOptions& opts) {
+  auto gen = std::make_shared<SceneGenerator>(opts.seed);
+  MultiFidHandles handles;
+  handles.counters = std::make_shared<MultiFidHandles::Counters>();
+
+  Channel& frames = rt.add_channel({.name = "frames"});
+  Channel& lowfi_records = rt.add_channel({.name = "lowfi-records"});
+  Queue& decisions = rt.add_queue({.name = "decisions"});
+  Channel& highfi_records = rt.add_channel({.name = "highfi-records"});
+
+  TaskContext& dig =
+      rt.add_task({.name = "digitizer", .body = make_fig1_digitizer(gen, opts)});
+  TaskContext& lowfi =
+      rt.add_task({.name = "lowfi-tracker", .body = make_lowfi(gen, opts, handles.counters)});
+  TaskContext& decision =
+      rt.add_task({.name = "decision", .body = make_decision(opts, handles.counters)});
+  TaskContext& highfi =
+      rt.add_task({.name = "highfi-tracker", .body = make_highfi(gen, opts, handles.counters)});
+  TaskContext& gui = rt.add_task({.name = "gui", .body = make_fig1_gui(opts)});
+
+  rt.connect(dig, frames);
+  rt.connect(frames, lowfi);
+  rt.connect(lowfi, lowfi_records);
+  rt.connect(lowfi_records, decision);
+  rt.connect(decision, decisions);
+  rt.connect(decisions, highfi);   // input 0: decision queue
+  rt.connect(frames, highfi);      // input 1: frame re-fetch via get_at
+  rt.connect(highfi, highfi_records);
+  rt.connect(highfi_records, gui);
+
+  handles.digitizer = dig.id();
+  handles.lowfi = lowfi.id();
+  handles.decision = decision.id();
+  handles.highfi = highfi.id();
+  handles.gui = gui.id();
+  handles.frames = &frames;
+  handles.lowfi_records = &lowfi_records;
+  handles.decisions = &decisions;
+  handles.highfi_records = &highfi_records;
+  return handles;
+}
+
+}  // namespace stampede::vision

@@ -1,0 +1,64 @@
+/// \file multifid.hpp
+/// \brief The paper's Figure-1 application: a multi-fidelity vision
+///        pipeline (Digitizer → Low-fi tracker → Decision → High-fi
+///        tracker → GUI) with decision records flowing through Queues.
+///
+/// The low-fidelity tracker scans every frame cheaply (coarse stride);
+/// the decision stage inspects the low-fi result and enqueues a *decision
+/// record* only when the target looks interesting (confidence above a
+/// threshold); the high-fidelity tracker dequeues decisions exactly-once
+/// (Queue semantics), re-fetches the referenced frame by timestamp
+/// (random-access correspondence) and re-analyzes it at fine stride. The
+/// GUI displays every high-fi result.
+///
+/// This is the second application shape of the paper, exercising Queues,
+/// `get_at`, and data-dependent stage rates under ARU.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+#include "vision/frame.hpp"
+
+namespace stampede::vision {
+
+struct MultiFidOptions {
+  aru::Mode aru = aru::Mode::kOff;
+  std::uint64_t seed = 33;
+  /// Per-stage costs (scaled-time model, like the tracker).
+  Nanos digitizer_cost = millis(4);
+  Nanos lowfi_cost = millis(10);
+  Nanos decision_cost = millis(2);
+  Nanos highfi_cost = millis(30);
+  Nanos gui_cost = millis(3);
+  /// Low-fi confidence above which a decision record is issued.
+  double interest_threshold = 0.001;
+  /// Strides: coarse for low-fi, fine for high-fi.
+  int lowfi_stride = 16;
+  int highfi_stride = 4;
+};
+
+struct MultiFidHandles {
+  NodeId digitizer = kNoNode;
+  NodeId lowfi = kNoNode;
+  NodeId decision = kNoNode;
+  NodeId highfi = kNoNode;
+  NodeId gui = kNoNode;
+  Channel* frames = nullptr;
+  Channel* lowfi_records = nullptr;
+  Queue* decisions = nullptr;
+  Channel* highfi_records = nullptr;
+  /// Live counters (shared with the running tasks).
+  struct Counters {
+    std::atomic<std::int64_t> lowfi_scans{0};
+    std::atomic<std::int64_t> decisions_issued{0};
+    std::atomic<std::int64_t> highfi_runs{0};
+    std::atomic<std::int64_t> highfi_frame_missing{0};
+  };
+  std::shared_ptr<Counters> counters;
+};
+
+/// Wires the Figure-1 pipeline into `rt`.
+MultiFidHandles build_multifid(Runtime& rt, const MultiFidOptions& opts);
+
+}  // namespace stampede::vision

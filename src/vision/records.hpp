@@ -1,0 +1,114 @@
+/// \file records.hpp
+/// \brief Payload layouts for histogram-model and target-location items.
+///
+/// Sizes mirror the paper's reported per-item sizes (§5): the histogram
+/// item is 981 kB (1 004 544 B) holding a 16×16×16-bin RGB histogram plus
+/// a per-pixel backprojection map; the target-detection record is exactly
+/// 68 bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+
+#include "vision/frame.hpp"
+
+namespace stampede::vision {
+
+// -- histogram payload ---------------------------------------------------------
+
+inline constexpr int kHistBinsPerAxis = 16;
+inline constexpr int kHistBins = kHistBinsPerAxis * kHistBinsPerAxis * kHistBinsPerAxis;
+/// Paper: "Histogram 981 kB".
+inline constexpr std::size_t kHistogramBytes = 981 * 1024;
+static_assert(kHistogramBytes >= kHistBins * sizeof(float) + kWidth * kHeight,
+              "histogram payload must fit bins + backprojection map");
+
+/// Bin index for a color.
+constexpr int hist_bin(Rgb c) {
+  const int r = c.r * kHistBinsPerAxis / 256;
+  const int g = c.g * kHistBinsPerAxis / 256;
+  const int b = c.b * kHistBinsPerAxis / 256;
+  return (r * kHistBinsPerAxis + g) * kHistBinsPerAxis + b;
+}
+
+/// View of the histogram payload: `bins()` are normalized frequencies,
+/// `backprojection()` is a per-pixel byte map.
+class HistogramView {
+ public:
+  explicit HistogramView(std::span<std::byte> data) : data_(data) {
+    if (data.size() < kHistogramBytes) {
+      throw std::invalid_argument("HistogramView: buffer too small");
+    }
+  }
+
+  std::span<float> bins() {
+    return {reinterpret_cast<float*>(data_.data()), kHistBins};
+  }
+  std::span<std::byte> backprojection() {
+    return data_.subspan(kHistBins * sizeof(float),
+                         static_cast<std::size_t>(kWidth) * kHeight);
+  }
+
+ private:
+  std::span<std::byte> data_;
+};
+
+class ConstHistogramView {
+ public:
+  explicit ConstHistogramView(std::span<const std::byte> data) : data_(data) {
+    if (data.size() < kHistogramBytes) {
+      throw std::invalid_argument("ConstHistogramView: buffer too small");
+    }
+  }
+
+  std::span<const float> bins() const {
+    return {reinterpret_cast<const float*>(data_.data()), kHistBins};
+  }
+  std::span<const std::byte> backprojection() const {
+    return data_.subspan(kHistBins * sizeof(float),
+                         static_cast<std::size_t>(kWidth) * kHeight);
+  }
+
+ private:
+  std::span<const std::byte> data_;
+};
+
+// -- location record -----------------------------------------------------------
+
+/// Paper: "Target-Detection 68 Bytes".
+inline constexpr std::size_t kLocationBytes = 68;
+
+/// Target-detection result for one frame and one color model.
+struct LocationRecord {
+  std::int64_t frame_ts = -1;
+  std::int32_t model = 0;
+  std::int32_t found = 0;       ///< 1 if the target was located
+  double x = 0.0, y = 0.0;      ///< detected centroid
+  double confidence = 0.0;      ///< matched-mass score in [0, 1]
+  double truth_x = 0.0, truth_y = 0.0;  ///< ground truth (accuracy tests)
+};
+static_assert(sizeof(LocationRecord) <= kLocationBytes,
+              "LocationRecord must fit the paper's 68-byte item");
+
+/// Serializes `rec` into a location payload.
+inline void write_location(std::span<std::byte> data, const LocationRecord& rec) {
+  if (data.size() < kLocationBytes) {
+    throw std::invalid_argument("write_location: buffer too small");
+  }
+  std::memcpy(data.data(), &rec, sizeof(rec));
+}
+
+/// Deserializes a location payload.
+inline LocationRecord read_location(std::span<const std::byte> data) {
+  if (data.size() < kLocationBytes) {
+    throw std::invalid_argument("read_location: buffer too small");
+  }
+  LocationRecord rec;
+  std::memcpy(&rec, data.data(), sizeof(rec));
+  return rec;
+}
+
+}  // namespace stampede::vision

@@ -1,0 +1,94 @@
+#include "vision/stereo.hpp"
+
+#include <cmath>
+
+namespace stampede::vision {
+
+StereoRig::StereoRig(std::uint64_t seed, int baseline_px)
+    : gen_(seed), baseline_px_(baseline_px) {}
+
+void StereoRig::render_left(std::int64_t index, std::span<std::byte> data,
+                            int stride) const {
+  render_shifted(index, data, stride, 0);
+}
+
+void StereoRig::render_right(std::int64_t index, std::span<std::byte> data,
+                             int stride) const {
+  render_shifted(index, data, stride, baseline_px_);
+}
+
+void StereoRig::render_shifted(std::int64_t index, std::span<std::byte> data, int stride,
+                               int shift) const {
+  // Render the scene, then redraw blobs displaced by the camera baseline.
+  // (Background is "at infinity": zero disparity, so the plain render is
+  // reused and only foreground blobs move.)
+  gen_.render(index, data, stride);
+  if (shift == 0) return;
+
+  FrameView frame(data);
+  const Scene scene = gen_.scene_at(index);
+  for (int y = 0; y < kHeight; y += stride) {
+    for (int x = 0; x < kWidth; x += stride) {
+      for (const Blob& b : scene.blobs) {
+        // Blob visible at x in the right view <=> it covers x + shift in
+        // scene coordinates... equivalently the blob center appears moved
+        // left by `shift`.
+        const double dx = x - (b.cx - shift);
+        const double dy = y - b.cy;
+        const double dx0 = x - b.cx;
+        if (dx * dx + dy * dy <= b.radius * b.radius) {
+          frame.set(x, y, b.color);
+        } else if (dx0 * dx0 + dy * dy <= b.radius * b.radius) {
+          // Erase the blob's original position (revealed background).
+          const auto noise = static_cast<std::uint8_t>(100);
+          frame.set(x, y, Rgb{noise, noise, noise});
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Weighted centroid of pixels matching `model` (same color metric as
+/// detect_target, without mask/histogram gating).
+bool color_centroid(ConstFrameView frame, Rgb model, int stride, double* out_x,
+                    double* out_y) {
+  double wsum = 0, xsum = 0, ysum = 0;
+  for (int y = 0; y < frame.height(); y += stride) {
+    for (int x = 0; x < frame.width(); x += stride) {
+      const Rgb c = frame.get(x, y);
+      const double dr = static_cast<double>(c.r) - model.r;
+      const double dg = static_cast<double>(c.g) - model.g;
+      const double db = static_cast<double>(c.b) - model.b;
+      const double w = std::exp(-(dr * dr + dg * dg + db * db) / (2.0 * 40.0 * 40.0));
+      if (w < 1e-3) continue;
+      wsum += w;
+      xsum += w * x;
+      ysum += w * y;
+    }
+  }
+  if (wsum < 0.5) return false;
+  *out_x = xsum / wsum;
+  *out_y = ysum / wsum;
+  return true;
+}
+
+}  // namespace
+
+DisparityEstimate estimate_disparity(ConstFrameView left, ConstFrameView right,
+                                     Rgb model_color, int stride) {
+  DisparityEstimate est;
+  double lx = 0, ly = 0, rx = 0, ry = 0;
+  if (!color_centroid(left, model_color, stride, &lx, &ly) ||
+      !color_centroid(right, model_color, stride, &rx, &ry)) {
+    return est;
+  }
+  est.found = true;
+  est.disparity_px = lx - rx;
+  est.left_x = lx;
+  est.left_y = ly;
+  return est;
+}
+
+}  // namespace stampede::vision

@@ -1,0 +1,62 @@
+/// \file stereo.hpp
+/// \brief Stereo-correspondence substrate — the paper's §1 motivating
+///        example: "a stereo module in an interactive vision application
+///        may require images with corresponding timestamps from multiple
+///        cameras to compute its output".
+///
+/// Two synthetic cameras view the same scene from a horizontal baseline;
+/// a block-matching kernel estimates per-blob disparity, from which depth
+/// follows. The stereo pipeline (examples/stereo_pipeline.cpp) uses the
+/// channel's random-access mode (`get_at`) to fetch the right-camera
+/// frame whose timestamp *corresponds* to the left one — exactly the
+/// access pattern the timestamped-channel abstraction exists for.
+#pragma once
+
+#include <optional>
+
+#include "vision/frame.hpp"
+
+namespace stampede::vision {
+
+/// Synthetic stereo rig over one SceneGenerator scene.
+class StereoRig {
+ public:
+  /// \param seed      scene seed (both cameras share the scene).
+  /// \param baseline_px horizontal pixel shift between the two cameras'
+  ///        views of the blobs (disparity ground truth for distant
+  ///        background is 0; blobs shift by the full baseline).
+  StereoRig(std::uint64_t seed, int baseline_px = 24);
+
+  /// Renders the left / right view of frame `index` into `data`.
+  void render_left(std::int64_t index, std::span<std::byte> data,
+                   int stride = kDefaultStride) const;
+  void render_right(std::int64_t index, std::span<std::byte> data,
+                    int stride = kDefaultStride) const;
+
+  int baseline_px() const { return baseline_px_; }
+  const SceneGenerator& scene() const { return gen_; }
+
+ private:
+  void render_shifted(std::int64_t index, std::span<std::byte> data, int stride,
+                      int shift) const;
+
+  SceneGenerator gen_;
+  int baseline_px_;
+};
+
+/// Disparity estimate for one tracked blob.
+struct DisparityEstimate {
+  bool found = false;
+  double disparity_px = 0.0;  ///< horizontal shift left→right
+  double left_x = 0.0, left_y = 0.0;
+};
+
+/// Estimates blob disparity between corresponding frames by locating the
+/// blob of `model_color` in both views (strided color matching) and
+/// differencing the centroids. Frames must share a timestamp; mismatched
+/// scenes simply yield garbage disparity — which the pipeline test
+/// detects, demonstrating why timestamp correspondence matters.
+DisparityEstimate estimate_disparity(ConstFrameView left, ConstFrameView right,
+                                     Rgb model_color, int stride = kDefaultStride);
+
+}  // namespace stampede::vision

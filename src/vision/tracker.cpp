@@ -1,0 +1,151 @@
+#include "vision/tracker.hpp"
+
+namespace stampede::vision {
+
+PressureModel default_pressure() {
+  // Calibrated so the unthrottled (No-ARU) baseline suffers the
+  // load-dependent slowdown the paper measured on its real testbed
+  // (channel scan/GC work plus allocator pressure), while the ARU modes —
+  // whose channels stay nearly empty — are barely affected.
+  return PressureModel{
+      .per_item_scan = micros(300),
+      .per_mb_alloc = micros(100),
+      .compute_dilation_per_mb = 0.08,
+  };
+}
+
+RuntimeConfig runtime_config(const TrackerOptions& opts) {
+  RuntimeConfig cfg;
+  cfg.aru = aru::Config{.mode = opts.aru,
+                        .filter = opts.aru_filter,
+                        .throttle_non_source = opts.throttle_non_source,
+                        .pace_gain = opts.pace_gain};
+  cfg.gc = opts.gc;
+  cfg.cost_mode = opts.cost_mode;
+  cfg.pressure = opts.pressure;
+  cfg.sched_noise = opts.sched_noise;
+  cfg.seed = opts.seed;
+  if (opts.cluster_config == 2) {
+    cfg.topology = cluster::Topology::uniform(5, cluster::Topology::gigabit_link());
+  } else {
+    cfg.topology = cluster::Topology::single_node();
+  }
+  return cfg;
+}
+
+TrackerHandles build_tracker(Runtime& rt, const TrackerOptions& opts) {
+  const bool dist = opts.cluster_config == 2;
+  // Paper config 2: the five stages on five nodes (the two detector
+  // threads belong to the single target-detection task), channels on
+  // their producers' nodes.
+  const int n_dig = 0;
+  const int n_bg = dist ? 1 : 0;
+  const int n_hist = dist ? 2 : 0;
+  const int n_det = dist ? 3 : 0;
+  const int n_gui = dist ? 4 : 0;
+
+  auto gen = std::make_shared<SceneGenerator>(opts.seed);
+  auto stats0 = std::make_shared<DetectionStats>();
+  auto stats1 = std::make_shared<DetectionStats>();
+  const aru::CompressFn& op = opts.custom_compress;
+
+  Channel& frames = rt.add_channel({.name = "C1:frames",
+                                    .cluster_node = n_dig,
+                                    .capacity = opts.frame_capacity,
+                                    .custom_compress = op});
+  Channel& masks =
+      rt.add_channel({.name = "C2:masks", .cluster_node = n_bg, .custom_compress = op});
+  Channel& hists =
+      rt.add_channel({.name = "C3:hists", .cluster_node = n_hist, .custom_compress = op});
+  Channel& loc1 =
+      rt.add_channel({.name = "C4:loc1", .cluster_node = n_det, .custom_compress = op});
+  Channel& loc2 =
+      rt.add_channel({.name = "C5:loc2", .cluster_node = n_det, .custom_compress = op});
+
+  TaskContext& dig = rt.add_task(
+      {.name = "digitizer",
+       .cluster_node = n_dig,
+       .body = make_digitizer(gen, opts.costs, opts.max_frames, opts.stride),
+       .custom_compress = op});
+  TaskContext& bg = rt.add_task({.name = "background",
+                                 .cluster_node = n_bg,
+                                 .body = make_background(opts.costs, opts.stride),
+                                 .custom_compress = op});
+  TaskContext& hist = rt.add_task({.name = "histogram",
+                                   .cluster_node = n_hist,
+                                   .body = make_histogram(opts.costs, opts.stride),
+                                   .custom_compress = op});
+  TaskContext& det1 = rt.add_task(
+      {.name = "detect-m1",
+       .cluster_node = n_det,
+       .body = make_target_detection(gen, opts.costs, 0, opts.stride, stats0),
+       .custom_compress = op});
+  TaskContext& det2 = rt.add_task(
+      {.name = "detect-m2",
+       .cluster_node = n_det,
+       .body = make_target_detection(gen, opts.costs, 1, opts.stride, stats1),
+       .custom_compress = op});
+  TaskContext& gui = rt.add_task({.name = "gui",
+                                  .cluster_node = n_gui,
+                                  .body = make_gui(opts.costs),
+                                  .custom_compress = op});
+
+  // Producer edges.
+  rt.connect(dig, frames);
+  rt.connect(bg, masks);
+  rt.connect(hist, hists);
+  rt.connect(det1, loc1);
+  rt.connect(det2, loc2);
+
+  // Consumer edges; detector input order is masks, hists, frames
+  // (matching make_target_detection's port convention).
+  rt.connect(frames, bg);
+  rt.connect(frames, hist);
+  rt.connect(masks, det1);
+  rt.connect(hists, det1);
+  rt.connect(frames, det1);
+  rt.connect(masks, det2);
+  rt.connect(hists, det2);
+  rt.connect(frames, det2);
+  rt.connect(loc1, gui);
+  rt.connect(loc2, gui);
+
+  return TrackerHandles{
+      .detect_stats = {std::move(stats0), std::move(stats1)},
+      .digitizer = dig.id(),
+      .background = bg.id(),
+      .histogram = hist.id(),
+      .detect1 = det1.id(),
+      .detect2 = det2.id(),
+      .gui = gui.id(),
+      .frames = &frames,
+      .masks = &masks,
+      .hists = &hists,
+      .loc1 = &loc1,
+      .loc2 = &loc2,
+  };
+}
+
+TrackerResult run_tracker(const TrackerOptions& opts) {
+  Runtime rt(runtime_config(opts));
+  build_tracker(rt, opts);
+  rt.start();
+  rt.clock().sleep_for(opts.duration);
+  rt.stop();
+
+  TrackerResult result;
+  result.trace = rt.take_trace();
+  const stats::Analyzer analyzer(result.trace,
+                                 {.warmup_fraction = opts.warmup_fraction});
+  result.analysis = analyzer.run();
+  return result;
+}
+
+std::string label(const TrackerOptions& opts) {
+  std::string name = opts.aru == aru::Mode::kOff ? "No ARU" : ("ARU-" + aru::to_string(opts.aru));
+  name += " cfg";
+  name += std::to_string(opts.cluster_config);
+  return name;
+}
+
+}  // namespace stampede::vision

@@ -1,0 +1,118 @@
+/// \file test_breakdown.cpp
+/// \brief Per-node usage breakdown from traces.
+#include "stats/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede::stats {
+namespace {
+
+constexpr std::int64_t kMs = 1'000'000;
+
+Trace scenario() {
+  Trace t;
+  t.t_begin = 0;
+  t.t_end = 100 * kMs;
+  t.node_names = {"digitizer", "frames", "tracker"};
+
+  auto add_item = [&](ItemId id, NodeRef producer, std::int64_t bytes,
+                      std::int64_t cost_ms, std::vector<ItemId> lineage) {
+    t.items.push_back(ItemRecord{.id = id,
+                                 .ts = static_cast<Ts>(id),
+                                 .bytes = bytes,
+                                 .producer = producer,
+                                 .t_alloc = 0,
+                                 .produce_cost = cost_ms * kMs,
+                                 .lineage = std::move(lineage)});
+  };
+  // Digitizer (node 0) produces 3 frames into channel "frames" (node 1);
+  // frame 2 is skipped & dropped; frames 1,3 consumed by tracker (node 2).
+  add_item(1, 0, 1024 * 1024, 2, {});
+  add_item(2, 0, 1024 * 1024, 2, {});
+  add_item(3, 0, 1024 * 1024, 2, {});
+  add_item(4, 2, 1024, 5, {3});  // tracker result from frame 3
+
+  auto ev = [&](EventType type, NodeRef node, ItemId item, std::int64_t ms) {
+    t.events.push_back(Event{.type = type, .node = node, .item = item, .t = ms * kMs});
+  };
+  ev(EventType::kPut, 1, 1, 1);
+  ev(EventType::kPut, 1, 2, 2);
+  ev(EventType::kPut, 1, 3, 3);
+  ev(EventType::kConsume, 2, 1, 4);
+  ev(EventType::kSkip, 2, 2, 5);
+  ev(EventType::kConsume, 2, 3, 6);
+  ev(EventType::kDrop, 1, 2, 7);
+  ev(EventType::kEmit, 2, 4, 10);
+  ev(EventType::kConsume, 2, 4, 10);
+  // Frame 1 consumed but its derivation never emitted -> wasted.
+  return t;
+}
+
+TEST(Breakdown, ProducerAccounting) {
+  const Trace t = scenario();
+  const Analyzer analyzer(t);
+  const Breakdown b = compute_breakdown(t, analyzer);
+
+  ASSERT_EQ(b.producers.size(), 2u);
+  // Sorted by bytes: digitizer first.
+  const ProducerUsage& dig = b.producers[0];
+  EXPECT_EQ(dig.name, "digitizer");
+  EXPECT_EQ(dig.items, 3);
+  // Frames 1 and 2 are wasted (no emitted descendant); frame 3 succeeded.
+  EXPECT_EQ(dig.items_wasted, 2);
+  EXPECT_NEAR(dig.bytes_mb, 3.0, 1e-9);
+  EXPECT_NEAR(dig.wasted_bytes_mb, 2.0, 1e-9);
+  EXPECT_NEAR(dig.compute_ms, 6.0, 1e-9);
+  EXPECT_NEAR(dig.wasted_compute_ms, 4.0, 1e-9);
+
+  const ProducerUsage& tracker = b.producers[1];
+  EXPECT_EQ(tracker.name, "tracker");
+  EXPECT_EQ(tracker.items_wasted, 0);
+}
+
+TEST(Breakdown, BufferFlowAccounting) {
+  const Trace t = scenario();
+  const Analyzer analyzer(t);
+  const Breakdown b = compute_breakdown(t, analyzer);
+
+  ASSERT_FALSE(b.buffers.empty());
+  const BufferUsage& frames = b.buffers[0];
+  EXPECT_EQ(frames.name, "frames");
+  EXPECT_EQ(frames.puts, 3);
+  EXPECT_EQ(frames.consumes, 2);
+  EXPECT_EQ(frames.skips, 1);
+  EXPECT_EQ(frames.drops, 1);
+}
+
+TEST(Breakdown, BufferWaitTimes) {
+  const Trace t = scenario();
+  const Analyzer analyzer(t);
+  const Breakdown b = compute_breakdown(t, analyzer);
+  const BufferUsage& frames = b.buffers[0];
+  // put@1ms->consume@4ms (3ms) and put@3ms->consume@6ms (3ms): mean 3ms.
+  EXPECT_NEAR(frames.wait_ms_mean, 3.0, 1e-9);
+  EXPECT_NEAR(frames.wait_ms_max, 3.0, 1e-9);
+}
+
+TEST(Breakdown, RenderContainsBothTables) {
+  const Trace t = scenario();
+  const Analyzer analyzer(t);
+  const std::string out = render_breakdown(compute_breakdown(t, analyzer));
+  EXPECT_NE(out.find("Per-producer usage"), std::string::npos);
+  EXPECT_NE(out.find("Per-buffer flow"), std::string::npos);
+  EXPECT_NE(out.find("digitizer"), std::string::npos);
+  EXPECT_NE(out.find("frames"), std::string::npos);
+}
+
+TEST(Breakdown, EmptyTrace) {
+  Trace t;
+  t.t_begin = 0;
+  t.t_end = 1;
+  const Analyzer analyzer(t);
+  const Breakdown b = compute_breakdown(t, analyzer);
+  EXPECT_TRUE(b.producers.empty());
+  EXPECT_TRUE(b.buffers.empty());
+}
+
+}  // namespace
+}  // namespace stampede::stats

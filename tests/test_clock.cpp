@@ -1,0 +1,90 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace stampede {
+namespace {
+
+TEST(RealClock, IsMonotonic) {
+  RealClock clock;
+  const Nanos a = clock.now();
+  const Nanos b = clock.now();
+  EXPECT_GE(b.count(), a.count());
+}
+
+TEST(RealClock, SleepForWaitsAtLeastRequested) {
+  RealClock clock;
+  const Nanos start = clock.now();
+  clock.sleep_for(millis(5));
+  EXPECT_GE((clock.now() - start).count(), millis(5).count());
+}
+
+TEST(RealClock, NonPositiveSleepReturnsImmediately) {
+  RealClock clock;
+  const Nanos start = clock.now();
+  clock.sleep_for(Nanos{0});
+  clock.sleep_for(Nanos{-100});
+  EXPECT_LT((clock.now() - start).count(), millis(50).count());
+}
+
+TEST(RealClock, SharedInstanceIsStable) {
+  EXPECT_EQ(&RealClock::instance(), &RealClock::instance());
+}
+
+TEST(ManualClock, StartsAtGivenInstant) {
+  ManualClock clock(millis(7));
+  EXPECT_EQ(clock.now(), millis(7));
+}
+
+TEST(ManualClock, AdvanceMovesTime) {
+  ManualClock clock;
+  clock.advance(micros(250));
+  EXPECT_EQ(clock.now(), micros(250));
+  clock.advance(micros(250));
+  EXPECT_EQ(clock.now(), micros(500));
+}
+
+TEST(ManualClock, NegativeAdvanceIsIgnored) {
+  ManualClock clock(millis(1));
+  clock.advance(Nanos{-500});
+  EXPECT_EQ(clock.now(), millis(1));
+}
+
+TEST(ManualClock, SleepForAdvancesVirtualTime) {
+  ManualClock clock;
+  clock.sleep_for(millis(3));
+  EXPECT_EQ(clock.now(), millis(3));
+}
+
+TEST(ManualClock, SleepUntilReachesTarget) {
+  ManualClock clock;
+  clock.sleep_until(millis(9));
+  EXPECT_EQ(clock.now(), millis(9));
+  clock.sleep_until(millis(1));  // already past: no-op
+  EXPECT_EQ(clock.now(), millis(9));
+}
+
+TEST(ManualClock, SetForwardWorksBackwardThrows) {
+  ManualClock clock;
+  clock.set(millis(10));
+  EXPECT_EQ(clock.now(), millis(10));
+  EXPECT_THROW(clock.set(millis(5)), std::invalid_argument);
+}
+
+TEST(ManualClock, ConcurrentAdvanceAccumulates) {
+  ManualClock clock;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&clock] {
+      for (int j = 0; j < 1000; ++j) clock.advance(Nanos{1});
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(clock.now(), Nanos{4000});
+}
+
+}  // namespace
+}  // namespace stampede

@@ -1,0 +1,90 @@
+#include "core/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stampede::aru {
+namespace {
+
+TEST(Compress, EmptyVectorIsUnknown) {
+  EXPECT_EQ(compress_min({}), kUnknownStp);
+  EXPECT_EQ(compress_max({}), kUnknownStp);
+}
+
+TEST(Compress, AllUnknownIsUnknown) {
+  const std::vector<Nanos> v{kUnknownStp, kUnknownStp};
+  EXPECT_EQ(compress_min(v), kUnknownStp);
+  EXPECT_EQ(compress_max(v), kUnknownStp);
+}
+
+// The paper's Fig. 3 example: downstream nodes report 337, 139, 273, 544
+// and 420; min sustains the fastest consumer (139), max matches the
+// slowest (544).
+TEST(Compress, PaperFigure3Example) {
+  const std::vector<Nanos> v{millis(337), millis(139), millis(273), millis(544),
+                             millis(420)};
+  EXPECT_EQ(compress_min(v), millis(139));
+  EXPECT_EQ(compress_max(v), millis(544));
+}
+
+TEST(Compress, UnknownSlotsAreSkipped) {
+  const std::vector<Nanos> v{kUnknownStp, millis(20), kUnknownStp, millis(10)};
+  EXPECT_EQ(compress_min(v), millis(10));
+  EXPECT_EQ(compress_max(v), millis(20));
+}
+
+TEST(Compress, SingleKnownValue) {
+  const std::vector<Nanos> v{kUnknownStp, millis(7)};
+  EXPECT_EQ(compress_min(v), millis(7));
+  EXPECT_EQ(compress_max(v), millis(7));
+}
+
+TEST(Known, SentinelIsNotKnown) {
+  EXPECT_FALSE(known(kUnknownStp));
+  EXPECT_TRUE(known(Nanos{1}));
+}
+
+// Property sweep: for random vectors, min <= every known value <= max,
+// and both results are members of the vector.
+class CompressProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressProperty, BoundsAndMembership) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  std::vector<Nanos> v;
+  const auto n = 1 + rng.below(12);
+  bool any_known = false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.25) {
+      v.push_back(kUnknownStp);
+    } else {
+      v.push_back(Nanos{static_cast<std::int64_t>(rng.below(1'000'000)) + 1});
+      any_known = true;
+    }
+  }
+  const Nanos lo = compress_min(v);
+  const Nanos hi = compress_max(v);
+  if (!any_known) {
+    EXPECT_EQ(lo, kUnknownStp);
+    EXPECT_EQ(hi, kUnknownStp);
+    return;
+  }
+  EXPECT_LE(lo.count(), hi.count());
+  bool lo_member = false, hi_member = false;
+  for (const Nanos x : v) {
+    if (!known(x)) continue;
+    EXPECT_LE(lo.count(), x.count());
+    EXPECT_GE(hi.count(), x.count());
+    lo_member |= x == lo;
+    hi_member |= x == hi;
+  }
+  EXPECT_TRUE(lo_member);
+  EXPECT_TRUE(hi_member);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, CompressProperty, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace stampede::aru

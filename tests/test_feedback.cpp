@@ -1,0 +1,129 @@
+#include "core/feedback.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede::aru {
+namespace {
+
+TEST(FeedbackState, OffModeIgnoresEverything) {
+  FeedbackState f(Mode::kOff, /*is_thread=*/true);
+  f.add_output();
+  f.update_backward(0, millis(10));
+  f.set_current_stp(millis(5));
+  EXPECT_EQ(f.summary(), kUnknownStp);
+}
+
+TEST(FeedbackState, ChannelSummaryIsCompressedBackward) {
+  FeedbackState f(Mode::kMin, /*is_thread=*/false);
+  f.add_output();
+  f.add_output();
+  f.update_backward(0, millis(30));
+  EXPECT_EQ(f.summary(), millis(30));
+  f.update_backward(1, millis(12));
+  EXPECT_EQ(f.summary(), millis(12));  // min sustains the fastest consumer
+}
+
+TEST(FeedbackState, MaxModeMatchesSlowestConsumer) {
+  FeedbackState f(Mode::kMax, /*is_thread=*/false);
+  f.add_output();
+  f.add_output();
+  f.update_backward(0, millis(30));
+  f.update_backward(1, millis(12));
+  EXPECT_EQ(f.summary(), millis(30));
+}
+
+// Paper §3.3.2: a thread slower than all its consumers inserts its own
+// period: summary = max(compressed-backward, current-STP).
+TEST(FeedbackState, ThreadBlendsCurrentStp) {
+  FeedbackState f(Mode::kMin, /*is_thread=*/true);
+  f.add_output();
+  f.update_backward(0, millis(10));
+  f.set_current_stp(millis(25));
+  EXPECT_EQ(f.summary(), millis(25));
+  f.set_current_stp(millis(4));
+  EXPECT_EQ(f.summary(), millis(10));
+}
+
+TEST(FeedbackState, ThreadWithNoFeedbackUsesOwnStp) {
+  FeedbackState f(Mode::kMin, /*is_thread=*/true);
+  f.set_current_stp(millis(8));
+  EXPECT_EQ(f.summary(), millis(8));
+}
+
+TEST(FeedbackState, RecursiveSummaryPropagation) {
+  // Model the paper's cascade: TD (28ms) -> mask channel -> background
+  // thread (12ms): background's summary must become 28ms.
+  FeedbackState td(Mode::kMin, true);
+  td.set_current_stp(millis(28));
+
+  FeedbackState mask_channel(Mode::kMin, false);
+  mask_channel.add_output();
+  mask_channel.update_backward(0, td.summary());
+
+  FeedbackState background(Mode::kMin, true);
+  background.add_output();
+  background.update_backward(0, mask_channel.summary());
+  background.set_current_stp(millis(12));
+  EXPECT_EQ(background.summary(), millis(28));
+}
+
+TEST(FeedbackState, CustomOperatorIsUsed) {
+  // A user-defined operator: second-smallest known value.
+  auto second_min = [](std::span<const Nanos> v) {
+    Nanos lo = kUnknownStp, lo2 = kUnknownStp;
+    for (const Nanos x : v) {
+      if (!known(x)) continue;
+      if (!known(lo) || x < lo) {
+        lo2 = lo;
+        lo = x;
+      } else if (!known(lo2) || x < lo2) {
+        lo2 = x;
+      }
+    }
+    return known(lo2) ? lo2 : lo;
+  };
+  FeedbackState f(Mode::kCustom, false, second_min);
+  f.add_output();
+  f.add_output();
+  f.add_output();
+  f.update_backward(0, millis(10));
+  f.update_backward(1, millis(30));
+  f.update_backward(2, millis(20));
+  EXPECT_EQ(f.summary(), millis(20));
+}
+
+TEST(FeedbackState, CustomWithoutFunctionThrows) {
+  EXPECT_THROW(FeedbackState(Mode::kCustom, false), std::invalid_argument);
+}
+
+TEST(FeedbackState, BadSlotThrows) {
+  FeedbackState f(Mode::kMin, false);
+  f.add_output();
+  EXPECT_THROW(f.update_backward(1, millis(1)), std::out_of_range);
+  EXPECT_THROW(f.update_backward(-1, millis(1)), std::out_of_range);
+}
+
+TEST(FeedbackState, CurrentStpOnChannelThrows) {
+  FeedbackState f(Mode::kMin, /*is_thread=*/false);
+  EXPECT_THROW(f.set_current_stp(millis(1)), std::logic_error);
+}
+
+TEST(FeedbackState, FilterSmoothsSummary) {
+  FeedbackState f(Mode::kMin, false, {}, std::make_unique<MedianFilter>(3));
+  f.add_output();
+  f.update_backward(0, millis(10));
+  f.update_backward(0, millis(10));
+  f.update_backward(0, millis(500));  // spike
+  // median over {10, 10, 500} = 10ms.
+  EXPECT_EQ(f.summary(), millis(10));
+}
+
+TEST(FeedbackState, OutputsGrow) {
+  FeedbackState f(Mode::kMin, false);
+  EXPECT_EQ(f.add_output(), 0);
+  EXPECT_EQ(f.add_output(), 1);
+  EXPECT_EQ(f.outputs(), 2u);
+}
+
+}  // namespace
+}  // namespace stampede::aru

@@ -1,0 +1,133 @@
+#include "util/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace stampede {
+namespace {
+
+TEST(Passthrough, ReturnsInput) {
+  PassthroughFilter f;
+  EXPECT_EQ(f.push(3.5), 3.5);
+  EXPECT_EQ(f.value(), 3.5);
+  f.reset();
+  EXPECT_EQ(f.value(), 0.0);
+}
+
+TEST(Ema, FirstSamplePrimes) {
+  EmaFilter f(0.5);
+  EXPECT_EQ(f.push(10.0), 10.0);
+  EXPECT_EQ(f.push(20.0), 15.0);
+  EXPECT_EQ(f.push(20.0), 17.5);
+}
+
+TEST(Ema, AlphaOneIsPassthrough) {
+  EmaFilter f(1.0);
+  EXPECT_EQ(f.push(1.0), 1.0);
+  EXPECT_EQ(f.push(9.0), 9.0);
+}
+
+TEST(Ema, InvalidAlphaThrows) {
+  EXPECT_THROW(EmaFilter(0.0), std::invalid_argument);
+  EXPECT_THROW(EmaFilter(-0.1), std::invalid_argument);
+  EXPECT_THROW(EmaFilter(1.5), std::invalid_argument);
+}
+
+TEST(Ema, SmoothsNoiseTowardMean) {
+  EmaFilter f(0.1);
+  Xoshiro256 rng(9);
+  double last = 0;
+  for (int i = 0; i < 5000; ++i) last = f.push(50.0 + rng.uniform(-10, 10));
+  EXPECT_NEAR(last, 50.0, 3.0);
+}
+
+TEST(Median, RejectsSingleSpike) {
+  MedianFilter f(5);
+  for (const double x : {10.0, 10.0, 10.0, 10.0}) f.push(x);
+  // A single outlier must not move the median.
+  EXPECT_EQ(f.push(1000.0), 10.0);
+}
+
+TEST(Median, EvenWindowAveragesMiddlePair) {
+  MedianFilter f(4);
+  f.push(1);
+  f.push(2);
+  EXPECT_DOUBLE_EQ(f.value(), 1.5);
+}
+
+TEST(Median, WindowSlides) {
+  MedianFilter f(3);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  f.push(100);
+  f.push(101);
+  // window = {3, 100, 101}
+  EXPECT_DOUBLE_EQ(f.value(), 100.0);
+}
+
+TEST(Median, ZeroWindowThrows) { EXPECT_THROW(MedianFilter(0), std::invalid_argument); }
+
+TEST(SlidingMean, AveragesWindow) {
+  SlidingMeanFilter f(3);
+  f.push(3);
+  f.push(6);
+  EXPECT_DOUBLE_EQ(f.value(), 4.5);
+  f.push(9);
+  EXPECT_DOUBLE_EQ(f.value(), 6.0);
+  f.push(12);  // window = {6, 9, 12}
+  EXPECT_DOUBLE_EQ(f.value(), 9.0);
+}
+
+TEST(MakeFilter, ParsesAllSpecs) {
+  EXPECT_EQ(make_filter("")->name(), "passthrough");
+  EXPECT_EQ(make_filter("none")->name(), "passthrough");
+  EXPECT_EQ(make_filter("median:7")->name(), "median:7");
+  EXPECT_EQ(make_filter("mean:4")->name(), "mean:4");
+  EXPECT_NE(make_filter("ema:0.5")->name().find("ema:0.5"), std::string::npos);
+}
+
+TEST(MakeFilter, DefaultsWhenArgOmitted) {
+  EXPECT_EQ(make_filter("median")->name(), "median:5");
+}
+
+TEST(MakeFilter, UnknownSpecThrows) {
+  EXPECT_THROW(make_filter("kalman:3"), std::invalid_argument);
+}
+
+// Property: every filter maps a constant signal to that constant.
+class ConstantSignal : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConstantSignal, IsFixedPoint) {
+  auto f = make_filter(GetParam());
+  double last = 0;
+  for (int i = 0; i < 50; ++i) last = f->push(42.0);
+  EXPECT_DOUBLE_EQ(last, 42.0);
+  f->reset();
+  EXPECT_EQ(f->value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ConstantSignal,
+                         ::testing::Values("passthrough", "ema:0.3", "median:5", "mean:4"));
+
+// Property: filter output stays within the input's observed range.
+class RangePreserving : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RangePreserving, OutputWithinInputRange) {
+  auto f = make_filter(GetParam());
+  Xoshiro256 rng(1234);
+  for (int i = 0; i < 300; ++i) {
+    const double out = f->push(rng.uniform(5.0, 15.0));
+    ASSERT_GE(out, 5.0);
+    ASSERT_LE(out, 15.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RangePreserving,
+                         ::testing::Values("passthrough", "ema:0.25", "median:9", "mean:6"));
+
+}  // namespace
+}  // namespace stampede

@@ -1,0 +1,58 @@
+#include "gc/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace stampede::gc {
+namespace {
+
+TEST(ConsumerFrontiers, NoConsumersMeansInfiniteFrontier) {
+  ConsumerFrontiers f;
+  EXPECT_EQ(f.frontier(), std::numeric_limits<Timestamp>::max());
+}
+
+TEST(ConsumerFrontiers, FrontierIsMinimumGuarantee) {
+  ConsumerFrontiers f;
+  const int a = f.add_consumer();
+  const int b = f.add_consumer();
+  f.raise(a, 10);
+  f.raise(b, 4);
+  EXPECT_EQ(f.frontier(), 4);
+  EXPECT_EQ(f.guarantee(a), 10);
+}
+
+TEST(ConsumerFrontiers, GuaranteesNeverRegress) {
+  ConsumerFrontiers f;
+  const int a = f.add_consumer();
+  f.raise(a, 20);
+  f.raise(a, 5);
+  EXPECT_EQ(f.guarantee(a), 20);
+}
+
+TEST(ConsumerFrontiers, FreshConsumerHoldsFrontierAtZero) {
+  ConsumerFrontiers f;
+  const int a = f.add_consumer();
+  f.raise(a, 100);
+  f.add_consumer();  // new consumer, guarantee 0
+  EXPECT_EQ(f.frontier(), 0);
+}
+
+TEST(ConsumerFrontiers, BadIndexThrows) {
+  ConsumerFrontiers f;
+  EXPECT_THROW(f.raise(0, 1), std::out_of_range);
+  EXPECT_THROW(f.guarantee(3), std::out_of_range);
+}
+
+TEST(GcKind, ParseAndPrint) {
+  EXPECT_EQ(parse_kind("none"), Kind::kNone);
+  EXPECT_EQ(parse_kind("tgc"), Kind::kTransparent);
+  EXPECT_EQ(parse_kind("transparent"), Kind::kTransparent);
+  EXPECT_EQ(parse_kind("dgc"), Kind::kDeadTimestamp);
+  EXPECT_EQ(parse_kind("dead-timestamp"), Kind::kDeadTimestamp);
+  EXPECT_EQ(to_string(Kind::kDeadTimestamp), "dgc");
+  EXPECT_THROW(parse_kind("gen0"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stampede::gc

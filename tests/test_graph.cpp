@@ -1,0 +1,120 @@
+#include "runtime/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace stampede {
+namespace {
+
+Graph pipeline_graph() {
+  // thread0 -> channel1 -> thread2 -> channel3 -> thread4
+  Graph g;
+  g.add_node({.id = 0, .kind = NodeKind::kThread, .name = "src"});
+  g.add_node({.id = 1, .kind = NodeKind::kChannel, .name = "a"});
+  g.add_node({.id = 2, .kind = NodeKind::kThread, .name = "mid"});
+  g.add_node({.id = 3, .kind = NodeKind::kChannel, .name = "b"});
+  g.add_node({.id = 4, .kind = NodeKind::kThread, .name = "sink"});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  return g;
+}
+
+TEST(Graph, SourceAndSinkDetection) {
+  const Graph g = pipeline_graph();
+  EXPECT_TRUE(g.is_source(0));
+  EXPECT_FALSE(g.is_source(2));
+  EXPECT_TRUE(g.is_sink(4));
+  EXPECT_FALSE(g.is_sink(1));
+}
+
+TEST(Graph, SuccessorsAndPredecessors) {
+  const Graph g = pipeline_graph();
+  EXPECT_EQ(g.successors(1), std::vector<NodeId>{2});
+  EXPECT_EQ(g.predecessors(2), std::vector<NodeId>{1});
+  EXPECT_TRUE(g.predecessors(0).empty());
+}
+
+TEST(Graph, ValidatePassesOnDag) {
+  EXPECT_NO_THROW(pipeline_graph().validate());
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  const Graph g = pipeline_graph();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 5u);
+  auto pos = [&](NodeId n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(3), pos(4));
+}
+
+TEST(Graph, CycleIsRejected) {
+  Graph g;
+  g.add_node({.id = 0, .kind = NodeKind::kThread, .name = "t"});
+  g.add_node({.id = 1, .kind = NodeKind::kChannel, .name = "c"});
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Graph, ThreadToThreadEdgeIsRejected) {
+  Graph g;
+  g.add_node({.id = 0, .kind = NodeKind::kThread, .name = "a"});
+  g.add_node({.id = 1, .kind = NodeKind::kThread, .name = "b"});
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Graph, ChannelToQueueEdgeIsRejected) {
+  Graph g;
+  g.add_node({.id = 0, .kind = NodeKind::kChannel, .name = "c"});
+  g.add_node({.id = 1, .kind = NodeKind::kQueue, .name = "q"});
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Graph, UnknownEdgeEndpointIsRejected) {
+  Graph g;
+  g.add_node({.id = 0, .kind = NodeKind::kThread, .name = "a"});
+  g.add_edge(0, 7);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Graph, NonDenseIdsThrow) {
+  Graph g;
+  EXPECT_THROW(g.add_node({.id = 5, .kind = NodeKind::kThread, .name = "x"}),
+               std::logic_error);
+}
+
+TEST(Graph, NodeLookup) {
+  const Graph g = pipeline_graph();
+  EXPECT_EQ(g.node(2).name, "mid");
+  EXPECT_THROW(g.node(99), std::out_of_range);
+}
+
+TEST(Graph, DotContainsNodesEdgesAndShapes) {
+  const std::string dot = pipeline_graph().to_dot();
+  EXPECT_NE(dot.find("digraph pipeline"), std::string::npos);
+  EXPECT_NE(dot.find("\"src\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Graph, DotClustersByPlacement) {
+  Graph g;
+  g.add_node({.id = 0, .kind = NodeKind::kThread, .name = "a", .cluster_node = 0});
+  g.add_node({.id = 1, .kind = NodeKind::kChannel, .name = "c", .cluster_node = 1});
+  g.add_edge(0, 1);
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stampede

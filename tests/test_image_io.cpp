@@ -1,0 +1,104 @@
+/// \file test_image_io.cpp
+/// \brief NetPBM output round-trips and overlay drawing.
+#include "vision/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include <vector>
+
+namespace stampede::vision {
+namespace {
+
+TEST(ImageIo, PpmRoundTrips) {
+  SceneGenerator gen(5);
+  std::vector<std::byte> frame(kFrameBytes);
+  gen.render(3, frame, 4);
+
+  const std::string path = ::testing::TempDir() + "/stampede_frame.ppm";
+  write_ppm(path, ConstFrameView(frame));
+
+  std::vector<std::byte> back;
+  int w = 0, h = 0;
+  ASSERT_TRUE(read_ppm(path, back, w, h));
+  EXPECT_EQ(w, kWidth);
+  EXPECT_EQ(h, kHeight);
+  EXPECT_EQ(back, frame);
+}
+
+TEST(ImageIo, PgmHeaderAndSize) {
+  std::vector<std::byte> mask(kMaskBytes, std::byte{128});
+  const std::string path = ::testing::TempDir() + "/stampede_mask.pgm";
+  write_pgm(path, mask);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, kWidth);
+  EXPECT_EQ(h, kHeight);
+  EXPECT_EQ(maxval, 255);
+}
+
+TEST(ImageIo, PgmRejectsSmallBuffer) {
+  std::vector<std::byte> tiny(16);
+  EXPECT_THROW(write_pgm("/tmp/x.pgm", tiny), std::invalid_argument);
+}
+
+TEST(ImageIo, WriteToBadPathThrows) {
+  std::vector<std::byte> frame(kFrameBytes);
+  EXPECT_THROW(write_ppm("/nonexistent/dir/x.ppm", ConstFrameView(frame)),
+               std::runtime_error);
+}
+
+TEST(ImageIo, MarkerDrawsCross) {
+  std::vector<std::byte> frame(kFrameBytes);
+  FrameView fv(frame);
+  draw_marker(fv, 100, 100, Rgb{255, 0, 0}, 3);
+  EXPECT_EQ(fv.get(100, 100).r, 255);
+  EXPECT_EQ(fv.get(103, 100).r, 255);
+  EXPECT_EQ(fv.get(100, 97).r, 255);
+  EXPECT_EQ(fv.get(104, 100).r, 0);  // beyond the arm
+}
+
+TEST(ImageIo, MarkerClipsAtEdges) {
+  std::vector<std::byte> frame(kFrameBytes);
+  FrameView fv(frame);
+  draw_marker(fv, 0, 0, Rgb{9, 9, 9}, 5);        // top-left corner
+  draw_marker(fv, kWidth - 1, kHeight - 1, Rgb{9, 9, 9}, 5);
+  EXPECT_EQ(fv.get(0, 0).r, 9);
+  EXPECT_EQ(fv.get(kWidth - 1, kHeight - 1).r, 9);
+}
+
+TEST(ImageIo, OverlayMarksDetectionAndTruth) {
+  std::vector<std::byte> frame(kFrameBytes);
+  FrameView fv(frame);
+  LocationRecord rec;
+  rec.found = 1;
+  rec.x = 50;
+  rec.y = 60;
+  rec.truth_x = 200;
+  rec.truth_y = 100;
+  overlay_detection(fv, rec);
+  EXPECT_EQ(fv.get(50, 60).r, 255);   // detection: yellow
+  EXPECT_EQ(fv.get(50, 60).g, 255);
+  EXPECT_EQ(fv.get(200, 100).g, 255);  // truth: green
+  EXPECT_EQ(fv.get(200, 100).r, 0);
+}
+
+TEST(ImageIo, ReadPpmRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/stampede_garbage.ppm";
+  {
+    std::ofstream out(path);
+    out << "NOTPPM 1 2 3";
+  }
+  std::vector<std::byte> data;
+  int w = 0, h = 0;
+  EXPECT_FALSE(read_ppm(path, data, w, h));
+  EXPECT_FALSE(read_ppm("/no/such/file.ppm", data, w, h));
+}
+
+}  // namespace
+}  // namespace stampede::vision

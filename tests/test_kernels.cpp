@@ -1,0 +1,284 @@
+#include "vision/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stampede::vision {
+namespace {
+
+std::vector<std::byte> render(const SceneGenerator& gen, std::int64_t index,
+                              int stride = kDefaultStride) {
+  std::vector<std::byte> buf(kFrameBytes);
+  gen.render(index, buf, stride);
+  return buf;
+}
+
+TEST(SceneGenerator, DeterministicPerSeedAndFrame) {
+  SceneGenerator a(7), b(7);
+  EXPECT_EQ(render(a, 3), render(b, 3));
+  EXPECT_NE(render(a, 3), render(a, 4));
+}
+
+TEST(SceneGenerator, DifferentSeedsDifferentScenes) {
+  SceneGenerator a(1), b(2);
+  const Scene sa = a.scene_at(10), sb = b.scene_at(10);
+  EXPECT_NE(sa.blobs[0].cx, sb.blobs[0].cx);
+}
+
+TEST(SceneGenerator, BlobsStayInsideFrame) {
+  SceneGenerator gen(5);
+  for (std::int64_t i = 0; i < 500; i += 7) {
+    const Scene s = gen.scene_at(i);
+    for (const Blob& blob : s.blobs) {
+      EXPECT_GE(blob.cx, 0.0);
+      EXPECT_LT(blob.cx, kWidth);
+      EXPECT_GE(blob.cy, 0.0);
+      EXPECT_LT(blob.cy, kHeight);
+    }
+  }
+}
+
+TEST(SceneGenerator, BlobPixelsHaveModelColor) {
+  SceneGenerator gen(9);
+  const auto buf = render(gen, 20, /*stride=*/1);
+  const ConstFrameView frame(buf);
+  const Scene s = gen.scene_at(20);
+  const int cx = static_cast<int>(s.blobs[0].cx);
+  const int cy = static_cast<int>(s.blobs[0].cy);
+  const Rgb px = frame.get(cx, cy);
+  const Rgb model = gen.model_color(0);
+  EXPECT_EQ(px.r, model.r);
+  EXPECT_EQ(px.g, model.g);
+  EXPECT_EQ(px.b, model.b);
+}
+
+TEST(SceneGenerator, InvalidStrideThrows) {
+  SceneGenerator gen(1);
+  std::vector<std::byte> buf(kFrameBytes);
+  EXPECT_THROW(gen.render(0, buf, 0), std::invalid_argument);
+}
+
+TEST(FrameView, BoundsChecked) {
+  std::vector<std::byte> buf(kFrameBytes);
+  FrameView f(buf);
+  EXPECT_THROW(f.get(-1, 0), std::out_of_range);
+  EXPECT_THROW(f.get(kWidth, 0), std::out_of_range);
+  EXPECT_THROW(f.set(0, kHeight, Rgb{}), std::out_of_range);
+  std::vector<std::byte> small_buf(10);
+  EXPECT_THROW((void)FrameView(std::span<std::byte>(small_buf)), std::invalid_argument);
+}
+
+TEST(FrameView, RoundTripsPixels) {
+  std::vector<std::byte> buf(kFrameBytes);
+  FrameView f(buf);
+  f.set(10, 20, Rgb{1, 2, 3});
+  const Rgb c = f.get(10, 20);
+  EXPECT_EQ(c.r, 1);
+  EXPECT_EQ(c.g, 2);
+  EXPECT_EQ(c.b, 3);
+  EXPECT_EQ(f.luminance(10, 20), (1 * 299 + 2 * 587 + 3 * 114) / 1000);
+}
+
+TEST(FrameDifference, StaticSceneProducesEmptyMask) {
+  SceneGenerator gen(3);
+  const auto a = render(gen, 5, 4);
+  std::vector<std::byte> mask(kMaskBytes);
+  const int moving = frame_difference(ConstFrameView(a), ConstFrameView(a), mask,
+                                      /*threshold=*/24, /*stride=*/4);
+  EXPECT_EQ(moving, 0);
+}
+
+TEST(FrameDifference, MovingBlobIsDetected) {
+  SceneGenerator gen(3);
+  const auto a = render(gen, 5, 4);
+  const auto b = render(gen, 25, 4);  // blobs moved substantially
+  std::vector<std::byte> mask(kMaskBytes);
+  const int moving = frame_difference(ConstFrameView(b), ConstFrameView(a), mask, 24, 4);
+  EXPECT_GT(moving, 20);
+}
+
+TEST(FrameDifference, SmallMaskBufferThrows) {
+  SceneGenerator gen(1);
+  const auto a = render(gen, 0);
+  std::vector<std::byte> tiny(16);
+  EXPECT_THROW(frame_difference(ConstFrameView(a), ConstFrameView(a), tiny), std::invalid_argument);
+}
+
+TEST(ColorHistogram, BinsAreNormalized) {
+  SceneGenerator gen(4);
+  const auto frame = render(gen, 8, 4);
+  std::vector<std::byte> payload(kHistogramBytes);
+  color_histogram(ConstFrameView(frame), payload, 4);
+  ConstHistogramView hist(payload);
+  float sum = 0;
+  for (const float b : hist.bins()) {
+    ASSERT_GE(b, 0.0f);
+    sum += b;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST(ColorHistogram, BackgroundDominatesBins) {
+  SceneGenerator gen(4);
+  const auto frame = render(gen, 8, 4);
+  std::vector<std::byte> payload(kHistogramBytes);
+  color_histogram(ConstFrameView(frame), payload, 4);
+  ConstHistogramView hist(payload);
+  // Gray background (~96-127 per channel) lands in a handful of bins that
+  // must hold most of the mass.
+  float top = 0;
+  for (const float b : hist.bins()) top = std::max(top, b);
+  EXPECT_GT(top, 0.2f);
+}
+
+TEST(DetectTarget, FindsBlobNearGroundTruth) {
+  SceneGenerator gen(11);
+  const auto prev = render(gen, 30, 2);
+  const auto cur = render(gen, 31, 2);
+  std::vector<std::byte> mask(kMaskBytes);
+  frame_difference(ConstFrameView(cur), ConstFrameView(prev), mask, 24, 2);
+  std::vector<std::byte> hist_payload(kHistogramBytes);
+  color_histogram(ConstFrameView(cur), hist_payload, 2);
+
+  for (int model = 0; model < 2; ++model) {
+    const LocationRecord rec =
+        detect_target(ConstFrameView(cur), mask, ConstHistogramView(hist_payload),
+                      gen.model_color(model), model, 2);
+    const Scene truth = gen.scene_at(31);
+    ASSERT_TRUE(rec.found) << "model " << model;
+    const double dx = rec.x - truth.blobs[model].cx;
+    const double dy = rec.y - truth.blobs[model].cy;
+    // Centroid within roughly one blob radius of ground truth. The motion
+    // mask covers both old and new positions, so allow 2x radius.
+    EXPECT_LT(std::sqrt(dx * dx + dy * dy), 2.5 * truth.blobs[model].radius)
+        << "model " << model;
+  }
+}
+
+TEST(MeanShift, ConvergesToBlobFromNearbyStart) {
+  SceneGenerator gen(13);
+  const auto frame = render(gen, 40, 2);
+  const Scene truth = gen.scene_at(40);
+  for (int model = 0; model < 2; ++model) {
+    const double sx = truth.blobs[model].cx + 30;  // start off-center
+    const double sy = truth.blobs[model].cy - 25;
+    const MeanShiftResult r = mean_shift_track(ConstFrameView(frame),
+                                               gen.model_color(model), sx, sy, 60.0, 15, 2);
+    ASSERT_TRUE(r.converged) << "model " << model;
+    const double err = std::hypot(r.x - truth.blobs[model].cx,
+                                  r.y - truth.blobs[model].cy);
+    EXPECT_LT(err, truth.blobs[model].radius) << "model " << model;
+  }
+}
+
+TEST(MeanShift, TracksAcrossConsecutiveFrames) {
+  // Classic tracker loop: seed each frame's search at the previous result.
+  SceneGenerator gen(13);
+  const Scene s0 = gen.scene_at(0);
+  double x = s0.blobs[0].cx, y = s0.blobs[0].cy;
+  for (std::int64_t ts = 1; ts <= 20; ++ts) {
+    const auto frame = render(gen, ts, 2);
+    const MeanShiftResult r =
+        mean_shift_track(ConstFrameView(frame), gen.model_color(0), x, y, 60.0, 15, 2);
+    ASSERT_TRUE(r.converged) << "frame " << ts;
+    x = r.x;
+    y = r.y;
+    const Scene truth = gen.scene_at(ts);
+    EXPECT_LT(std::hypot(x - truth.blobs[0].cx, y - truth.blobs[0].cy),
+              truth.blobs[0].radius)
+        << "frame " << ts;
+  }
+}
+
+TEST(MeanShift, ReportsLostWhenNoMassInWindow) {
+  std::vector<std::byte> blank(kFrameBytes);  // black frame: no color mass
+  const MeanShiftResult r =
+      mean_shift_track(ConstFrameView(blank), Rgb{220, 40, 40}, 100, 100, 40.0, 8, 4);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.mass, 0.0);
+}
+
+TEST(MeanShift, BadParametersThrow) {
+  std::vector<std::byte> frame(kFrameBytes);
+  EXPECT_THROW(mean_shift_track(ConstFrameView(frame), Rgb{}, 0, 0, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(mean_shift_track(ConstFrameView(frame), Rgb{}, 0, 0, 10.0, 0),
+               std::invalid_argument);
+}
+
+TEST(ConnectedComponents, FindsTwoSeparatedBlobs) {
+  std::vector<std::byte> mask(kMaskBytes);
+  auto set_box = [&](int x0, int y0, int x1, int y1) {
+    for (int y = y0; y <= y1; y += 4) {
+      for (int x = x0; x <= x1; x += 4) {
+        mask[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)] =
+            std::byte{255};
+      }
+    }
+  };
+  set_box(40, 40, 80, 80);     // big blob
+  set_box(400, 200, 420, 220);  // small blob
+
+  const auto blobs = connected_components(mask, 4, 2);
+  ASSERT_EQ(blobs.size(), 2u);
+  EXPECT_GT(blobs[0].pixels, blobs[1].pixels);  // sorted largest first
+  EXPECT_NEAR(blobs[0].cx, 60.0, 4.0);
+  EXPECT_NEAR(blobs[0].cy, 60.0, 4.0);
+  EXPECT_EQ(blobs[0].min_x, 40);
+  EXPECT_EQ(blobs[0].max_x, 80);
+  EXPECT_NEAR(blobs[1].cx, 410.0, 4.0);
+}
+
+TEST(ConnectedComponents, DiagonalPixelsConnect) {
+  std::vector<std::byte> mask(kMaskBytes);
+  auto set = [&](int x, int y) {
+    mask[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)] = std::byte{255};
+  };
+  set(0, 0);
+  set(4, 4);  // diagonal neighbour on the stride-4 grid
+  const auto blobs = connected_components(mask, 4, 1);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].pixels, 2);
+}
+
+TEST(ConnectedComponents, MinPixelsFiltersSpeckle) {
+  std::vector<std::byte> mask(kMaskBytes);
+  mask[0] = std::byte{255};  // lone pixel
+  EXPECT_TRUE(connected_components(mask, 4, 2).empty());
+  EXPECT_EQ(connected_components(mask, 4, 1).size(), 1u);
+}
+
+TEST(ConnectedComponents, EmptyMaskAndErrors) {
+  std::vector<std::byte> mask(kMaskBytes);
+  EXPECT_TRUE(connected_components(mask, 4).empty());
+  std::vector<std::byte> tiny(8);
+  EXPECT_THROW(connected_components(tiny, 4), std::invalid_argument);
+  EXPECT_THROW(connected_components(mask, 0), std::invalid_argument);
+}
+
+TEST(ConnectedComponents, MovingBlobsYieldComponentsOnRealMask) {
+  SceneGenerator gen(3);
+  const auto a = render(gen, 5, 4);
+  const auto b = render(gen, 25, 4);
+  std::vector<std::byte> mask(kMaskBytes);
+  frame_difference(ConstFrameView(b), ConstFrameView(a), mask, 24, 4);
+  const auto blobs = connected_components(mask, 4, 3);
+  EXPECT_GE(blobs.size(), 1u);  // at least the moved blobs stand out
+}
+
+TEST(DetectTarget, EmptyMaskMeansNothingConsidered) {
+  SceneGenerator gen(11);
+  const auto cur = render(gen, 31, 2);
+  std::vector<std::byte> mask(kMaskBytes);  // all zero
+  std::vector<std::byte> hist_payload(kHistogramBytes);
+  color_histogram(ConstFrameView(cur), hist_payload, 2);
+  const LocationRecord rec = detect_target(ConstFrameView(cur), mask,
+                                           ConstHistogramView(hist_payload),
+                                           gen.model_color(0), 0, 2);
+  EXPECT_FALSE(rec.found);
+}
+
+}  // namespace
+}  // namespace stampede::vision

@@ -1,0 +1,65 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, ParsesKeyValuePairs) {
+  const Options o = parse({"frames=100", "mode=max"});
+  EXPECT_EQ(o.get_int("frames", 0), 100);
+  EXPECT_EQ(o.get_string("mode", ""), "max");
+}
+
+TEST(Options, DefaultsWhenMissing) {
+  const Options o = parse({});
+  EXPECT_EQ(o.get_int("n", 7), 7);
+  EXPECT_EQ(o.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(o.get_string("s", "d"), "d");
+  EXPECT_TRUE(o.get_bool("b", true));
+}
+
+TEST(Options, BareTokenIsTrue) {
+  const Options o = parse({"verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_TRUE(o.has("verbose"));
+}
+
+TEST(Options, BoolParsesCommonSpellings) {
+  const Options o = parse({"a=true", "b=0", "c=yes", "d=off"});
+  EXPECT_TRUE(o.get_bool("a", false));
+  EXPECT_FALSE(o.get_bool("b", true));
+  EXPECT_TRUE(o.get_bool("c", false));
+  EXPECT_FALSE(o.get_bool("d", true));
+}
+
+TEST(Options, BadBoolThrows) {
+  const Options o = parse({"a=banana"});
+  EXPECT_THROW(o.get_bool("a", false), std::invalid_argument);
+}
+
+TEST(Options, EmptyKeyThrows) {
+  EXPECT_THROW(parse({"=value"}), std::invalid_argument);
+}
+
+TEST(Options, LaterValueWins) {
+  const Options o = parse({"k=1", "k=2"});
+  EXPECT_EQ(o.get_int("k", 0), 2);
+}
+
+TEST(Options, KeysAndSet) {
+  Options o = parse({"b=1", "a=2"});
+  o.set("c", "3");
+  const auto keys = o.keys();
+  EXPECT_EQ(keys.size(), 3u);
+  EXPECT_EQ(o.get_int("c", 0), 3);
+}
+
+}  // namespace
+}  // namespace stampede

@@ -1,0 +1,60 @@
+#include "core/pacing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede::aru {
+namespace {
+
+TEST(PacingSleep, ClosesGapFully) {
+  EXPECT_EQ(pacing_sleep(millis(30), millis(12)), millis(18));
+}
+
+TEST(PacingSleep, UnknownTargetMeansNoSleep) {
+  EXPECT_EQ(pacing_sleep(kUnknownStp, millis(1)), Nanos{0});
+}
+
+TEST(PacingSleep, AlreadySlowerThanTarget) {
+  EXPECT_EQ(pacing_sleep(millis(10), millis(15)), Nanos{0});
+  EXPECT_EQ(pacing_sleep(millis(10), millis(10)), Nanos{0});
+}
+
+TEST(PacingSleep, GainScalesTheGap) {
+  EXPECT_EQ(pacing_sleep(millis(20), millis(10), 0.5), millis(5));
+  EXPECT_EQ(pacing_sleep(millis(20), millis(10), 0.0), Nanos{0});
+  EXPECT_EQ(pacing_sleep(millis(20), millis(10), -1.0), Nanos{0});
+  EXPECT_EQ(pacing_sleep(millis(20), millis(10), 2.0), millis(10));  // capped at 1.0
+}
+
+TEST(ShouldPace, SourcesPaceWhenEnabled) {
+  const Config cfg{.mode = Mode::kMin};
+  EXPECT_TRUE(should_pace(cfg, /*is_source=*/true));
+  EXPECT_FALSE(should_pace(cfg, /*is_source=*/false));
+}
+
+TEST(ShouldPace, OffModeNeverPaces) {
+  const Config cfg{.mode = Mode::kOff, .throttle_non_source = true};
+  EXPECT_FALSE(should_pace(cfg, true));
+  EXPECT_FALSE(should_pace(cfg, false));
+}
+
+TEST(ShouldPace, ThrottleAllExtendsToNonSources) {
+  const Config cfg{.mode = Mode::kMax, .throttle_non_source = true};
+  EXPECT_TRUE(should_pace(cfg, false));
+}
+
+TEST(ParseMode, RoundTrips) {
+  EXPECT_EQ(parse_mode("off"), Mode::kOff);
+  EXPECT_EQ(parse_mode("min"), Mode::kMin);
+  EXPECT_EQ(parse_mode("max"), Mode::kMax);
+  EXPECT_EQ(parse_mode("custom"), Mode::kCustom);
+  EXPECT_EQ(to_string(Mode::kMin), "min");
+  EXPECT_THROW(parse_mode("bogus"), std::invalid_argument);
+}
+
+TEST(Config, EnabledReflectsMode) {
+  EXPECT_FALSE(Config{.mode = Mode::kOff}.enabled());
+  EXPECT_TRUE(Config{.mode = Mode::kMax}.enabled());
+}
+
+}  // namespace
+}  // namespace stampede::aru

@@ -1,0 +1,218 @@
+#include "stats/postmortem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede::stats {
+namespace {
+
+constexpr std::int64_t kMs = 1'000'000;
+
+struct TraceBuilder {
+  Trace trace;
+
+  TraceBuilder() {
+    trace.t_begin = 0;
+    trace.t_end = 50 * kMs;
+  }
+
+  void item(ItemId id, Ts ts, std::int64_t bytes, std::int64_t t_alloc,
+            std::int64_t produce_cost, std::vector<ItemId> lineage) {
+    trace.items.push_back(ItemRecord{.id = id,
+                                     .ts = ts,
+                                     .bytes = bytes,
+                                     .producer = 0,
+                                     .cluster_node = 0,
+                                     .t_alloc = t_alloc,
+                                     .produce_cost = produce_cost,
+                                     .lineage = std::move(lineage)});
+    trace.events.push_back(
+        Event{.type = EventType::kAlloc, .ts = ts, .item = id, .t = t_alloc, .a = bytes});
+    if (produce_cost > 0) {
+      trace.events.push_back(Event{
+          .type = EventType::kCompute, .ts = ts, .item = id, .t = t_alloc, .a = produce_cost});
+    }
+  }
+
+  void ev(EventType type, ItemId id, Ts ts, std::int64_t t, std::int64_t a = 0) {
+    trace.events.push_back(Event{.type = type, .ts = ts, .item = id, .t = t, .a = a});
+  }
+
+  Trace finish() {
+    std::stable_sort(trace.events.begin(), trace.events.end(),
+                     [](const Event& a, const Event& b) { return a.t < b.t; });
+    return trace;
+  }
+};
+
+/// Scenario: three source frames; frame 2 is never consumed (pure waste);
+/// frames 1 and 3 are consumed into derived items that reach the sink.
+Trace scenario() {
+  TraceBuilder b;
+  // id 1..3: source frames of 1000 bytes.
+  b.item(1, 0, 1000, 0 * kMs, 2 * kMs, {});
+  b.item(2, 1, 1000, 10 * kMs, 2 * kMs, {});
+  b.item(3, 2, 1000, 20 * kMs, 2 * kMs, {});
+  // id 4, 5: derived results (500 bytes) from frames 1 and 3.
+  b.item(4, 0, 500, 25 * kMs, 5 * kMs, {1});
+  b.item(5, 2, 500, 35 * kMs, 5 * kMs, {3});
+
+  b.ev(EventType::kConsume, 1, 0, 22 * kMs);
+  b.ev(EventType::kConsume, 3, 2, 32 * kMs);
+  b.ev(EventType::kConsume, 4, 0, 30 * kMs);
+  b.ev(EventType::kConsume, 5, 2, 40 * kMs);
+  b.ev(EventType::kEmit, 4, 0, 30 * kMs);
+  b.ev(EventType::kEmit, 5, 2, 40 * kMs);
+  b.ev(EventType::kDrop, 2, 1, 15 * kMs);
+
+  b.ev(EventType::kFree, 1, 0, 30 * kMs, 1000);
+  b.ev(EventType::kFree, 2, 1, 15 * kMs, 1000);
+  b.ev(EventType::kFree, 3, 2, 40 * kMs, 1000);
+  b.ev(EventType::kFree, 4, 0, 31 * kMs, 500);
+  b.ev(EventType::kFree, 5, 2, 41 * kMs, 500);
+  return b.finish();
+}
+
+TEST(Analyzer, SuccessfulSetIsEmittedClosure) {
+  const Trace t = scenario();
+  const Analyzer a(t);
+  EXPECT_TRUE(a.successful(1));
+  EXPECT_FALSE(a.successful(2));
+  EXPECT_TRUE(a.successful(3));
+  EXPECT_TRUE(a.successful(4));
+  EXPECT_TRUE(a.successful(5));
+}
+
+TEST(Analyzer, WasteCountsAndPercentages) {
+  const Trace t = scenario();
+  const Analysis r = Analyzer(t).run();
+  EXPECT_EQ(r.res.items_total, 5);
+  EXPECT_EQ(r.res.items_wasted, 1);
+  EXPECT_EQ(r.res.drops, 1);
+
+  // Byte-seconds: f1 1000*30, f2 1000*5 (wasted), f3 1000*20,
+  // d4 500*6, d5 500*6 -> wasted fraction = 5000/61000.
+  EXPECT_NEAR(r.res.wasted_mem_pct, 100.0 * 5'000 / 61'000, 1e-6);
+
+  // Compute: 3*2ms frames + 2*5ms derived = 16 ms total; f2's 2 ms wasted.
+  EXPECT_NEAR(r.res.total_compute_ms, 16.0, 1e-9);
+  EXPECT_NEAR(r.res.wasted_comp_pct, 100.0 * 2 / 16, 1e-6);
+}
+
+TEST(Analyzer, LatencyWalksLineageToSource) {
+  const Trace t = scenario();
+  const Analyzer a(t);
+  const auto lat = a.emit_latencies_ms();
+  // emit(4) at 30ms from frame 1 allocated at 0 -> 30ms;
+  // emit(5) at 40ms from frame 3 allocated at 20ms -> 20ms.
+  ASSERT_EQ(lat.size(), 2u);
+  EXPECT_NEAR(lat[0], 30.0, 1e-9);
+  EXPECT_NEAR(lat[1], 20.0, 1e-9);
+  const Analysis r = a.run();
+  EXPECT_NEAR(r.perf.latency_ms_mean, 25.0, 1e-9);
+}
+
+TEST(Analyzer, ThroughputCountsDistinctTimestamps) {
+  const Trace t = scenario();
+  const Analysis r = Analyzer(t).run();
+  EXPECT_EQ(r.perf.frames_emitted, 2);
+  EXPECT_NEAR(r.perf.throughput_fps, 2.0 / 0.05, 1e-6);
+}
+
+TEST(Analyzer, DuplicateTimestampEmitsAreDeduped) {
+  TraceBuilder b;
+  b.item(1, 0, 100, 0, 0, {});
+  b.ev(EventType::kConsume, 1, 0, 10 * kMs);
+  b.ev(EventType::kEmit, 1, 0, 10 * kMs);
+  b.ev(EventType::kEmit, 1, 0, 12 * kMs);  // same ts again
+  const Analysis r = Analyzer(b.finish()).run();
+  EXPECT_EQ(r.perf.frames_emitted, 1);
+}
+
+TEST(Analyzer, DisplayEventsOverrideEmitsForThroughput) {
+  TraceBuilder b;
+  b.item(1, 0, 100, 0, 0, {});
+  b.ev(EventType::kConsume, 1, 0, 5 * kMs);
+  b.ev(EventType::kEmit, 1, 0, 5 * kMs);
+  b.ev(EventType::kEmit, 1, 0, 6 * kMs);
+  b.ev(EventType::kDisplay, 0, 0, 5 * kMs);
+  b.ev(EventType::kDisplay, 0, 1, 25 * kMs);
+  b.ev(EventType::kDisplay, 0, 2, 45 * kMs);
+  const Analysis r = Analyzer(b.finish()).run();
+  EXPECT_EQ(r.perf.frames_emitted, 3);
+}
+
+TEST(Analyzer, JitterIsStddevOfOutputGaps) {
+  TraceBuilder b;
+  b.item(1, 0, 100, 0, 0, {});
+  b.ev(EventType::kConsume, 1, 0, 1 * kMs);
+  // Perfectly regular displays -> zero jitter.
+  for (int i = 0; i < 5; ++i) b.ev(EventType::kDisplay, 0, i, (10 + 10 * i) * kMs);
+  const Analysis r = Analyzer(b.finish()).run();
+  EXPECT_NEAR(r.perf.jitter_ms, 0.0, 1e-9);
+}
+
+TEST(Analyzer, FootprintMatchesEventIntegral) {
+  const Trace t = scenario();
+  const Analysis r = Analyzer(t).run();
+  // Total byte-seconds 61'000'000 B·ms over 50 ms -> 1220 B mean.
+  EXPECT_NEAR(r.res.footprint_mb_mean * 1024 * 1024, 61'000.0 * kMs / (50 * kMs), 1.0);
+}
+
+TEST(Analyzer, IgcKeepsOnlySuccessfulItemsUntilLastUse) {
+  const Trace t = scenario();
+  const Analysis r = Analyzer(t).run();
+  // IGC byte-seconds: f1 [0,22]=22000, f3 [20,32]=12000, d4 [25,30]=2500,
+  // d5 [35,40]=2500; f2 never allocated. Total 39'000 B·ms over 50 ms.
+  EXPECT_NEAR(r.res.igc_mb_mean * 1024 * 1024, 39'000.0 / 50, 1.0);
+  EXPECT_LT(r.res.igc_mb_mean, r.res.footprint_mb_mean);
+}
+
+TEST(Analyzer, WarmupFractionSkipsEarlyEmits) {
+  const Trace t = scenario();
+  const Analysis r = Analyzer(t, {.warmup_fraction = 0.7}).run();
+  // Only the 40 ms emit survives a 35 ms cutoff.
+  EXPECT_EQ(r.perf.frames_emitted, 1);
+}
+
+TEST(Analyzer, ElidedComputeIsAggregated) {
+  TraceBuilder b;
+  b.ev(EventType::kElide, 0, 0, 5 * kMs, 3 * kMs);
+  b.ev(EventType::kElide, 0, 1, 6 * kMs, 4 * kMs);
+  const Analysis r = Analyzer(b.finish()).run();
+  EXPECT_NEAR(r.res.elided_compute_ms, 7.0, 1e-9);
+}
+
+TEST(Analyzer, OverheadCountsTowardTotalCompute) {
+  TraceBuilder b;
+  b.item(1, 0, 100, 0, 2 * kMs, {});
+  b.ev(EventType::kOverhead, 0, 0, 5 * kMs, 6 * kMs);
+  const Analysis r = Analyzer(b.finish()).run();
+  EXPECT_NEAR(r.res.total_compute_ms, 8.0, 1e-9);
+}
+
+TEST(Analyzer, StpSeriesFiltersByNode) {
+  TraceBuilder b;
+  b.trace.events.push_back(
+      Event{.type = EventType::kStp, .node = 3, .t = 1 * kMs, .a = 100, .b = 200});
+  b.trace.events.push_back(
+      Event{.type = EventType::kStp, .node = 4, .t = 2 * kMs, .a = 300, .b = 400});
+  const Trace t = b.finish();
+  const Analyzer a(t);
+  const auto series = a.stp_series(3);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].current_ns, 100);
+  EXPECT_EQ(series[0].summary_ns, 200);
+}
+
+TEST(Analyzer, EmptyTraceYieldsZeroMetrics) {
+  Trace t;
+  t.t_begin = 0;
+  t.t_end = 1000;
+  const Analysis r = Analyzer(t).run();
+  EXPECT_EQ(r.perf.frames_emitted, 0);
+  EXPECT_EQ(r.res.items_total, 0);
+  EXPECT_EQ(r.res.wasted_mem_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace stampede::stats

@@ -1,0 +1,109 @@
+#include "runtime/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_support.hpp"
+
+namespace stampede {
+namespace {
+
+using test::Env;
+using test::never_stop;
+
+TEST(Queue, FifoOrder) {
+  Env env;
+  auto q = env.make_queue();
+  const int c = q->register_consumer(200, 0);
+  for (Timestamp ts = 0; ts < 3; ++ts) q->put(env.make_item(ts), never_stop());
+  EXPECT_EQ(q->get(c, aru::kUnknownStp, never_stop()).item->ts(), 0);
+  EXPECT_EQ(q->get(c, aru::kUnknownStp, never_stop()).item->ts(), 1);
+  EXPECT_EQ(q->get(c, aru::kUnknownStp, never_stop()).item->ts(), 2);
+  EXPECT_EQ(q->size(), 0u);
+}
+
+TEST(Queue, ExactlyOnceAcrossConsumers) {
+  Env env;
+  auto q = env.make_queue();
+  const int c0 = q->register_consumer(200, 0);
+  const int c1 = q->register_consumer(201, 0);
+  q->put(env.make_item(0), never_stop());
+  q->put(env.make_item(1), never_stop());
+  const auto a = q->get(c0, aru::kUnknownStp, never_stop()).item;
+  const auto b = q->get(c1, aru::kUnknownStp, never_stop()).item;
+  EXPECT_NE(a->ts(), b->ts());
+}
+
+TEST(Queue, FeedbackPiggybacksLikeChannels) {
+  Env env;
+  auto q = env.make_queue();
+  const int c = q->register_consumer(200, 0);
+  q->put(env.make_item(0), never_stop());
+  q->get(c, millis(12), never_stop());
+  EXPECT_EQ(q->put(env.make_item(1), never_stop()).queue_summary, millis(12));
+}
+
+TEST(Queue, BlockingGetWakesOnPut) {
+  Env env;
+  env.ctx.clock = &RealClock::instance();
+  auto q = env.make_queue();
+  const int c = q->register_consumer(200, 0);
+  std::shared_ptr<const Item> got;
+  std::thread consumer([&] { got = q->get(c, aru::kUnknownStp, never_stop()).item; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  q->put(env.make_item(3), never_stop());
+  consumer.join();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->ts(), 3);
+}
+
+TEST(Queue, CloseDrainsThenReturnsNull) {
+  Env env;
+  auto q = env.make_queue();
+  const int c = q->register_consumer(200, 0);
+  q->put(env.make_item(0), never_stop());
+  q->close();
+  EXPECT_TRUE(q->get(c, aru::kUnknownStp, never_stop()).item);
+  EXPECT_FALSE(q->get(c, aru::kUnknownStp, never_stop()).item);
+  EXPECT_FALSE(q->put(env.make_item(1), never_stop()).stored);
+}
+
+TEST(Queue, BoundedPutBlocksUntilPop) {
+  Env env;
+  env.ctx.clock = &RealClock::instance();
+  auto q = env.make_queue({.name = "bounded", .capacity = 1});
+  const int c = q->register_consumer(200, 0);
+  q->put(env.make_item(0), never_stop());
+  Nanos blocked{0};
+  std::thread producer([&] { blocked = q->put(env.make_item(1), never_stop()).blocked; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q->get(c, aru::kUnknownStp, never_stop());
+  producer.join();
+  EXPECT_GE(blocked.count(), millis(10).count());
+  EXPECT_EQ(q->size(), 1u);
+}
+
+TEST(Queue, TransferDelayForRemoteConsumer) {
+  Env env(2);
+  auto q = env.make_queue({.name = "q", .cluster_node = 0});
+  const int remote = q->register_consumer(200, 1);
+  q->put(env.make_item(0, 500'000), never_stop());
+  EXPECT_GT(q->get(remote, aru::kUnknownStp, never_stop()).transfer.count(),
+            millis(3).count());
+}
+
+TEST(Queue, BadConsumerIndexThrows) {
+  Env env;
+  auto q = env.make_queue();
+  EXPECT_THROW(q->get(0, aru::kUnknownStp, never_stop()), std::out_of_range);
+}
+
+TEST(Queue, NullItemThrows) {
+  Env env;
+  auto q = env.make_queue();
+  EXPECT_THROW(q->put(nullptr, never_stop()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stampede

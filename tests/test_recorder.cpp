@@ -1,0 +1,106 @@
+#include "stats/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace stampede::stats {
+namespace {
+
+Event ev(EventType type, std::int64_t t, ItemId item = 0) {
+  return Event{.type = type, .item = item, .t = t};
+}
+
+TEST(Recorder, MergeSortsAcrossShards) {
+  Recorder r;
+  Shard* a = r.new_shard();
+  Shard* b = r.new_shard();
+  a->record(ev(EventType::kAlloc, 30));
+  b->record(ev(EventType::kAlloc, 10));
+  a->record(ev(EventType::kFree, 50));
+  b->record(ev(EventType::kPut, 20));
+
+  const Trace t = r.merge(0, 100);
+  ASSERT_EQ(t.events.size(), 4u);
+  EXPECT_EQ(t.events[0].t, 10);
+  EXPECT_EQ(t.events[1].t, 20);
+  EXPECT_EQ(t.events[2].t, 30);
+  EXPECT_EQ(t.events[3].t, 50);
+  EXPECT_EQ(t.t_begin, 0);
+  EXPECT_EQ(t.t_end, 100);
+}
+
+TEST(Recorder, StableOrderForEqualTimes) {
+  Recorder r;
+  Shard* a = r.new_shard();
+  a->record(Event{.type = EventType::kAlloc, .item = 1, .t = 5});
+  a->record(Event{.type = EventType::kFree, .item = 1, .t = 5});
+  const Trace t = r.merge(0, 10);
+  EXPECT_EQ(t.events[0].type, EventType::kAlloc);
+  EXPECT_EQ(t.events[1].type, EventType::kFree);
+}
+
+TEST(Recorder, ItemRecordsAreSortedById) {
+  Recorder r;
+  Shard* a = r.new_shard();
+  a->record_item(ItemRecord{.id = 7});
+  a->record_item(ItemRecord{.id = 3});
+  const Trace t = r.merge(0, 1);
+  ASSERT_EQ(t.items.size(), 2u);
+  EXPECT_EQ(t.items[0].id, 3u);
+  EXPECT_EQ(t.items[1].id, 7u);
+}
+
+TEST(Recorder, ItemIdsAreUniqueAcrossThreads) {
+  Recorder r;
+  std::vector<ItemId> ids(4000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&r, &ids, t] {
+      for (int i = 0; i < 1000; ++i) ids[static_cast<std::size_t>(t * 1000 + i)] = r.next_item_id();
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  EXPECT_GT(ids.front(), 0u);  // 0 is reserved for "no item"
+}
+
+TEST(Recorder, EmitCounterIsThreadSafe) {
+  Recorder r;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&r] {
+      for (int i = 0; i < 500; ++i) r.count_emit();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(r.emits(), 2000);
+}
+
+TEST(Recorder, NodeNamesLandInTrace) {
+  Recorder r;
+  r.set_node_name(2, "tracker");
+  r.set_node_name(0, "digitizer");
+  const Trace t = r.merge(0, 1);
+  ASSERT_EQ(t.node_names.size(), 3u);
+  EXPECT_EQ(t.node_names[0], "digitizer");
+  EXPECT_EQ(t.node_names[2], "tracker");
+}
+
+TEST(Recorder, AnyThreadEventsAreMerged) {
+  Recorder r;
+  r.record_any_thread(ev(EventType::kFree, 42, 9));
+  const Trace t = r.merge(0, 100);
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_EQ(t.events[0].item, 9u);
+}
+
+TEST(EventType, NamesAreStable) {
+  EXPECT_STREQ(to_string(EventType::kAlloc), "alloc");
+  EXPECT_STREQ(to_string(EventType::kDisplay), "display");
+  EXPECT_STREQ(to_string(EventType::kOverhead), "overhead");
+}
+
+}  // namespace
+}  // namespace stampede::stats

@@ -1,0 +1,83 @@
+#include "vision/records.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stampede::vision {
+namespace {
+
+TEST(Sizes, MatchPaperReportedItemSizes) {
+  EXPECT_EQ(kFrameBytes, 737'280u);     // "Digitizer 738 kB"
+  EXPECT_EQ(kMaskBytes, 245'760u);      // "Background 246 kB"
+  EXPECT_EQ(kHistogramBytes, 1'004'544u);  // "Histogram 981 kB"
+  EXPECT_EQ(kLocationBytes, 68u);       // "Target-Detection 68 Bytes"
+}
+
+TEST(LocationRecord, RoundTripsThroughPayload) {
+  std::vector<std::byte> payload(kLocationBytes);
+  LocationRecord rec;
+  rec.frame_ts = 42;
+  rec.model = 1;
+  rec.found = 1;
+  rec.x = 123.5;
+  rec.y = 67.25;
+  rec.confidence = 0.75;
+  rec.truth_x = 120.0;
+  rec.truth_y = 70.0;
+  write_location(payload, rec);
+  const LocationRecord out = read_location(payload);
+  EXPECT_EQ(out.frame_ts, 42);
+  EXPECT_EQ(out.model, 1);
+  EXPECT_EQ(out.found, 1);
+  EXPECT_DOUBLE_EQ(out.x, 123.5);
+  EXPECT_DOUBLE_EQ(out.y, 67.25);
+  EXPECT_DOUBLE_EQ(out.confidence, 0.75);
+  EXPECT_DOUBLE_EQ(out.truth_x, 120.0);
+}
+
+TEST(LocationRecord, SmallBufferThrows) {
+  std::vector<std::byte> tiny(8);
+  EXPECT_THROW(write_location(tiny, LocationRecord{}), std::invalid_argument);
+  EXPECT_THROW(read_location(tiny), std::invalid_argument);
+}
+
+TEST(HistogramView, LayoutFitsInPayload) {
+  std::vector<std::byte> payload(kHistogramBytes);
+  HistogramView h(payload);
+  EXPECT_EQ(h.bins().size(), static_cast<std::size_t>(kHistBins));
+  EXPECT_EQ(h.backprojection().size(), static_cast<std::size_t>(kWidth) * kHeight);
+  // Writing to both regions must stay in bounds (sanitizers would catch
+  // any overlap/overflow).
+  h.bins()[kHistBins - 1] = 1.0f;
+  h.backprojection().back() = std::byte{255};
+}
+
+TEST(HistogramView, SmallBufferThrows) {
+  std::vector<std::byte> tiny(100);
+  EXPECT_THROW(HistogramView(std::span<std::byte>(tiny)), std::invalid_argument);
+  EXPECT_THROW(ConstHistogramView(std::span<const std::byte>(tiny)), std::invalid_argument);
+}
+
+TEST(HistBin, MapsCornersToDistinctBins) {
+  EXPECT_EQ(hist_bin(Rgb{0, 0, 0}), 0);
+  EXPECT_EQ(hist_bin(Rgb{255, 255, 255}), kHistBins - 1);
+  EXPECT_NE(hist_bin(Rgb{255, 0, 0}), hist_bin(Rgb{0, 255, 0}));
+}
+
+TEST(HistBin, AllValuesInRange) {
+  for (int r = 0; r < 256; r += 17) {
+    for (int g = 0; g < 256; g += 17) {
+      for (int b = 0; b < 256; b += 17) {
+        const int bin = hist_bin(Rgb{static_cast<std::uint8_t>(r),
+                                     static_cast<std::uint8_t>(g),
+                                     static_cast<std::uint8_t>(b)});
+        ASSERT_GE(bin, 0);
+        ASSERT_LT(bin, kHistBins);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stampede::vision

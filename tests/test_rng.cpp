@@ -1,0 +1,80 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede {
+namespace {
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  SplitMix64 a2(7);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(SplitMix64, ProducesDistinctValues) {
+  SplitMix64 rng(1);
+  const auto x = rng.next();
+  const auto y = rng.next();
+  EXPECT_NE(x, y);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, GaussianMomentsApproximatelyStandard) {
+  Xoshiro256 rng(6);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace stampede

@@ -1,0 +1,236 @@
+/// \file test_simulator.cpp
+/// \brief Deterministic feedback-loop model: convergence and fixed points.
+#include "core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede::aru {
+namespace {
+
+/// Chain: src(2ms) -> mid(8ms) -> sink(5ms).
+std::vector<SimStage> chain() {
+  return {
+      {.name = "src", .cost = millis(2), .consumers = {1}},
+      {.name = "mid", .cost = millis(8), .consumers = {2}},
+      {.name = "sink", .cost = millis(5), .consumers = {}},
+  };
+}
+
+/// Fan-out: src(1ms) -> {fast 6ms, slow 18ms}.
+std::vector<SimStage> fanout() {
+  return {
+      {.name = "src", .cost = millis(1), .consumers = {1, 2}},
+      {.name = "fast", .cost = millis(6), .consumers = {}},
+      {.name = "slow", .cost = millis(18), .consumers = {}},
+  };
+}
+
+TEST(RateSimulator, SourceDetection) {
+  RateSimulator sim(chain(), {});
+  EXPECT_TRUE(sim.is_source(0));
+  EXPECT_FALSE(sim.is_source(1));
+  EXPECT_FALSE(sim.is_source(2));
+}
+
+TEST(RateSimulator, ChainConvergesToBottleneck) {
+  RateSimulator sim(chain(), {.mode = Mode::kMin});
+  sim.run(10);
+  // The bottleneck is mid (8 ms): src's paced period must reach it.
+  EXPECT_EQ(sim.source_period(0), millis(8));
+  // And the recursive summary seen at the source equals the bottleneck.
+  EXPECT_EQ(sim.summary(0), millis(8));
+}
+
+TEST(RateSimulator, ConvergenceTakesOneRoundPerHop) {
+  RateSimulator sim(chain(), {.mode = Mode::kMin});
+  // Feedback travels one hop per round: after round 1 the source has only
+  // mid's self-knowledge-free summary; by round 3 the full path is known.
+  sim.step();
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.source_period(0), millis(8));
+}
+
+TEST(RateSimulator, FanOutMinFollowsFastest) {
+  RateSimulator sim(fanout(), {.mode = Mode::kMin});
+  sim.run(10);
+  EXPECT_EQ(sim.source_period(0), millis(6));
+}
+
+TEST(RateSimulator, FanOutMaxFollowsSlowest) {
+  RateSimulator sim(fanout(), {.mode = Mode::kMax});
+  sim.run(10);
+  EXPECT_EQ(sim.source_period(0), millis(18));
+}
+
+TEST(RateSimulator, OffModeLeavesSourceAtIntrinsicCost) {
+  RateSimulator sim(fanout(), {.mode = Mode::kOff});
+  sim.run(10);
+  EXPECT_EQ(sim.source_period(0), millis(1));
+}
+
+TEST(RateSimulator, CustomOperatorFixedPoint) {
+  SimConfig cfg{.mode = Mode::kCustom};
+  cfg.custom = [](std::span<const Nanos> v) {
+    // Second-fastest consumer.
+    Nanos lo = kUnknownStp, hi = kUnknownStp;
+    for (const Nanos x : v) {
+      if (!known(x)) continue;
+      if (!known(lo) || x < lo) {
+        hi = lo;
+        lo = x;
+      } else if (!known(hi) || x < hi) {
+        hi = x;
+      }
+    }
+    return known(hi) ? hi : lo;
+  };
+  RateSimulator sim(fanout(), std::move(cfg));
+  sim.run(10);
+  EXPECT_EQ(sim.source_period(0), millis(18));  // second-fastest of {6,18}
+}
+
+TEST(RateSimulator, GainDampsConvergence) {
+  RateSimulator fast(fanout(), {.mode = Mode::kMax, .pace_gain = 1.0});
+  RateSimulator damped(fanout(), {.mode = Mode::kMax, .pace_gain = 0.2});
+  fast.run(4);
+  damped.run(4);
+  // Full gain reaches the target quickly; damped gain lags behind it.
+  EXPECT_GT(fast.source_period(0).count(), damped.source_period(0).count());
+  damped.run(60);
+  // ... but converges eventually.
+  EXPECT_NEAR(static_cast<double>(damped.source_period(0).count()),
+              static_cast<double>(millis(18).count()), 1e6 /* within 1 ms */);
+}
+
+TEST(RateSimulator, NoiseMakesMaxOvershoot) {
+  std::vector<SimStage> noisy = fanout();
+  noisy[2].noise = 0.3;
+  RateSimulator sim(noisy, {.mode = Mode::kMax, .seed = 5});
+  const auto conv = sim.analyze(0, 400);
+  // max over noisy samples biases the paced period above the nominal cost
+  // — the paper's ARU-max starvation mechanism.
+  EXPECT_GT(conv.final_period_ms, 18.0);
+  EXPECT_GT(conv.final_std_ms, 0.0);
+}
+
+TEST(RateSimulator, FilterReducesNoiseSensitivity) {
+  std::vector<SimStage> noisy = fanout();
+  noisy[2].noise = 0.3;
+  RateSimulator raw(noisy, {.mode = Mode::kMax, .seed = 7});
+  RateSimulator filtered(noisy, {.mode = Mode::kMax, .filter = "median:9", .seed = 7});
+  const auto conv_raw = raw.analyze(0, 400);
+  const auto conv_filtered = filtered.analyze(0, 400);
+  EXPECT_LT(conv_filtered.final_std_ms, conv_raw.final_std_ms);
+}
+
+TEST(RateSimulator, AnalyzeConvergesOnCleanSystem) {
+  RateSimulator sim(chain(), {.mode = Mode::kMin});
+  const auto conv = sim.analyze(0, 100);
+  EXPECT_TRUE(conv.converged);
+  EXPECT_LE(conv.rounds_to_converge, 4);
+  EXPECT_NEAR(conv.final_period_ms, 8.0, 1e-9);
+  EXPECT_EQ(conv.final_std_ms, 0.0);
+}
+
+TEST(RateSimulator, HistoryTracksEveryRound) {
+  RateSimulator sim(chain(), {.mode = Mode::kMin});
+  sim.run(7);
+  EXPECT_EQ(sim.period_history_ms(0).size(), 7u);
+  EXPECT_EQ(sim.rounds(), 7);
+}
+
+TEST(RateSimulator, BadIndicesThrow) {
+  RateSimulator sim(chain(), {});
+  EXPECT_THROW(sim.summary(9), std::out_of_range);
+  EXPECT_THROW(sim.source_period(-1), std::out_of_range);
+  EXPECT_THROW(RateSimulator({{.name = "x", .cost = millis(1), .consumers = {5}}}, {}),
+               std::invalid_argument);
+}
+
+TEST(RateSimulator, DeadbandSuppressesDithering) {
+  std::vector<SimStage> noisy = fanout();
+  noisy[2].noise = 0.3;
+  RateSimulator raw(noisy, {.mode = Mode::kMax, .seed = 21});
+  RateSimulator banded(noisy, {.mode = Mode::kMax, .deadband = 0.25, .seed = 21});
+  const auto conv_raw = raw.analyze(0, 400);
+  const auto conv_banded = banded.analyze(0, 400);
+  // Hysteresis trades tracking for stability: the settled period varies
+  // less round-to-round.
+  EXPECT_LT(conv_banded.final_std_ms, conv_raw.final_std_ms);
+}
+
+TEST(RateSimulator, DeadbandStillConvergesOnCleanSystem) {
+  RateSimulator sim(chain(), {.mode = Mode::kMin, .deadband = 0.1});
+  const auto conv = sim.analyze(0, 60);
+  // The initial 2->8 ms jump dwarfs the deadband; convergence is intact.
+  EXPECT_NEAR(conv.final_period_ms, 8.0, 8.0 * 0.11);
+}
+
+TEST(RateSimulator, EffectivePeriodPropagatesArrivalRates) {
+  RateSimulator sim(fanout(), {.mode = Mode::kMin});
+  sim.run(10);
+  // Source paced to the fast consumer (6 ms); the fast consumer iterates
+  // at its own 6 ms; the slow one is compute-bound at 18 ms.
+  EXPECT_EQ(sim.effective_period(0), millis(6));
+  EXPECT_EQ(sim.effective_period(1), millis(6));
+  EXPECT_EQ(sim.effective_period(2), millis(18));
+}
+
+TEST(RateSimulator, PredictedSkipMatchesRateGap) {
+  RateSimulator sim(fanout(), {.mode = Mode::kMin});
+  sim.run(10);
+  // Fast consumer keeps up: 0 skip. Slow consumer (18 ms) sees 6 ms items:
+  // skips 1 - 6/18 = 2/3 of them.
+  EXPECT_DOUBLE_EQ(sim.predicted_skip(0, 1), 0.0);
+  EXPECT_NEAR(sim.predicted_skip(0, 2), 2.0 / 3.0, 1e-9);
+}
+
+TEST(RateSimulator, MaxModeEliminatesPredictedSkips) {
+  RateSimulator sim(fanout(), {.mode = Mode::kMax});
+  sim.run(10);
+  // Everything paced to 18 ms: no skipping anywhere.
+  EXPECT_DOUBLE_EQ(sim.predicted_skip(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(sim.predicted_skip(0, 2), 0.0);
+}
+
+TEST(RateSimulator, OffModePredictsHeavySkipping) {
+  RateSimulator sim(fanout(), {.mode = Mode::kOff});
+  sim.run(5);
+  // Unthrottled 1 ms source vs 6/18 ms consumers.
+  EXPECT_NEAR(sim.predicted_skip(0, 1), 1.0 - 1.0 / 6.0, 1e-9);
+  EXPECT_NEAR(sim.predicted_skip(0, 2), 1.0 - 1.0 / 18.0, 1e-9);
+}
+
+TEST(RateSimulator, PredictedSkipRequiresDirectEdge) {
+  RateSimulator sim(chain(), {.mode = Mode::kMin});
+  sim.run(5);
+  EXPECT_THROW(sim.predicted_skip(0, 2), std::invalid_argument);  // not direct
+}
+
+// Property: for random DAG layer costs, min-mode source period equals the
+// max cost along the min-summary recursion — which for a chain is simply
+// the maximum stage cost.
+class ChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainProperty, SourceConvergesToMaxStageCost) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 13);
+  std::vector<SimStage> stages;
+  const int n = 3 + static_cast<int>(rng.below(6));
+  Nanos max_cost{0};
+  for (int i = 0; i < n; ++i) {
+    const Nanos cost = millis(1 + static_cast<std::int64_t>(rng.below(30)));
+    max_cost = std::max(max_cost, cost);
+    SimStage s{.name = "s" + std::to_string(i), .cost = cost};
+    if (i + 1 < n) s.consumers = {i + 1};
+    stages.push_back(std::move(s));
+  }
+  RateSimulator sim(std::move(stages), {.mode = Mode::kMin});
+  sim.run(n + 2);
+  EXPECT_EQ(sim.source_period(0), max_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, ChainProperty, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace stampede::aru

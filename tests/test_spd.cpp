@@ -1,0 +1,193 @@
+/// \file test_spd.cpp
+/// \brief The Stampede-style flat API facade (spd_*), paper §4.
+#include "runtime/spd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+namespace stampede::spd {
+namespace {
+
+struct ProducerArgs {
+  int count = 0;
+  double cost_ms = 1.0;
+};
+
+void producer_fn(spd_ctx* ctx, void* arg) {
+  auto* args = static_cast<ProducerArgs*>(arg);
+  for (std::int64_t ts = 0; ts < args->count && !spd_stopping(ctx); ++ts) {
+    spd_compute_ms(ctx, args->cost_ms);
+    const std::uint32_t payload = static_cast<std::uint32_t>(ts) * 3u;
+    spd_put(ctx, 0, ts, &payload, sizeof(payload), nullptr, 0);
+    spd_periodicity_sync(ctx);
+  }
+}
+
+struct SinkArgs {
+  std::atomic<int> consumed{0};
+  std::atomic<std::uint32_t> last_payload{0};
+  double cost_ms = 0.5;
+};
+
+void sink_fn(spd_ctx* ctx, void* arg) {
+  auto* args = static_cast<SinkArgs*>(arg);
+  while (!spd_stopping(ctx)) {
+    spd_item item;
+    if (spd_get_latest(ctx, 0, &item) != SPD_OK) break;
+    spd_compute_ms(ctx, args->cost_ms);
+    std::uint32_t payload = 0;
+    ASSERT_EQ(item.len, sizeof(payload));
+    std::memcpy(&payload, item.data, sizeof(payload));
+    args->last_payload = payload;
+    args->consumed.fetch_add(1);
+    spd_emit(ctx, &item);
+    spd_item_release(&item);
+    spd_periodicity_sync(ctx);
+  }
+}
+
+TEST(SpdApi, EndToEndPipeline) {
+  spd_attr attr{.aru = SPD_ARU_MIN};
+  spd_runtime* rt = spd_init(&attr);
+  ASSERT_NE(rt, nullptr);
+
+  const spd_chan ch = spd_chan_alloc(rt, "ch", 0, SPD_DEP_INDEPENDENT);
+  ASSERT_GE(ch, 0);
+  ProducerArgs pargs{.count = 40};
+  SinkArgs sargs;
+  const spd_thread prod = spd_thread_create(rt, "producer", 0, producer_fn, &pargs);
+  const spd_thread sink = spd_thread_create(rt, "sink", 0, sink_fn, &sargs);
+  ASSERT_GE(prod, 0);
+  ASSERT_GE(sink, 0);
+  ASSERT_EQ(spd_attach_output(rt, prod, ch), SPD_OK);
+  ASSERT_EQ(spd_attach_input(rt, sink, ch), SPD_OK);
+
+  ASSERT_EQ(spd_start(rt), SPD_OK);
+  spd_run_ms(rt, 400);
+  EXPECT_EQ(spd_stop(rt), SPD_OK);
+
+  EXPECT_GT(sargs.consumed.load(), 10);
+  EXPECT_GT(spd_emit_count(rt), 10);
+  // Payload round-trips through the channel.
+  EXPECT_EQ(sargs.last_payload.load() % 3u, 0u);
+  spd_shutdown(rt);
+}
+
+TEST(SpdApi, CommonSinkDependencySelectsMaxOperator) {
+  // Fan-out where the slow branch dominates under SPD_DEP_COMMON_SINK.
+  spd_attr attr{.aru = SPD_ARU_MIN};
+  spd_runtime* rt = spd_init(&attr);
+  ASSERT_NE(rt, nullptr);
+  const spd_chan feed = spd_chan_alloc(rt, "feed", 0, SPD_DEP_COMMON_SINK);
+
+  static ProducerArgs pargs{.count = 100000, .cost_ms = 1.0};
+  static SinkArgs fast{.cost_ms = 3.0};
+  static SinkArgs slow{.cost_ms = 12.0};
+  const spd_thread prod = spd_thread_create(rt, "producer", 0, producer_fn, &pargs);
+  const spd_thread f = spd_thread_create(rt, "fast", 0, sink_fn, &fast);
+  const spd_thread s = spd_thread_create(rt, "slow", 0, sink_fn, &slow);
+  spd_attach_output(rt, prod, feed);
+  spd_attach_input(rt, f, feed);
+  spd_attach_input(rt, s, feed);
+
+  ASSERT_EQ(spd_start(rt), SPD_OK);
+  spd_run_ms(rt, 600);
+  spd_stop(rt);
+
+  // With the max operator the producer paces to the slow branch: both
+  // branches consume at nearly the slow rate.
+  const int fast_n = fast.consumed.load();
+  const int slow_n = slow.consumed.load();
+  EXPECT_GT(slow_n, 10);
+  EXPECT_LT(fast_n, slow_n * 2);
+  spd_shutdown(rt);
+  fast.consumed = 0;
+  slow.consumed = 0;
+}
+
+TEST(SpdApi, QueuePipelineDeliversExactlyOnce) {
+  spd_attr attr{.aru = SPD_ARU_MIN};
+  spd_runtime* rt = spd_init(&attr);
+  ASSERT_NE(rt, nullptr);
+  const spd_queue q = spd_queue_alloc(rt, "work", 0, SPD_DEP_INDEPENDENT);
+  ASSERT_GE(q, 0);
+
+  static ProducerArgs pargs{.count = 25, .cost_ms = 1.0};
+  static SinkArgs sargs{.cost_ms = 2.0};
+  const spd_thread prod = spd_thread_create(rt, "producer", 0, producer_fn, &pargs);
+  const spd_thread sink = spd_thread_create(rt, "sink", 0, sink_fn, &sargs);
+  ASSERT_EQ(spd_attach_output(rt, prod, q), SPD_OK);
+  ASSERT_EQ(spd_attach_input(rt, sink, q), SPD_OK);
+  ASSERT_EQ(spd_start(rt), SPD_OK);
+  spd_run_ms(rt, 400);
+  spd_stop(rt);
+  // FIFO queue: the fast-enough sink consumes every item exactly once.
+  EXPECT_EQ(sargs.consumed.load(), 25);
+  spd_shutdown(rt);
+  sargs.consumed = 0;
+}
+
+TEST(SpdApi, BadArgumentsReturnErrors) {
+  EXPECT_EQ(spd_init(nullptr) == nullptr, false);  // null attr = defaults
+  spd_runtime* rt = spd_init(nullptr);
+  EXPECT_EQ(spd_chan_alloc(nullptr, "x", 0, SPD_DEP_INDEPENDENT), SPD_ERR_ARG);
+  EXPECT_EQ(spd_chan_alloc(rt, nullptr, 0, SPD_DEP_INDEPENDENT), SPD_ERR_ARG);
+  EXPECT_EQ(spd_thread_create(rt, "t", 0, nullptr, nullptr), SPD_ERR_ARG);
+  EXPECT_EQ(spd_attach_input(rt, 5, 0), SPD_ERR_ARG);
+  EXPECT_EQ(spd_stop(nullptr), SPD_ERR_ARG);
+  spd_shutdown(rt);
+}
+
+TEST(SpdApi, InvalidAttrRejected) {
+  spd_attr attr;
+  attr.cluster_nodes = 0;
+  EXPECT_EQ(spd_init(&attr), nullptr);
+}
+
+TEST(SpdApi, StartTwiceFails) {
+  spd_runtime* rt = spd_init(nullptr);
+  const spd_chan ch = spd_chan_alloc(rt, "ch", 0, SPD_DEP_INDEPENDENT);
+  static ProducerArgs pargs{.count = 3};
+  const spd_thread prod = spd_thread_create(rt, "p", 0, producer_fn, &pargs);
+  spd_attach_output(rt, prod, ch);
+  static SinkArgs sargs;
+  const spd_thread sink = spd_thread_create(rt, "s", 0, sink_fn, &sargs);
+  spd_attach_input(rt, sink, ch);
+  ASSERT_EQ(spd_start(rt), SPD_OK);
+  EXPECT_EQ(spd_start(rt), SPD_ERR_STATE);
+  spd_stop(rt);
+  spd_shutdown(rt);
+  sargs.consumed = 0;
+}
+
+TEST(SpdApi, GraphDotExport) {
+  spd_runtime* rt = spd_init(nullptr);
+  const spd_chan ch = spd_chan_alloc(rt, "pipe", 0, SPD_DEP_INDEPENDENT);
+  static ProducerArgs pargs{.count = 1};
+  const spd_thread prod = spd_thread_create(rt, "cam", 0, producer_fn, &pargs);
+  spd_attach_output(rt, prod, ch);
+
+  const std::int64_t needed = spd_graph_dot(rt, nullptr, 0);
+  ASSERT_GT(needed, 0);
+  std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+  EXPECT_EQ(spd_graph_dot(rt, buf.data(), buf.size()), needed);
+  const std::string dot(buf.data());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("cam"), std::string::npos);
+  EXPECT_NE(dot.find("pipe"), std::string::npos);
+  spd_shutdown(rt);
+}
+
+TEST(SpdApi, ItemReleaseIsIdempotent) {
+  spd_item item;
+  spd_item_release(&item);  // empty view: no-op
+  spd_item_release(&item);
+  spd_item_release(nullptr);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace stampede::spd

@@ -1,0 +1,37 @@
+#include "util/spin.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede {
+namespace {
+
+TEST(MixWork, ResultDependsOnIterations) {
+  EXPECT_NE(mix_work(1, 10), mix_work(1, 11));
+}
+
+TEST(MixWork, DeterministicPerInput) {
+  EXPECT_EQ(mix_work(99, 1000), mix_work(99, 1000));
+}
+
+TEST(BusySpin, AdvancesManualClockWithoutBurningCpu) {
+  ManualClock clock;
+  busy_spin_for(clock, millis(500));
+  EXPECT_EQ(clock.now(), millis(500));
+}
+
+TEST(BusySpin, RealClockSpinsAtLeastRequested) {
+  RealClock clock;
+  const Nanos start = clock.now();
+  busy_spin_for(clock, millis(2));
+  EXPECT_GE((clock.now() - start).count(), millis(2).count());
+}
+
+TEST(BusySpin, NonPositiveDurationIsNoOp) {
+  ManualClock clock(millis(1));
+  busy_spin_for(clock, Nanos{0});
+  busy_spin_for(clock, Nanos{-5});
+  EXPECT_EQ(clock.now(), millis(1));
+}
+
+}  // namespace
+}  // namespace stampede

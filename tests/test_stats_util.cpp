@@ -1,0 +1,150 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace stampede {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, KnownValues) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);  // classic population-σ example
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  Xoshiro256 rng(11);
+  StreamingStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-10, 10);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), whole.stddev(), 1e-9);
+}
+
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats a, b;
+  a.add(3.0);
+  StreamingStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+// The paper's §4 formulas: MU_mean = Σ(MU_{t_{i+1}}·Δt)/(t_N−t_0).
+TEST(TimeWeightedStats, PaperFootprintFormula) {
+  TimeWeightedStats w;
+  // Value 10 on [0, 4), value 2 on [4, 5): mean = (10*4 + 2*1) / 5 = 8.4.
+  w.sample(0, 10.0);
+  w.sample(4, 2.0);
+  w.finish(5);
+  EXPECT_DOUBLE_EQ(w.mean(), 8.4);
+  // var = (100*4 + 4*1)/5 − 8.4² = 80.8 − 70.56 = 10.24 → σ = 3.2.
+  EXPECT_NEAR(w.stddev(), 3.2, 1e-12);
+  EXPECT_EQ(w.peak(), 10.0);
+  EXPECT_EQ(w.span(), 5);
+}
+
+TEST(TimeWeightedStats, SingleSampleMeanIsValue) {
+  TimeWeightedStats w;
+  w.sample(10, 7.0);
+  w.finish(20);
+  EXPECT_DOUBLE_EQ(w.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+}
+
+TEST(TimeWeightedStats, BackwardsTimeThrows) {
+  TimeWeightedStats w;
+  w.sample(10, 1.0);
+  EXPECT_THROW(w.sample(5, 2.0), std::invalid_argument);
+}
+
+TEST(TimeWeightedStats, SampleAfterFinishThrows) {
+  TimeWeightedStats w;
+  w.sample(0, 1.0);
+  w.finish(1);
+  EXPECT_THROW(w.sample(2, 1.0), std::logic_error);
+}
+
+TEST(TimeWeightedStats, ZeroSpanDegenerates) {
+  TimeWeightedStats w;
+  w.sample(5, 3.0);
+  w.finish(5);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+}
+
+// Property: time-weighted stats equal brute-force integration on random
+// step functions.
+class TimeWeightedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeWeightedProperty, MatchesBruteForce) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  TimeWeightedStats w;
+  std::vector<std::pair<std::int64_t, double>> steps;
+  std::int64_t t = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double v = rng.uniform(0, 100);
+    w.sample(t, v);
+    steps.emplace_back(t, v);
+    t += static_cast<std::int64_t>(rng.below(1000)) + 1;
+  }
+  const std::int64_t t_end = t;
+  w.finish(t_end);
+
+  double sum = 0, sq = 0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::int64_t until = i + 1 < steps.size() ? steps[i + 1].first : t_end;
+    const double dt = static_cast<double>(until - steps[i].first);
+    sum += steps[i].second * dt;
+    sq += steps[i].second * steps[i].second * dt;
+  }
+  const double span = static_cast<double>(t_end - steps.front().first);
+  const double mean = sum / span;
+  const double var = sq / span - mean * mean;
+  EXPECT_NEAR(w.mean(), mean, 1e-9);
+  EXPECT_NEAR(w.stddev(), std::sqrt(std::max(0.0, var)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeries, TimeWeightedProperty, ::testing::Range(1, 13));
+
+TEST(Percentile, EmptyAndEdges) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  EXPECT_EQ(percentile({5.0}, 0), 5.0);
+  EXPECT_EQ(percentile({5.0}, 100), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150), 3.0);
+}
+
+}  // namespace
+}  // namespace stampede

@@ -1,0 +1,84 @@
+/// \file test_stereo.cpp
+/// \brief Stereo rig rendering and disparity estimation.
+#include "vision/stereo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stampede::vision {
+namespace {
+
+TEST(StereoRig, LeftViewMatchesPlainScene) {
+  StereoRig rig(5, 24);
+  std::vector<std::byte> left(kFrameBytes), plain(kFrameBytes);
+  rig.render_left(10, left, 4);
+  rig.scene().render(10, plain, 4);
+  EXPECT_EQ(left, plain);
+}
+
+TEST(StereoRig, RightViewShiftsBlobs) {
+  StereoRig rig(5, 24);
+  std::vector<std::byte> left(kFrameBytes), right(kFrameBytes);
+  rig.render_left(10, left, 2);
+  rig.render_right(10, right, 2);
+  EXPECT_NE(left, right);
+
+  // The blob center in the right view is displaced by ~baseline.
+  const Scene s = rig.scene().scene_at(10);
+  const ConstFrameView rv(right);
+  // Snap to the stride-2 render grid (untouched pixels stay zero).
+  const int shifted_x = ((static_cast<int>(s.blobs[0].cx) - rig.baseline_px()) / 2) * 2;
+  const int cy = (static_cast<int>(s.blobs[0].cy) / 2) * 2;
+  if (shifted_x >= 0 && shifted_x < kWidth) {
+    const Rgb px = rv.get(shifted_x, cy);
+    const Rgb model = rig.scene().model_color(0);
+    EXPECT_EQ(px.r, model.r);
+    EXPECT_EQ(px.g, model.g);
+  }
+}
+
+TEST(EstimateDisparity, RecoversBaselineOnCorrespondingFrames) {
+  StereoRig rig(7, 24);
+  std::vector<std::byte> left(kFrameBytes), right(kFrameBytes);
+  rig.render_left(20, left, 2);
+  rig.render_right(20, right, 2);
+
+  const DisparityEstimate est = estimate_disparity(
+      ConstFrameView(left), ConstFrameView(right), rig.scene().model_color(0), 2);
+  ASSERT_TRUE(est.found);
+  EXPECT_NEAR(est.disparity_px, 24.0, 8.0);
+}
+
+TEST(EstimateDisparity, MismatchedTimestampsGiveWrongDisparity) {
+  // The §1 point: stereo needs *corresponding* timestamps. Frames far
+  // apart in time place the blob elsewhere, corrupting the estimate.
+  StereoRig rig(7, 24);
+  std::vector<std::byte> left(kFrameBytes), right(kFrameBytes);
+  rig.render_left(20, left, 2);
+  rig.render_right(90, right, 2);  // wrong timestamp
+
+  const DisparityEstimate est = estimate_disparity(
+      ConstFrameView(left), ConstFrameView(right), rig.scene().model_color(0), 2);
+  if (est.found) {
+    EXPECT_GT(std::abs(est.disparity_px - 24.0), 10.0);
+  }
+}
+
+TEST(EstimateDisparity, NotFoundOnBlankFrames) {
+  std::vector<std::byte> blank_l(kFrameBytes), blank_r(kFrameBytes);
+  const DisparityEstimate est = estimate_disparity(
+      ConstFrameView(blank_l), ConstFrameView(blank_r), Rgb{220, 40, 40}, 4);
+  EXPECT_FALSE(est.found);
+}
+
+TEST(StereoRig, DeterministicAcrossInstances) {
+  StereoRig a(3, 16), b(3, 16);
+  std::vector<std::byte> fa(kFrameBytes), fb(kFrameBytes);
+  a.render_right(4, fa, 4);
+  b.render_right(4, fb, 4);
+  EXPECT_EQ(fa, fb);
+}
+
+}  // namespace
+}  // namespace stampede::vision

@@ -1,0 +1,73 @@
+#include "core/stp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede::aru {
+namespace {
+
+TEST(StpMeter, MeasuresPlainIterationTime) {
+  StpMeter m;
+  m.begin_iteration(millis(100));
+  const Nanos stp = m.end_iteration(millis(112));
+  EXPECT_EQ(stp, millis(12));
+  EXPECT_EQ(m.current_stp(), millis(12));
+  EXPECT_EQ(m.last_period(), millis(12));
+  EXPECT_EQ(m.iterations(), 1);
+}
+
+// Paper Fig. 2: blocking time waiting on upstream data is NOT part of the
+// sustainable thread period.
+TEST(StpMeter, BlockingIsExcluded) {
+  StpMeter m;
+  m.begin_iteration(Nanos{0});
+  m.add_blocked(millis(30));
+  const Nanos stp = m.end_iteration(millis(40));
+  EXPECT_EQ(stp, millis(10));
+  EXPECT_EQ(m.last_period(), millis(40));
+}
+
+TEST(StpMeter, PacedSleepIsExcluded) {
+  StpMeter m;
+  m.begin_iteration(Nanos{0});
+  m.add_paced_sleep(millis(5));
+  EXPECT_EQ(m.end_iteration(millis(12)), millis(7));
+}
+
+TEST(StpMeter, NegativeResultClampsToZero) {
+  StpMeter m;
+  m.begin_iteration(Nanos{0});
+  m.add_blocked(millis(20));
+  EXPECT_EQ(m.end_iteration(millis(10)), Nanos{0});
+}
+
+TEST(StpMeter, NonPositiveAccumulationsIgnored) {
+  StpMeter m;
+  m.begin_iteration(Nanos{0});
+  m.add_blocked(Nanos{-5});
+  m.add_paced_sleep(Nanos{0});
+  EXPECT_EQ(m.end_iteration(millis(3)), millis(3));
+}
+
+TEST(StpMeter, EndWithoutBeginThrows) {
+  StpMeter m;
+  EXPECT_THROW(m.end_iteration(millis(1)), std::logic_error);
+}
+
+TEST(StpMeter, BlockedResetsBetweenIterations) {
+  StpMeter m;
+  m.begin_iteration(Nanos{0});
+  m.add_blocked(millis(8));
+  m.end_iteration(millis(10));
+  m.begin_iteration(millis(10));
+  EXPECT_EQ(m.end_iteration(millis(15)), millis(5));
+  EXPECT_EQ(m.iterations(), 2);
+}
+
+TEST(StpMeter, TracksIterationStart) {
+  StpMeter m;
+  m.begin_iteration(millis(42));
+  EXPECT_EQ(m.iteration_start(), millis(42));
+}
+
+}  // namespace
+}  // namespace stampede::aru

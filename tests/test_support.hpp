@@ -1,0 +1,67 @@
+/// \file test_support.hpp
+/// \brief Shared fixtures/helpers for the test suite.
+#pragma once
+
+#include <memory>
+#include <stop_token>
+
+#include "cluster/topology.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/context.hpp"
+#include "runtime/item.hpp"
+#include "runtime/queue.hpp"
+#include "stats/recorder.hpp"
+#include "util/clock.hpp"
+
+namespace stampede::test {
+
+/// Self-contained RunContext for direct Channel/Queue/Item tests (no
+/// Runtime). Defaults: manual clock, one cluster node, DGC, ARU-min.
+struct Env {
+  explicit Env(int cluster_nodes = 1)
+      : tracker(cluster_nodes),
+        topology(cluster_nodes == 1
+                     ? cluster::Topology::single_node()
+                     : cluster::Topology::uniform(cluster_nodes,
+                                                  cluster::Topology::gigabit_link())) {
+    ctx.clock = &clock;
+    ctx.tracker = &tracker;
+    ctx.recorder = &recorder;
+    ctx.topology = &topology;
+    ctx.gc = gc::Kind::kDeadTimestamp;
+    ctx.aru = aru::Config{.mode = aru::Mode::kMin};
+  }
+
+  /// Builds a channel node with a fresh recorder shard.
+  std::unique_ptr<Channel> make_channel(ChannelConfig config = {.name = "ch"}) {
+    return std::make_unique<Channel>(ctx, next_node++, std::move(config), ctx.aru.mode,
+                                     make_filter(""), recorder.new_shard());
+  }
+
+  std::unique_ptr<Queue> make_queue(QueueConfig config = {.name = "q"}) {
+    return std::make_unique<Queue>(ctx, next_node++, std::move(config), ctx.aru.mode,
+                                   make_filter(""), recorder.new_shard());
+  }
+
+  /// Builds an item owned by producer node 1000 on cluster node 0.
+  std::shared_ptr<Item> make_item(Timestamp ts, std::size_t bytes = 64,
+                                  std::vector<ItemId> lineage = {}) {
+    return std::make_shared<Item>(ctx, ts, bytes, /*producer=*/1000, /*cluster_node=*/0,
+                                  std::move(lineage), Nanos{0});
+  }
+
+  ManualClock clock;
+  MemoryTracker tracker;
+  stats::Recorder recorder;
+  cluster::Topology topology;
+  RunContext ctx;
+  NodeId next_node = 0;
+};
+
+/// A stop token that never fires (for non-blocking channel tests).
+inline std::stop_token never_stop() {
+  static std::stop_source source;
+  return source.get_token();
+}
+
+}  // namespace stampede::test

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("x");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, HeaderAfterRowsThrows) {
+  Table t("x");
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"a"}), std::logic_error);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t("x");
+  t.set_header({"a", "b"});
+  t.add_row({"1,5", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1;5,2\n");
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(AsciiChart, EmptySeries) {
+  EXPECT_EQ(ascii_chart({}, 10, 4), "(empty series)\n");
+}
+
+TEST(AsciiChart, ChartHasRequestedHeight) {
+  const std::string out = ascii_chart({1, 2, 3, 4, 5}, 5, 4);
+  int lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5);  // height rows + axis
+}
+
+TEST(AsciiChart, MonotoneSeriesFillsTopRightOnly) {
+  const std::string out = ascii_chart({0, 0, 0, 0, 10, 10, 10, 10}, 8, 2);
+  // Top row should have hashes only in the right half.
+  const std::string top = out.substr(0, out.find('\n'));
+  EXPECT_EQ(top.find('#'), 5u);
+}
+
+TEST(AsciiChart, FixedYMaxScalesBars) {
+  // With y_max = 100 a series peaking at 10 never reaches the top row.
+  const std::string out = ascii_chart({10, 10, 10}, 3, 10, 100.0);
+  const std::string top = out.substr(0, out.find('\n'));
+  EXPECT_EQ(top.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stampede

@@ -1,0 +1,90 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede::stats {
+namespace {
+
+Event alloc(std::int64_t t, std::int64_t bytes, ItemId id = 1) {
+  return Event{.type = EventType::kAlloc, .item = id, .t = t, .a = bytes};
+}
+Event free_ev(std::int64_t t, std::int64_t bytes, ItemId id = 1) {
+  return Event{.type = EventType::kFree, .item = id, .t = t, .a = bytes};
+}
+
+TEST(Footprint, StepFunctionFromAllocFree) {
+  const std::vector<Event> events{alloc(10, 100), alloc(20, 50), free_ev(30, 100)};
+  const FootprintSeries s = footprint_from_events(events, 0, 40);
+  ASSERT_EQ(s.t.size(), 3u);
+  EXPECT_EQ(s.bytes[0], 100);
+  EXPECT_EQ(s.bytes[1], 150);
+  EXPECT_EQ(s.bytes[2], 50);
+}
+
+TEST(Footprint, WeightedStatsMatchHandComputation) {
+  // 100 bytes on [10, 30), 0 before, 0 after free at 30; window [0, 40).
+  const std::vector<Event> events{alloc(10, 100), free_ev(30, 100)};
+  const FootprintSeries s = footprint_from_events(events, 0, 40);
+  const TimeWeightedStats w = s.weighted();
+  EXPECT_DOUBLE_EQ(w.mean(), 100.0 * 20 / 40);
+  EXPECT_EQ(w.peak(), 100.0);
+}
+
+TEST(Footprint, LateFreesClampToWindowEnd) {
+  const std::vector<Event> events{alloc(10, 100), free_ev(500, 100)};
+  const FootprintSeries s = footprint_from_events(events, 0, 100);
+  // Alive for [10, 100): mean = 100 * 90 / 100.
+  EXPECT_DOUBLE_EQ(s.weighted().mean(), 90.0);
+}
+
+TEST(Footprint, NonMemoryEventsIgnored) {
+  const std::vector<Event> events{
+      alloc(10, 100), Event{.type = EventType::kPut, .t = 15, .a = 999}};
+  const FootprintSeries s = footprint_from_events(events, 0, 20);
+  EXPECT_EQ(s.t.size(), 1u);
+}
+
+TEST(Footprint, ResampleDistributesTimeWeightedMeans) {
+  const std::vector<Event> events{alloc(0, 100), free_ev(50, 100)};
+  const FootprintSeries s = footprint_from_events(events, 0, 100);
+  const auto buckets = s.resample(2);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_NEAR(buckets[0], 100.0, 1e-6);
+  EXPECT_NEAR(buckets[1], 0.0, 1e-6);
+}
+
+TEST(Footprint, ResampleHandlesEmptySeries) {
+  FootprintSeries s;
+  s.t_begin = 0;
+  s.t_end = 100;
+  const auto buckets = s.resample(4);
+  for (const double b : buckets) EXPECT_EQ(b, 0.0);
+}
+
+TEST(Footprint, CsvHasHeaderAndRows) {
+  const std::vector<Event> events{alloc(1'000'000, 42)};
+  const FootprintSeries s = footprint_from_events(events, 0, 2'000'000);
+  const std::string csv = s.to_csv();
+  EXPECT_NE(csv.find("t_ms,bytes"), std::string::npos);
+  EXPECT_NE(csv.find("1,42"), std::string::npos);
+}
+
+TEST(FootprintIntervals, IgcStyleSeries) {
+  // Two successful items: [0, 10) of 100 bytes and [5, 15) of 50 bytes.
+  const std::vector<std::int64_t> alloc_t{0, 5};
+  const std::vector<std::int64_t> free_t{10, 15};
+  const std::vector<std::int64_t> bytes{100, 50};
+  const FootprintSeries s = footprint_from_intervals(alloc_t, free_t, bytes, 0, 20);
+  const TimeWeightedStats w = s.weighted();
+  // Integral: 100*5 + 150*5 + 50*5 = 1500 over 20 -> 75.
+  EXPECT_DOUBLE_EQ(w.mean(), 75.0);
+  EXPECT_EQ(w.peak(), 150.0);
+}
+
+TEST(FootprintIntervals, EmptyInput) {
+  const FootprintSeries s = footprint_from_intervals({}, {}, {}, 0, 10);
+  EXPECT_DOUBLE_EQ(s.weighted().mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace stampede::stats

@@ -1,0 +1,65 @@
+#include "cluster/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stampede::cluster {
+namespace {
+
+TEST(Link, TransferTimeCombinesLatencyAndBandwidth) {
+  const Link link{.latency = micros(100), .bytes_per_sec = 1e6};  // 1 MB/s
+  // 1 MB at 1 MB/s = 1 s, plus 100 us latency.
+  EXPECT_EQ(link.transfer_time(1'000'000), micros(100) + seconds(1));
+}
+
+TEST(Link, InfiniteBandwidthIsLatencyOnly) {
+  const Link link{.latency = micros(50), .bytes_per_sec = 0.0};
+  EXPECT_EQ(link.transfer_time(1 << 20), micros(50));
+}
+
+TEST(Topology, SingleNodeHasNoTransfers) {
+  const Topology t = Topology::single_node();
+  EXPECT_EQ(t.nodes(), 1);
+  EXPECT_EQ(t.transfer_time(0, 0, 12345), Nanos{0});
+}
+
+TEST(Topology, SameNodeIsFreeRemoteIsNot) {
+  const Topology t = Topology::uniform(3, Link{.latency = micros(10), .bytes_per_sec = 1e9});
+  EXPECT_EQ(t.transfer_time(1, 1, 1000), Nanos{0});
+  EXPECT_GT(t.transfer_time(0, 2, 1000).count(), micros(10).count());
+}
+
+TEST(Topology, GigabitDefaultsMatchPaperTestbed) {
+  const Link g = Topology::gigabit_link();
+  // A 738 kB frame over Gigabit: ~6 ms.
+  const Nanos t = g.transfer_time(738 * 1024);
+  EXPECT_GT(t.count(), millis(5).count());
+  EXPECT_LT(t.count(), millis(8).count());
+}
+
+TEST(Topology, InvalidNodeCountThrows) {
+  EXPECT_THROW(Topology::uniform(0, Link{}), std::invalid_argument);
+  EXPECT_THROW(Topology::uniform(-3, Link{}), std::invalid_argument);
+}
+
+TEST(Topology, OutOfRangeIndicesThrow) {
+  const Topology t = Topology::uniform(2, Link{});
+  EXPECT_THROW(t.transfer_time(0, 2, 1), std::out_of_range);
+  EXPECT_THROW(t.transfer_time(-1, 0, 1), std::out_of_range);
+}
+
+TEST(Topology, ValidChecksRange) {
+  const Topology t = Topology::uniform(2, Link{});
+  EXPECT_TRUE(t.valid(0));
+  EXPECT_TRUE(t.valid(1));
+  EXPECT_FALSE(t.valid(2));
+  EXPECT_FALSE(t.valid(-1));
+}
+
+TEST(Topology, DescribeMentionsNodeCount) {
+  EXPECT_NE(Topology::uniform(5, Topology::gigabit_link()).describe().find("5 nodes"),
+            std::string::npos);
+  EXPECT_NE(Topology::single_node().describe().find("1 node"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stampede::cluster

@@ -1,0 +1,122 @@
+/// \file test_trace_io.cpp
+/// \brief Trace persistence round-trips and corruption handling.
+#include "stats/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stampede::stats {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.t_begin = 100;
+  t.t_end = 5000;
+  t.node_names = {"digitizer", "", "gui"};
+  t.events.push_back(Event{.type = EventType::kAlloc,
+                           .node = 0,
+                           .ts = 3,
+                           .item = 7,
+                           .t = 150,
+                           .a = 1024,
+                           .b = 0});
+  t.events.push_back(
+      Event{.type = EventType::kEmit, .node = 2, .ts = 3, .item = 7, .t = 900});
+  t.items.push_back(ItemRecord{.id = 7,
+                               .ts = 3,
+                               .bytes = 1024,
+                               .producer = 0,
+                               .cluster_node = 0,
+                               .t_alloc = 150,
+                               .produce_cost = 42,
+                               .lineage = {5, 6}});
+  return t;
+}
+
+TEST(TraceIo, RoundTripsThroughStream) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  save_trace(original, buf);
+  const Trace loaded = load_trace(buf);
+
+  EXPECT_EQ(loaded.t_begin, original.t_begin);
+  EXPECT_EQ(loaded.t_end, original.t_end);
+  ASSERT_EQ(loaded.node_names.size(), 3u);
+  EXPECT_EQ(loaded.node_names[0], "digitizer");
+  EXPECT_EQ(loaded.node_names[2], "gui");
+
+  ASSERT_EQ(loaded.events.size(), 2u);
+  EXPECT_EQ(loaded.events[0].type, EventType::kAlloc);
+  EXPECT_EQ(loaded.events[0].a, 1024);
+  EXPECT_EQ(loaded.events[1].type, EventType::kEmit);
+
+  ASSERT_EQ(loaded.items.size(), 1u);
+  EXPECT_EQ(loaded.items[0].id, 7u);
+  EXPECT_EQ(loaded.items[0].produce_cost, 42);
+  EXPECT_EQ(loaded.items[0].lineage, (std::vector<ItemId>{5, 6}));
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace t;
+  t.t_begin = 0;
+  t.t_end = 1;
+  std::stringstream buf;
+  save_trace(t, buf);
+  const Trace loaded = load_trace(buf);
+  EXPECT_TRUE(loaded.events.empty());
+  EXPECT_TRUE(loaded.items.empty());
+}
+
+TEST(TraceIo, BadMagicRejected) {
+  std::stringstream buf;
+  buf << "this is not a trace file at all";
+  EXPECT_THROW(load_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedInputRejected) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  save_trace(original, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_trace(cut), std::runtime_error);
+}
+
+TEST(TraceIo, WrongVersionRejected) {
+  std::stringstream buf;
+  const std::uint32_t magic = kTraceMagic;
+  const std::uint32_t version = kTraceVersion + 9;
+  buf.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  buf.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  EXPECT_THROW(load_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/stampede_test.trace";
+  save_trace_file(original, path);
+  const Trace loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.events.size(), original.events.size());
+  EXPECT_THROW(load_trace_file("/nonexistent/dir/x.trace"), std::runtime_error);
+}
+
+TEST(TraceIo, FormatEventIsReadable) {
+  const Trace t = sample_trace();
+  const std::string line = format_event(t, t.events[0]);
+  EXPECT_NE(line.find("alloc"), std::string::npos);
+  EXPECT_NE(line.find("digitizer"), std::string::npos);
+  EXPECT_NE(line.find("ts=3"), std::string::npos);
+  EXPECT_NE(line.find("item=7"), std::string::npos);
+}
+
+TEST(TraceIo, FormatEventFallsBackToNodeId) {
+  Trace t = sample_trace();
+  Event e = t.events[0];
+  e.node = 1;  // unnamed node
+  const std::string line = format_event(t, e);
+  EXPECT_NE(line.find("node=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stampede::stats
