@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fig9_timeseries.dir/fig8_fig9_timeseries.cpp.o"
+  "CMakeFiles/fig8_fig9_timeseries.dir/fig8_fig9_timeseries.cpp.o.d"
+  "fig8_fig9_timeseries"
+  "fig8_fig9_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fig9_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_aru_overhead.dir/micro_aru_overhead.cpp.o"
+  "CMakeFiles/micro_aru_overhead.dir/micro_aru_overhead.cpp.o.d"
+  "micro_aru_overhead"
+  "micro_aru_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_aru_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_aru_overhead.
+# This may be replaced when dependencies are built.

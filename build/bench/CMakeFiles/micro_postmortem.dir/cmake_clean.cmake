@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_postmortem.dir/micro_postmortem.cpp.o"
+  "CMakeFiles/micro_postmortem.dir/micro_postmortem.cpp.o.d"
+  "micro_postmortem"
+  "micro_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

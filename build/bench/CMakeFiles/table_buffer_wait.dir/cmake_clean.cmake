@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_buffer_wait.dir/table_buffer_wait.cpp.o"
+  "CMakeFiles/table_buffer_wait.dir/table_buffer_wait.cpp.o.d"
+  "table_buffer_wait"
+  "table_buffer_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_buffer_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_fig10_performance.dir/table_fig10_performance.cpp.o"
+  "CMakeFiles/table_fig10_performance.dir/table_fig10_performance.cpp.o.d"
+  "table_fig10_performance"
+  "table_fig10_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_fig10_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_fig6_memory.dir/table_fig6_memory.cpp.o"
+  "CMakeFiles/table_fig6_memory.dir/table_fig6_memory.cpp.o.d"
+  "table_fig6_memory"
+  "table_fig6_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_fig6_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_fig7_wasted.dir/table_fig7_wasted.cpp.o"
+  "CMakeFiles/table_fig7_wasted.dir/table_fig7_wasted.cpp.o.d"
+  "table_fig7_wasted"
+  "table_fig7_wasted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_fig7_wasted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_load.dir/adaptive_load.cpp.o"
+  "CMakeFiles/adaptive_load.dir/adaptive_load.cpp.o.d"
+  "adaptive_load"
+  "adaptive_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_frames.dir/dump_frames.cpp.o"
+  "CMakeFiles/dump_frames.dir/dump_frames.cpp.o.d"
+  "dump_frames"
+  "dump_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

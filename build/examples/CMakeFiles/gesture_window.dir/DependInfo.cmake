@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gesture_window.cpp" "examples/CMakeFiles/gesture_window.dir/gesture_window.cpp.o" "gcc" "examples/CMakeFiles/gesture_window.dir/gesture_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/stampede_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stampede_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stampede_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/stampede_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/stampede_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stampede_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stampede_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesture_window.dir/gesture_window.cpp.o"
+  "CMakeFiles/gesture_window.dir/gesture_window.cpp.o.d"
+  "gesture_window"
+  "gesture_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesture_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

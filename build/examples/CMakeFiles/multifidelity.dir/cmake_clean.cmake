@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multifidelity.dir/multifidelity.cpp.o"
+  "CMakeFiles/multifidelity.dir/multifidelity.cpp.o.d"
+  "multifidelity"
+  "multifidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multifidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

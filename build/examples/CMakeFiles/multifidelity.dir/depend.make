@@ -1,0 +1,2 @@
+# Empty dependencies file for multifidelity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stereo_pipeline.dir/stereo_pipeline.cpp.o"
+  "CMakeFiles/stereo_pipeline.dir/stereo_pipeline.cpp.o.d"
+  "stereo_pipeline"
+  "stereo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stereo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

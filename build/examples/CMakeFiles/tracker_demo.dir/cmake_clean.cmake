@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracker_demo.dir/tracker_demo.cpp.o"
+  "CMakeFiles/tracker_demo.dir/tracker_demo.cpp.o.d"
+  "tracker_demo"
+  "tracker_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracker_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

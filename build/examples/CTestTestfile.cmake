@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "aru=min" "seconds=1")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_off "/root/repo/build/examples/quickstart" "aru=off" "seconds=1")
+set_tests_properties(example_quickstart_off PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tracker_dot "/root/repo/build/examples/tracker_demo" "dot=true")
+set_tests_properties(example_tracker_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tracker_demo "/root/repo/build/examples/tracker_demo" "aru=max" "seconds=2")
+set_tests_properties(example_tracker_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_load "/root/repo/build/examples/adaptive_load" "aru=min" "seconds=2")
+set_tests_properties(example_adaptive_load PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_operator "/root/repo/build/examples/custom_operator" "op=custom" "seconds=1")
+set_tests_properties(example_custom_operator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gesture_window "/root/repo/build/examples/gesture_window" "aru=min" "seconds=1" "window=3")
+set_tests_properties(example_gesture_window PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stereo_pipeline "/root/repo/build/examples/stereo_pipeline" "aru=min" "seconds=1")
+set_tests_properties(example_stereo_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multifidelity "/root/repo/build/examples/multifidelity" "aru=min" "seconds=1")
+set_tests_properties(example_multifidelity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dump_frames "/root/repo/build/examples/dump_frames" "frames=1" "dir=.")
+set_tests_properties(example_dump_frames PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_record "/root/repo/build/examples/trace_inspect" "record" "out=smoke.trace" "seconds=1" "monitor_ms=50")
+set_tests_properties(example_trace_record PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_analyze "/root/repo/build/examples/trace_inspect" "analyze" "in=smoke.trace")
+set_tests_properties(example_trace_analyze PROPERTIES  DEPENDS "example_trace_record" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;40;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_breakdown "/root/repo/build/examples/trace_inspect" "breakdown" "in=smoke.trace")
+set_tests_properties(example_trace_breakdown PROPERTIES  DEPENDS "example_trace_record" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;41;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_timeline "/root/repo/build/examples/trace_inspect" "timeline" "in=smoke.trace")
+set_tests_properties(example_trace_timeline PROPERTIES  DEPENDS "example_trace_record" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;42;add_test;/root/repo/examples/CMakeLists.txt;0;")

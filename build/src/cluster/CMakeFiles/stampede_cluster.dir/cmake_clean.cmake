@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_cluster.dir/topology.cpp.o"
+  "CMakeFiles/stampede_cluster.dir/topology.cpp.o.d"
+  "libstampede_cluster.a"
+  "libstampede_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

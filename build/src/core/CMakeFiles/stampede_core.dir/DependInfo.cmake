@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compress.cpp" "src/core/CMakeFiles/stampede_core.dir/compress.cpp.o" "gcc" "src/core/CMakeFiles/stampede_core.dir/compress.cpp.o.d"
+  "/root/repo/src/core/feedback.cpp" "src/core/CMakeFiles/stampede_core.dir/feedback.cpp.o" "gcc" "src/core/CMakeFiles/stampede_core.dir/feedback.cpp.o.d"
+  "/root/repo/src/core/pacing.cpp" "src/core/CMakeFiles/stampede_core.dir/pacing.cpp.o" "gcc" "src/core/CMakeFiles/stampede_core.dir/pacing.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/stampede_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/stampede_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/stampede_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/stampede_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/core/stp.cpp" "src/core/CMakeFiles/stampede_core.dir/stp.cpp.o" "gcc" "src/core/CMakeFiles/stampede_core.dir/stp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stampede_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_core.dir/compress.cpp.o"
+  "CMakeFiles/stampede_core.dir/compress.cpp.o.d"
+  "CMakeFiles/stampede_core.dir/feedback.cpp.o"
+  "CMakeFiles/stampede_core.dir/feedback.cpp.o.d"
+  "CMakeFiles/stampede_core.dir/pacing.cpp.o"
+  "CMakeFiles/stampede_core.dir/pacing.cpp.o.d"
+  "CMakeFiles/stampede_core.dir/policy.cpp.o"
+  "CMakeFiles/stampede_core.dir/policy.cpp.o.d"
+  "CMakeFiles/stampede_core.dir/simulator.cpp.o"
+  "CMakeFiles/stampede_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/stampede_core.dir/stp.cpp.o"
+  "CMakeFiles/stampede_core.dir/stp.cpp.o.d"
+  "libstampede_core.a"
+  "libstampede_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

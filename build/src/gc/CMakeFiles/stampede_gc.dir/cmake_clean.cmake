@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_gc.dir/frontier.cpp.o"
+  "CMakeFiles/stampede_gc.dir/frontier.cpp.o.d"
+  "libstampede_gc.a"
+  "libstampede_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

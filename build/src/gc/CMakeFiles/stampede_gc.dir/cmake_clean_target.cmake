@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstampede_gc.a"
+)

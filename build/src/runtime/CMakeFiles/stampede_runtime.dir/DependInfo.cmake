@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/channel.cpp" "src/runtime/CMakeFiles/stampede_runtime.dir/channel.cpp.o" "gcc" "src/runtime/CMakeFiles/stampede_runtime.dir/channel.cpp.o.d"
+  "/root/repo/src/runtime/graph.cpp" "src/runtime/CMakeFiles/stampede_runtime.dir/graph.cpp.o" "gcc" "src/runtime/CMakeFiles/stampede_runtime.dir/graph.cpp.o.d"
+  "/root/repo/src/runtime/item.cpp" "src/runtime/CMakeFiles/stampede_runtime.dir/item.cpp.o" "gcc" "src/runtime/CMakeFiles/stampede_runtime.dir/item.cpp.o.d"
+  "/root/repo/src/runtime/memory.cpp" "src/runtime/CMakeFiles/stampede_runtime.dir/memory.cpp.o" "gcc" "src/runtime/CMakeFiles/stampede_runtime.dir/memory.cpp.o.d"
+  "/root/repo/src/runtime/queue.cpp" "src/runtime/CMakeFiles/stampede_runtime.dir/queue.cpp.o" "gcc" "src/runtime/CMakeFiles/stampede_runtime.dir/queue.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/stampede_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/stampede_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/spd.cpp" "src/runtime/CMakeFiles/stampede_runtime.dir/spd.cpp.o" "gcc" "src/runtime/CMakeFiles/stampede_runtime.dir/spd.cpp.o.d"
+  "/root/repo/src/runtime/task.cpp" "src/runtime/CMakeFiles/stampede_runtime.dir/task.cpp.o" "gcc" "src/runtime/CMakeFiles/stampede_runtime.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stampede_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/stampede_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/stampede_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stampede_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stampede_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_runtime.dir/channel.cpp.o"
+  "CMakeFiles/stampede_runtime.dir/channel.cpp.o.d"
+  "CMakeFiles/stampede_runtime.dir/graph.cpp.o"
+  "CMakeFiles/stampede_runtime.dir/graph.cpp.o.d"
+  "CMakeFiles/stampede_runtime.dir/item.cpp.o"
+  "CMakeFiles/stampede_runtime.dir/item.cpp.o.d"
+  "CMakeFiles/stampede_runtime.dir/memory.cpp.o"
+  "CMakeFiles/stampede_runtime.dir/memory.cpp.o.d"
+  "CMakeFiles/stampede_runtime.dir/queue.cpp.o"
+  "CMakeFiles/stampede_runtime.dir/queue.cpp.o.d"
+  "CMakeFiles/stampede_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/stampede_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/stampede_runtime.dir/spd.cpp.o"
+  "CMakeFiles/stampede_runtime.dir/spd.cpp.o.d"
+  "CMakeFiles/stampede_runtime.dir/task.cpp.o"
+  "CMakeFiles/stampede_runtime.dir/task.cpp.o.d"
+  "libstampede_runtime.a"
+  "libstampede_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/breakdown.cpp" "src/stats/CMakeFiles/stampede_stats.dir/breakdown.cpp.o" "gcc" "src/stats/CMakeFiles/stampede_stats.dir/breakdown.cpp.o.d"
+  "/root/repo/src/stats/postmortem.cpp" "src/stats/CMakeFiles/stampede_stats.dir/postmortem.cpp.o" "gcc" "src/stats/CMakeFiles/stampede_stats.dir/postmortem.cpp.o.d"
+  "/root/repo/src/stats/recorder.cpp" "src/stats/CMakeFiles/stampede_stats.dir/recorder.cpp.o" "gcc" "src/stats/CMakeFiles/stampede_stats.dir/recorder.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/stampede_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/stampede_stats.dir/timeseries.cpp.o.d"
+  "/root/repo/src/stats/trace_io.cpp" "src/stats/CMakeFiles/stampede_stats.dir/trace_io.cpp.o" "gcc" "src/stats/CMakeFiles/stampede_stats.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stampede_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

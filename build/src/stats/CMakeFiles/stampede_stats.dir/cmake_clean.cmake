@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_stats.dir/breakdown.cpp.o"
+  "CMakeFiles/stampede_stats.dir/breakdown.cpp.o.d"
+  "CMakeFiles/stampede_stats.dir/postmortem.cpp.o"
+  "CMakeFiles/stampede_stats.dir/postmortem.cpp.o.d"
+  "CMakeFiles/stampede_stats.dir/recorder.cpp.o"
+  "CMakeFiles/stampede_stats.dir/recorder.cpp.o.d"
+  "CMakeFiles/stampede_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/stampede_stats.dir/timeseries.cpp.o.d"
+  "CMakeFiles/stampede_stats.dir/trace_io.cpp.o"
+  "CMakeFiles/stampede_stats.dir/trace_io.cpp.o.d"
+  "libstampede_stats.a"
+  "libstampede_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_util.dir/clock.cpp.o"
+  "CMakeFiles/stampede_util.dir/clock.cpp.o.d"
+  "CMakeFiles/stampede_util.dir/filters.cpp.o"
+  "CMakeFiles/stampede_util.dir/filters.cpp.o.d"
+  "CMakeFiles/stampede_util.dir/log.cpp.o"
+  "CMakeFiles/stampede_util.dir/log.cpp.o.d"
+  "CMakeFiles/stampede_util.dir/options.cpp.o"
+  "CMakeFiles/stampede_util.dir/options.cpp.o.d"
+  "CMakeFiles/stampede_util.dir/spin.cpp.o"
+  "CMakeFiles/stampede_util.dir/spin.cpp.o.d"
+  "CMakeFiles/stampede_util.dir/stats.cpp.o"
+  "CMakeFiles/stampede_util.dir/stats.cpp.o.d"
+  "CMakeFiles/stampede_util.dir/table.cpp.o"
+  "CMakeFiles/stampede_util.dir/table.cpp.o.d"
+  "libstampede_util.a"
+  "libstampede_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

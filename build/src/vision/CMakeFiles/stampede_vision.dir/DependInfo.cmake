@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/frame.cpp" "src/vision/CMakeFiles/stampede_vision.dir/frame.cpp.o" "gcc" "src/vision/CMakeFiles/stampede_vision.dir/frame.cpp.o.d"
+  "/root/repo/src/vision/image_io.cpp" "src/vision/CMakeFiles/stampede_vision.dir/image_io.cpp.o" "gcc" "src/vision/CMakeFiles/stampede_vision.dir/image_io.cpp.o.d"
+  "/root/repo/src/vision/kernels.cpp" "src/vision/CMakeFiles/stampede_vision.dir/kernels.cpp.o" "gcc" "src/vision/CMakeFiles/stampede_vision.dir/kernels.cpp.o.d"
+  "/root/repo/src/vision/multifid.cpp" "src/vision/CMakeFiles/stampede_vision.dir/multifid.cpp.o" "gcc" "src/vision/CMakeFiles/stampede_vision.dir/multifid.cpp.o.d"
+  "/root/repo/src/vision/stages.cpp" "src/vision/CMakeFiles/stampede_vision.dir/stages.cpp.o" "gcc" "src/vision/CMakeFiles/stampede_vision.dir/stages.cpp.o.d"
+  "/root/repo/src/vision/stereo.cpp" "src/vision/CMakeFiles/stampede_vision.dir/stereo.cpp.o" "gcc" "src/vision/CMakeFiles/stampede_vision.dir/stereo.cpp.o.d"
+  "/root/repo/src/vision/tracker.cpp" "src/vision/CMakeFiles/stampede_vision.dir/tracker.cpp.o" "gcc" "src/vision/CMakeFiles/stampede_vision.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/stampede_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stampede_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/stampede_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/stampede_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stampede_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stampede_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

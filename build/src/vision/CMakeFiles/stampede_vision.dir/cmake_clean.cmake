@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_vision.dir/frame.cpp.o"
+  "CMakeFiles/stampede_vision.dir/frame.cpp.o.d"
+  "CMakeFiles/stampede_vision.dir/image_io.cpp.o"
+  "CMakeFiles/stampede_vision.dir/image_io.cpp.o.d"
+  "CMakeFiles/stampede_vision.dir/kernels.cpp.o"
+  "CMakeFiles/stampede_vision.dir/kernels.cpp.o.d"
+  "CMakeFiles/stampede_vision.dir/multifid.cpp.o"
+  "CMakeFiles/stampede_vision.dir/multifid.cpp.o.d"
+  "CMakeFiles/stampede_vision.dir/stages.cpp.o"
+  "CMakeFiles/stampede_vision.dir/stages.cpp.o.d"
+  "CMakeFiles/stampede_vision.dir/stereo.cpp.o"
+  "CMakeFiles/stampede_vision.dir/stereo.cpp.o.d"
+  "CMakeFiles/stampede_vision.dir/tracker.cpp.o"
+  "CMakeFiles/stampede_vision.dir/tracker.cpp.o.d"
+  "libstampede_vision.a"
+  "libstampede_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multifid.dir/test_multifid.cpp.o"
+  "CMakeFiles/test_multifid.dir/test_multifid.cpp.o.d"
+  "test_multifid"
+  "test_multifid.pdb"
+  "test_multifid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multifid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stages.dir/test_stages.cpp.o"
+  "CMakeFiles/test_stages.dir/test_stages.cpp.o.d"
+  "test_stages"
+  "test_stages.pdb"
+  "test_stages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_util.dir/test_stats_util.cpp.o"
+  "CMakeFiles/test_stats_util.dir/test_stats_util.cpp.o.d"
+  "test_stats_util"
+  "test_stats_util.pdb"
+  "test_stats_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stereo.dir/test_stereo.cpp.o"
+  "CMakeFiles/test_stereo.dir/test_stereo.cpp.o.d"
+  "test_stereo"
+  "test_stereo.pdb"
+  "test_stereo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stereo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
