@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the hot-path micro-benchmarks and emits their JSON results at the
+# repo root (BENCH_channel.json / BENCH_kernels.json). Every PR that
+# touches a hot path re-runs this script and commits the refreshed JSON,
+# so the perf trajectory is tracked in-tree from PR 1 onward.
+#
+# Usage:
+#   bench/run_bench.sh [build-dir]
+#
+# Environment:
+#   BENCH_FILTER       --benchmark_filter regex (default: all)
+#   BENCH_REPETITIONS  --benchmark_repetitions (default: 1)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+if [[ ! -x "$BUILD/bench/micro_channel" || ! -x "$BUILD/bench/micro_kernels" ]]; then
+  echo "building benchmarks in $BUILD..." >&2
+  cmake -B "$BUILD" -S "$ROOT" >/dev/null
+  cmake --build "$BUILD" -j --target micro_channel micro_kernels >/dev/null
+fi
+
+common_args=(
+  "--benchmark_filter=${BENCH_FILTER:-.}"
+  "--benchmark_repetitions=${BENCH_REPETITIONS:-1}"
+  --benchmark_out_format=json
+)
+
+run() {
+  local bin="$1" out="$2"
+  echo "== $bin -> $out" >&2
+  "$BUILD/bench/$bin" "${common_args[@]}" "--benchmark_out=$ROOT/$out"
+}
+
+run micro_channel BENCH_channel.json
+run micro_kernels BENCH_kernels.json
+
+echo "wrote $ROOT/BENCH_channel.json and $ROOT/BENCH_kernels.json" >&2

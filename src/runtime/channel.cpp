@@ -13,6 +13,13 @@ aru::Mode effective_mode(aru::Mode global, const aru::CompressFn& custom) {
   if (global == aru::Mode::kOff || !custom) return global;
   return aru::Mode::kCustom;
 }
+
+/// Per-thread scratch for event batches: channel ops never nest on one
+/// thread, so each op can borrow the buffer without allocating.
+std::vector<stats::Event>& tl_event_batch() {
+  static thread_local std::vector<stats::Event> batch;
+  return batch;
+}
 }  // namespace
 
 Channel::Channel(RunContext& ctx, NodeId id, ChannelConfig config, aru::Mode mode,
@@ -36,9 +43,9 @@ int Channel::register_consumer(NodeId thread, int cluster_node) {
   return idx;
 }
 
-void Channel::record_locked(stats::EventType type, const Item& item, std::int64_t now,
-                            NodeId node, std::int64_t a, std::int64_t b) {
-  shard_->record(stats::Event{
+void Channel::add_event(EventBatch& events, stats::EventType type, const Item& item,
+                        std::int64_t now, NodeId node, std::int64_t a, std::int64_t b) {
+  events.push_back(stats::Event{
       .type = type,
       .node = node,
       .ts = item.ts(),
@@ -49,6 +56,24 @@ void Channel::record_locked(stats::EventType type, const Item& item, std::int64_
   });
 }
 
+void Channel::flush_events(EventBatch& events) {
+  if (events.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const stats::Event& e : events) shard_->record(e);
+  }
+  events.clear();
+}
+
+void Channel::notify_waiters_locked() {
+  if (waiters_ == 0) return;
+  if (waiters_ == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
 bool Channel::all_passed(const Entry& e) const {
   const std::uint64_t passed = e.consumed_mask | e.skipped_mask;
   const std::uint64_t all =
@@ -56,72 +81,118 @@ bool Channel::all_passed(const Entry& e) const {
   return (passed & all) == all;
 }
 
-void Channel::collect_locked(std::int64_t now) {
-  if (ctx_.gc == gc::Kind::kNone) return;
+std::size_t Channel::lower_bound_locked(Timestamp ts) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), ts,
+      [](const Entry& e, Timestamp t) { return e.ts < t; });
+  return static_cast<std::size_t>(it - entries_.begin());
+}
+
+std::size_t Channel::find_locked(Timestamp ts) const {
+  const std::size_t idx = lower_bound_locked(ts);
+  if (idx < entries_.size() && entries_[idx].ts == ts) return idx;
+  return entries_.size();
+}
+
+std::size_t Channel::collect_locked(std::int64_t now, EventBatch& events,
+                                    std::vector<std::shared_ptr<Item>>& reclaimed) {
+  if (ctx_.gc == gc::Kind::kNone) return 0;
   // The frontier (min consumer guarantee) caps what may be reclaimed in
   // every mode: window/random-access consumers hold it back to keep items
   // they may re-read resident. Below the frontier, Transparent GC frees
   // entries every consumer has consumed or skipped; Dead-Timestamp GC
   // frees everything (the guarantees assert no future request).
   const Timestamp frontier = frontiers_.frontier();
+  if (frontier == collected_frontier_ && !gc_pending_) return 0;
 
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    const bool below_frontier = it->first < frontier;
-    const bool passed = all_passed(it->second);
-    const bool collectible =
-        below_frontier && (passed || ctx_.gc == gc::Kind::kDeadTimestamp);
+  const auto dead_end = entries_.begin() +
+                        static_cast<std::ptrdiff_t>(lower_bound_locked(frontier));
+  std::size_t erased = 0;
+  auto keep = entries_.begin();
+  for (auto it = entries_.begin(); it != dead_end; ++it) {
+    const bool collectible = ctx_.gc == gc::Kind::kDeadTimestamp || all_passed(*it);
     if (!collectible) {
-      ++it;
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
       continue;
     }
-    if (it->second.consumed_mask == 0) {
+    if (it->consumed_mask == 0) {
       // Reclaimed without ever being consumed: this is the wasted item the
       // paper's instrumentation marks.
-      record_locked(stats::EventType::kDrop, *it->second.item, now, id_);
+      add_event(events, stats::EventType::kDrop, *it->item, now, id_);
     }
-    it = entries_.erase(it);
+    // Defer the payload release (and its accounting) until mu_ is dropped.
+    reclaimed.push_back(std::move(it->item));
+    ++erased;
   }
+  entries_.erase(keep, dead_end);
+  collected_frontier_ = frontier;
+  gc_pending_ = false;
+  return erased;
 }
 
 Channel::PutResult Channel::put(std::shared_ptr<Item> item, std::stop_token st) {
   if (!item) throw std::invalid_argument("Channel::put: null item");
-  std::unique_lock<std::mutex> lock(mu_);
-
+  EventBatch& events = tl_event_batch();
+  events.clear();
+  std::vector<std::shared_ptr<Item>> reclaimed;
   PutResult result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
 
-  // Bounded channel: classic backpressure — block until space frees up.
-  if (config_.capacity > 0) {
-    const Nanos wait_start = ctx_.clock->now();
-    cv_.wait(lock, st, [&] { return closed_ || entries_.size() < config_.capacity; });
-    result.blocked = ctx_.clock->now() - wait_start;
-  }
-  if (closed_ || st.stop_requested()) {
+    // Bounded channel: classic backpressure — block until space frees up.
+    if (config_.capacity > 0) {
+      const Nanos wait_start = ctx_.clock->now();
+      ++waiters_;
+      cv_.wait(lock, st, [&] { return closed_ || entries_.size() < config_.capacity; });
+      --waiters_;
+      result.blocked = ctx_.clock->now() - wait_start;
+    }
+    if (closed_ || st.stop_requested()) {
+      result.channel_summary = feedback_.summary();
+      return result;
+    }
+
+    const std::int64_t now = ctx_.now_ns();
+    const Timestamp ts = item->ts();
+
+    // Dead on arrival: a DGC frontier already guarantees no consumer will
+    // ever request this timestamp. Recorded as a tagged drop only — no put
+    // event — so postmortem put/drop accounting counts the item once.
+    const Timestamp frontier = frontiers_.frontier();
+    const bool dead = ctx_.gc == gc::Kind::kDeadTimestamp && !consumer_states_.empty() &&
+                      ts < frontier;
+    if (dead) {
+      add_event(events, stats::EventType::kDrop, *item, now, id_, /*a=*/1);
+    } else {
+      add_event(events, stats::EventType::kPut, *item, now, id_);
+      if (entries_.empty() || entries_.back().ts < ts) {
+        // Monotonic producer fast path.
+        entries_.push_back(Entry{.ts = ts, .item = std::move(item)});
+      } else {
+        const std::size_t idx = lower_bound_locked(ts);
+        if (idx < entries_.size() && entries_[idx].ts == ts) {
+          // Same-timestamp overwrite resets the per-consumer masks, like
+          // the map's insert_or_assign did.
+          entries_[idx] = Entry{.ts = ts, .item = std::move(item)};
+        } else {
+          entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(idx),
+                          Entry{.ts = ts, .item = std::move(item)});
+        }
+      }
+      // An insert below the frontier (possible under TGC / no-consumer
+      // channels) must re-arm the collector even if the frontier is
+      // unchanged.
+      if (ts < frontier) gc_pending_ = true;
+    }
+
+    result.stored = !dead;
+    result.overhead = ctx_.pressure.scan_cost(entries_.size());
     result.channel_summary = feedback_.summary();
-    return result;
+    const std::size_t erased = collect_locked(now, events, reclaimed);
+    if (result.stored || erased > 0) notify_waiters_locked();
   }
-
-  const std::int64_t now = ctx_.now_ns();
-  const Timestamp ts = item->ts();
-
-  record_locked(stats::EventType::kPut, *item, now, id_);
-
-  // Dead on arrival: a DGC frontier already guarantees no consumer will
-  // ever request this timestamp.
-  const bool dead = ctx_.gc == gc::Kind::kDeadTimestamp && ts < frontiers_.frontier() &&
-                    !consumer_states_.empty();
-  if (dead) {
-    record_locked(stats::EventType::kDrop, *item, now, id_);
-  } else {
-    auto [it, inserted] = entries_.insert_or_assign(ts, Entry{.item = std::move(item)});
-    (void)it;
-    (void)inserted;
-  }
-
-  result.stored = !dead;
-  result.overhead = ctx_.pressure.scan_cost(entries_.size());
-  result.channel_summary = feedback_.summary();
-  collect_locked(now);
-  cv_.notify_all();
+  flush_events(events);
   return result;
 }
 
@@ -130,66 +201,80 @@ Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
   if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
     throw std::out_of_range("Channel::get_latest: bad consumer index");
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
-  const std::uint64_t my_bit = 1ULL << consumer_idx;
-
+  EventBatch& events = tl_event_batch();
+  events.clear();
+  std::vector<std::shared_ptr<Item>> reclaimed;
   GetResult result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+    const std::uint64_t my_bit = 1ULL << consumer_idx;
 
-  // Feedback piggy-back: fold the consumer's summary-STP into our
-  // backwardSTP vector (paper §3.3.2).
-  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
-    feedback_.update_backward(consumer_idx, consumer_summary);
-  }
-
-  // DGC: raise this consumer's guarantee with its downstream knowledge.
-  if (ctx_.gc == gc::Kind::kDeadTimestamp && extra_guarantee != kNoTimestamp) {
-    frontiers_.raise(consumer_idx, extra_guarantee);
-  }
-
-  auto newest_unseen = [&]() -> Timestamp {
-    if (entries_.empty()) return kNoTimestamp;
-    const Timestamp newest = entries_.rbegin()->first;
-    return newest > me.cursor ? newest : kNoTimestamp;
-  };
-
-  const Nanos wait_start = ctx_.clock->now();
-  cv_.wait(lock, st, [&] { return closed_ || newest_unseen() != kNoTimestamp; });
-  result.blocked = ctx_.clock->now() - wait_start;
-
-  const Timestamp target = newest_unseen();
-  if (target == kNoTimestamp) {
-    return result;  // closed and drained, or stop requested
-  }
-
-  const std::int64_t now = ctx_.now_ns();
-
-  // Mark everything older than the target (and newer than our cursor) as
-  // skipped by this consumer — the paper's skip-over semantics.
-  for (auto it = entries_.upper_bound(me.cursor); it != entries_.end() && it->first < target;
-       ++it) {
-    if ((it->second.skipped_mask & my_bit) == 0 && (it->second.consumed_mask & my_bit) == 0) {
-      it->second.skipped_mask |= my_bit;
-      record_locked(stats::EventType::kSkip, *it->second.item, now, me.thread);
-      ++result.skipped;
+    // Feedback piggy-back: fold the consumer's summary-STP into our
+    // backwardSTP vector (paper §3.3.2).
+    if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+      feedback_.update_backward(consumer_idx, consumer_summary);
     }
+
+    // DGC: raise this consumer's guarantee with its downstream knowledge.
+    if (ctx_.gc == gc::Kind::kDeadTimestamp && extra_guarantee != kNoTimestamp) {
+      frontiers_.raise(consumer_idx, extra_guarantee);
+    }
+
+    auto newest_unseen = [&]() -> Timestamp {
+      if (entries_.empty()) return kNoTimestamp;
+      const Timestamp newest = entries_.back().ts;
+      return newest > me.cursor ? newest : kNoTimestamp;
+    };
+
+    const Nanos wait_start = ctx_.clock->now();
+    ++waiters_;
+    cv_.wait(lock, st, [&] { return closed_ || newest_unseen() != kNoTimestamp; });
+    --waiters_;
+    result.blocked = ctx_.clock->now() - wait_start;
+
+    const Timestamp target = newest_unseen();
+    if (target == kNoTimestamp) {
+      return result;  // closed and drained, or stop requested
+    }
+
+    const std::int64_t now = ctx_.now_ns();
+    const Timestamp pre_frontier = frontiers_.frontier();
+
+    // Mark everything older than the target (and newer than our cursor) as
+    // skipped by this consumer — the paper's skip-over semantics.
+    for (std::size_t i = lower_bound_locked(me.cursor + 1);
+         i < entries_.size() && entries_[i].ts < target; ++i) {
+      Entry& e = entries_[i];
+      if ((e.skipped_mask & my_bit) == 0 && (e.consumed_mask & my_bit) == 0) {
+        e.skipped_mask |= my_bit;
+        add_event(events, stats::EventType::kSkip, *e.item, now, me.thread);
+        ++result.skipped;
+        // A lagging consumer can mark entries already below the frontier
+        // collectible without moving the frontier itself.
+        if (e.ts < pre_frontier) gc_pending_ = true;
+      }
+    }
+
+    Entry& chosen = entries_.back();  // target is the newest entry
+    chosen.consumed_mask |= my_bit;
+    result.item = chosen.item;
+    add_event(events, stats::EventType::kConsume, *result.item, now, me.thread);
+    if (chosen.ts < pre_frontier) gc_pending_ = true;
+
+    me.cursor = target;
+    // The consumer will never again request a timestamp <= target.
+    frontiers_.raise(consumer_idx, target + 1);
+
+    result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                   result.item->bytes());
+    result.overhead = ctx_.pressure.scan_cost(entries_.size());
+
+    const std::size_t erased = collect_locked(now, events, reclaimed);
+    // A bounded channel may have freed space for blocked producers.
+    if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
   }
-
-  auto chosen = entries_.find(target);
-  chosen->second.consumed_mask |= my_bit;
-  result.item = chosen->second.item;
-  record_locked(stats::EventType::kConsume, *result.item, now, me.thread);
-
-  me.cursor = target;
-  // The consumer will never again request a timestamp <= target.
-  frontiers_.raise(consumer_idx, target + 1);
-
-  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
-                                                 result.item->bytes());
-  result.overhead = ctx_.pressure.scan_cost(entries_.size());
-
-  collect_locked(now);
-  cv_.notify_all();  // a bounded channel may have freed space
+  flush_events(events);
   return result;
 }
 
@@ -198,43 +283,52 @@ Channel::GetResult Channel::get_next(int consumer_idx, Nanos consumer_summary,
   if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
     throw std::out_of_range("Channel::get_next: bad consumer index");
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
-  const std::uint64_t my_bit = 1ULL << consumer_idx;
-
+  EventBatch& events = tl_event_batch();
+  events.clear();
+  std::vector<std::shared_ptr<Item>> reclaimed;
   GetResult result;
-  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
-    feedback_.update_backward(consumer_idx, consumer_summary);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+    const std::uint64_t my_bit = 1ULL << consumer_idx;
+
+    if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+      feedback_.update_backward(consumer_idx, consumer_summary);
+    }
+    if (ctx_.gc == gc::Kind::kDeadTimestamp && extra_guarantee != kNoTimestamp) {
+      frontiers_.raise(consumer_idx, extra_guarantee);
+    }
+
+    auto oldest_unseen = [&]() -> std::size_t {
+      return lower_bound_locked(me.cursor + 1);
+    };
+
+    const Nanos wait_start = ctx_.clock->now();
+    ++waiters_;
+    cv_.wait(lock, st, [&] { return closed_ || oldest_unseen() < entries_.size(); });
+    --waiters_;
+    result.blocked = ctx_.clock->now() - wait_start;
+
+    const std::size_t idx = oldest_unseen();
+    if (idx >= entries_.size()) return result;
+
+    const std::int64_t now = ctx_.now_ns();
+    Entry& chosen = entries_[idx];
+    const Timestamp target = chosen.ts;
+    chosen.consumed_mask |= my_bit;
+    result.item = chosen.item;
+    add_event(events, stats::EventType::kConsume, *result.item, now, me.thread);
+    if (target < frontiers_.frontier()) gc_pending_ = true;
+
+    me.cursor = target;
+    frontiers_.raise(consumer_idx, target + 1);
+    result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                   result.item->bytes());
+    result.overhead = ctx_.pressure.scan_cost(entries_.size());
+    const std::size_t erased = collect_locked(now, events, reclaimed);
+    if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
   }
-  if (ctx_.gc == gc::Kind::kDeadTimestamp && extra_guarantee != kNoTimestamp) {
-    frontiers_.raise(consumer_idx, extra_guarantee);
-  }
-
-  auto oldest_unseen = [&]() -> Timestamp {
-    const auto it = entries_.upper_bound(me.cursor);
-    return it == entries_.end() ? kNoTimestamp : it->first;
-  };
-
-  const Nanos wait_start = ctx_.clock->now();
-  cv_.wait(lock, st, [&] { return closed_ || oldest_unseen() != kNoTimestamp; });
-  result.blocked = ctx_.clock->now() - wait_start;
-
-  const Timestamp target = oldest_unseen();
-  if (target == kNoTimestamp) return result;
-
-  const std::int64_t now = ctx_.now_ns();
-  auto chosen = entries_.find(target);
-  chosen->second.consumed_mask |= my_bit;
-  result.item = chosen->second.item;
-  record_locked(stats::EventType::kConsume, *result.item, now, me.thread);
-
-  me.cursor = target;
-  frontiers_.raise(consumer_idx, target + 1);
-  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
-                                                 result.item->bytes());
-  result.overhead = ctx_.pressure.scan_cost(entries_.size());
-  collect_locked(now);
-  cv_.notify_all();
+  flush_events(events);
   return result;
 }
 
@@ -242,25 +336,33 @@ Channel::GetResult Channel::get_at(int consumer_idx, Timestamp ts, Nanos consume
   if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
     throw std::out_of_range("Channel::get_at: bad consumer index");
   }
-  const std::lock_guard<std::mutex> lock(mu_);
-  const ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
-  const std::uint64_t my_bit = 1ULL << consumer_idx;
-
+  EventBatch& events = tl_event_batch();
+  events.clear();
   GetResult result;
-  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
-    feedback_.update_backward(consumer_idx, consumer_summary);
-  }
-  const auto it = entries_.find(ts);
-  if (it == entries_.end()) return result;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+    const std::uint64_t my_bit = 1ULL << consumer_idx;
 
-  const std::int64_t now = ctx_.now_ns();
-  it->second.consumed_mask |= my_bit;
-  result.item = it->second.item;
-  record_locked(stats::EventType::kConsume, *result.item, now, me.thread);
-  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
-                                                 result.item->bytes());
-  result.overhead = ctx_.pressure.scan_cost(entries_.size());
-  // Random access does not move the cursor or raise any guarantee.
+    if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+      feedback_.update_backward(consumer_idx, consumer_summary);
+    }
+    const std::size_t idx = find_locked(ts);
+    if (idx >= entries_.size()) return result;
+
+    const std::int64_t now = ctx_.now_ns();
+    Entry& e = entries_[idx];
+    e.consumed_mask |= my_bit;
+    result.item = e.item;
+    add_event(events, stats::EventType::kConsume, *result.item, now, me.thread);
+    // Random-access consumption can complete an entry below the frontier.
+    if (e.ts < frontiers_.frontier()) gc_pending_ = true;
+    result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                   result.item->bytes());
+    result.overhead = ctx_.pressure.scan_cost(entries_.size());
+    // Random access does not move the cursor or raise any guarantee.
+  }
+  flush_events(events);
   return result;
 }
 
@@ -270,42 +372,50 @@ Channel::GetResult Channel::get_nearest(int consumer_idx, Timestamp ts, Timestam
     throw std::out_of_range("Channel::get_nearest: bad consumer index");
   }
   if (tolerance < 0) throw std::invalid_argument("Channel::get_nearest: negative tolerance");
-  const std::lock_guard<std::mutex> lock(mu_);
-  const ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
-  const std::uint64_t my_bit = 1ULL << consumer_idx;
-
+  EventBatch& events = tl_event_batch();
+  events.clear();
   GetResult result;
-  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
-    feedback_.update_backward(consumer_idx, consumer_summary);
-  }
-  if (entries_.empty()) return result;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+    const std::uint64_t my_bit = 1ULL << consumer_idx;
 
-  // Candidates: the first entry at/after ts, and its predecessor.
-  auto best = entries_.end();
-  Timestamp best_dist = 0;
-  const auto after = entries_.lower_bound(ts);
-  auto consider = [&](std::map<Timestamp, Entry>::iterator it) {
-    if (it == entries_.end()) return;
-    const Timestamp dist = it->first >= ts ? it->first - ts : ts - it->first;
-    if (dist > tolerance) return;
-    // Prefer smaller distance; on ties prefer the newer timestamp.
-    if (best == entries_.end() || dist < best_dist ||
-        (dist == best_dist && it->first > best->first)) {
-      best = it;
-      best_dist = dist;
+    if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+      feedback_.update_backward(consumer_idx, consumer_summary);
     }
-  };
-  consider(after);
-  if (after != entries_.begin()) consider(std::prev(after));
-  if (best == entries_.end()) return result;
+    if (entries_.empty()) return result;
 
-  const std::int64_t now = ctx_.now_ns();
-  best->second.consumed_mask |= my_bit;
-  result.item = best->second.item;
-  record_locked(stats::EventType::kConsume, *result.item, now, me.thread);
-  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
-                                                 result.item->bytes());
-  result.overhead = ctx_.pressure.scan_cost(entries_.size());
+    // Candidates: the first entry at/after ts, and its predecessor.
+    std::size_t best = entries_.size();
+    Timestamp best_dist = 0;
+    const std::size_t after = lower_bound_locked(ts);
+    auto consider = [&](std::size_t idx) {
+      if (idx >= entries_.size()) return;
+      const Timestamp ets = entries_[idx].ts;
+      const Timestamp dist = ets >= ts ? ets - ts : ts - ets;
+      if (dist > tolerance) return;
+      // Prefer smaller distance; on ties prefer the newer timestamp.
+      if (best >= entries_.size() || dist < best_dist ||
+          (dist == best_dist && ets > entries_[best].ts)) {
+        best = idx;
+        best_dist = dist;
+      }
+    };
+    consider(after);
+    if (after > 0) consider(after - 1);
+    if (best >= entries_.size()) return result;
+
+    const std::int64_t now = ctx_.now_ns();
+    Entry& e = entries_[best];
+    e.consumed_mask |= my_bit;
+    result.item = e.item;
+    add_event(events, stats::EventType::kConsume, *result.item, now, me.thread);
+    if (e.ts < frontiers_.frontier()) gc_pending_ = true;
+    result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                   result.item->bytes());
+    result.overhead = ctx_.pressure.scan_cost(entries_.size());
+  }
+  flush_events(events);
   return result;
 }
 
@@ -315,66 +425,75 @@ Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
     throw std::out_of_range("Channel::get_window: bad consumer index");
   }
   if (window == 0) throw std::invalid_argument("Channel::get_window: window must be > 0");
-  std::unique_lock<std::mutex> lock(mu_);
-  ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
-  const std::uint64_t my_bit = 1ULL << consumer_idx;
-
+  EventBatch& events = tl_event_batch();
+  events.clear();
+  std::vector<std::shared_ptr<Item>> reclaimed;
   WindowResult result;
-  if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
-    feedback_.update_backward(consumer_idx, consumer_summary);
-  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
+    const std::uint64_t my_bit = 1ULL << consumer_idx;
 
-  auto newest_unseen = [&]() -> Timestamp {
-    if (entries_.empty()) return kNoTimestamp;
-    const Timestamp newest = entries_.rbegin()->first;
-    return newest > me.cursor ? newest : kNoTimestamp;
-  };
-
-  const Nanos wait_start = ctx_.clock->now();
-  cv_.wait(lock, st, [&] { return closed_ || newest_unseen() != kNoTimestamp; });
-  result.blocked = ctx_.clock->now() - wait_start;
-
-  const Timestamp target = newest_unseen();
-  if (target == kNoTimestamp) return result;
-
-  const std::int64_t now = ctx_.now_ns();
-
-  // Collect the newest `window` entries, ascending.
-  auto it = entries_.find(target);
-  std::vector<std::shared_ptr<const Item>> items;
-  items.push_back(it->second.item);
-  while (items.size() < window && it != entries_.begin()) {
-    --it;
-    items.push_back(it->second.item);
-  }
-  std::reverse(items.begin(), items.end());
-  result.items = std::move(items);
-
-  // Mark intermediate unseen items (between cursor and target) that are
-  // not part of the window as skipped; consume the newest.
-  const Timestamp window_tail = result.items.front()->ts();
-  for (auto jt = entries_.upper_bound(me.cursor); jt != entries_.end() && jt->first < target;
-       ++jt) {
-    if (jt->first >= window_tail) continue;  // still observable via the window
-    if ((jt->second.skipped_mask & my_bit) == 0 && (jt->second.consumed_mask & my_bit) == 0) {
-      jt->second.skipped_mask |= my_bit;
-      record_locked(stats::EventType::kSkip, *jt->second.item, now, me.thread);
+    if (ctx_.aru.enabled() && aru::known(consumer_summary)) {
+      feedback_.update_backward(consumer_idx, consumer_summary);
     }
+
+    auto newest_unseen = [&]() -> Timestamp {
+      if (entries_.empty()) return kNoTimestamp;
+      const Timestamp newest = entries_.back().ts;
+      return newest > me.cursor ? newest : kNoTimestamp;
+    };
+
+    const Nanos wait_start = ctx_.clock->now();
+    ++waiters_;
+    cv_.wait(lock, st, [&] { return closed_ || newest_unseen() != kNoTimestamp; });
+    --waiters_;
+    result.blocked = ctx_.clock->now() - wait_start;
+
+    const Timestamp target = newest_unseen();
+    if (target == kNoTimestamp) return result;
+
+    const std::int64_t now = ctx_.now_ns();
+    const Timestamp pre_frontier = frontiers_.frontier();
+
+    // Collect the newest `window` entries (the target is the back entry),
+    // ascending.
+    const std::size_t count = std::min(window, entries_.size());
+    const std::size_t first = entries_.size() - count;
+    result.items.reserve(count);
+    for (std::size_t i = first; i < entries_.size(); ++i) {
+      result.items.push_back(entries_[i].item);
+    }
+
+    // Mark intermediate unseen items (between cursor and target) that are
+    // not part of the window as skipped; consume the newest.
+    const Timestamp window_tail = entries_[first].ts;
+    for (std::size_t i = lower_bound_locked(me.cursor + 1); i < first; ++i) {
+      Entry& e = entries_[i];
+      if (e.ts >= target) break;
+      if ((e.skipped_mask & my_bit) == 0 && (e.consumed_mask & my_bit) == 0) {
+        e.skipped_mask |= my_bit;
+        add_event(events, stats::EventType::kSkip, *e.item, now, me.thread);
+        if (e.ts < pre_frontier) gc_pending_ = true;
+      }
+    }
+    Entry& chosen = entries_.back();
+    chosen.consumed_mask |= my_bit;
+    add_event(events, stats::EventType::kConsume, *chosen.item, now, me.thread);
+    if (chosen.ts < pre_frontier) gc_pending_ = true;
+
+    me.cursor = target;
+    // Hold the guarantee back at the window tail so the window's older
+    // members stay collectible only once they fall out of every window.
+    frontiers_.raise(consumer_idx, window_tail);
+
+    result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
+                                                   chosen.item->bytes());
+    result.overhead = ctx_.pressure.scan_cost(entries_.size());
+    const std::size_t erased = collect_locked(now, events, reclaimed);
+    if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
   }
-  auto chosen = entries_.find(target);
-  chosen->second.consumed_mask |= my_bit;
-  record_locked(stats::EventType::kConsume, *chosen->second.item, now, me.thread);
-
-  me.cursor = target;
-  // Hold the guarantee back at the window tail so the window's older
-  // members stay collectible only once they fall out of every window.
-  frontiers_.raise(consumer_idx, window_tail);
-
-  result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
-                                                 chosen->second.item->bytes());
-  result.overhead = ctx_.pressure.scan_cost(entries_.size());
-  collect_locked(now);
-  cv_.notify_all();
+  flush_events(events);
   return result;
 }
 
@@ -382,26 +501,36 @@ void Channel::raise_guarantee(int consumer_idx, Timestamp g) {
   if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
     throw std::out_of_range("Channel::raise_guarantee: bad consumer index");
   }
-  const std::lock_guard<std::mutex> lock(mu_);
-  frontiers_.raise(consumer_idx, g);
-  // Mark now-dead, never-touched entries as skipped by this consumer so
-  // Transparent GC can also reclaim them.
-  const std::uint64_t my_bit = 1ULL << consumer_idx;
-  const std::int64_t now = ctx_.now_ns();
-  for (auto it = entries_.begin(); it != entries_.end() && it->first < g; ++it) {
-    if ((it->second.skipped_mask & my_bit) == 0 && (it->second.consumed_mask & my_bit) == 0) {
-      it->second.skipped_mask |= my_bit;
-      record_locked(stats::EventType::kSkip, *it->second.item, now,
-                    consumer_states_[static_cast<std::size_t>(consumer_idx)].thread);
+  EventBatch& events = tl_event_batch();
+  events.clear();
+  std::vector<std::shared_ptr<Item>> reclaimed;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    frontiers_.raise(consumer_idx, g);
+    // Mark now-dead, never-touched entries as skipped by this consumer so
+    // Transparent GC can also reclaim them.
+    const std::uint64_t my_bit = 1ULL << consumer_idx;
+    const std::int64_t now = ctx_.now_ns();
+    const Timestamp frontier = frontiers_.frontier();
+    const std::size_t dead_end = lower_bound_locked(g);
+    for (std::size_t i = 0; i < dead_end; ++i) {
+      Entry& e = entries_[i];
+      if ((e.skipped_mask & my_bit) == 0 && (e.consumed_mask & my_bit) == 0) {
+        e.skipped_mask |= my_bit;
+        add_event(events, stats::EventType::kSkip, *e.item, now,
+                  consumer_states_[static_cast<std::size_t>(consumer_idx)].thread);
+        if (e.ts < frontier) gc_pending_ = true;
+      }
     }
+    const std::size_t erased = collect_locked(now, events, reclaimed);
+    if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
   }
-  collect_locked(now);
-  cv_.notify_all();
+  flush_events(events);
 }
 
 Timestamp Channel::latest_ts() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return entries_.empty() ? kNoTimestamp : entries_.rbegin()->first;
+  return entries_.empty() ? kNoTimestamp : entries_.back().ts;
 }
 
 void Channel::close() {

@@ -20,15 +20,27 @@
 ///  * optional **bounded capacity**: a classic backpressure baseline used
 ///    by the ablation benches (put blocks while the channel is full).
 ///
+/// Storage is a flat deque of entries kept sorted by timestamp. Source
+/// threads emit mostly-monotonic timestamps, so inserts are an O(1)
+/// append in the common case; lookups (`get_at`, `get_nearest`, cursor
+/// scans) binary-search. Garbage collection is incremental: only the
+/// prefix below the frontier is visited, and an unchanged frontier
+/// early-exits without touching storage at all (see `collect_locked`).
+/// Trace events are composed under the channel lock but appended to the
+/// stats shard after it is released (a dedicated mutex preserves the
+/// shard's single-writer discipline), and blocked threads are woken only
+/// when someone is actually waiting (`waiters_` count).
+///
 /// Thread-safety: all public operations are safe to call concurrently.
 #pragma once
 
 #include <condition_variable>
-#include <map>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <stop_token>
 #include <string>
+#include <vector>
 
 #include "core/feedback.hpp"
 #include "gc/frontier.hpp"
@@ -87,7 +99,9 @@ class Channel {
 
   /// Inserts `item`. Blocks while a bounded channel is full (unless the
   /// stop token fires). An item whose timestamp is already below the DGC
-  /// frontier is dead on arrival and dropped immediately.
+  /// frontier is dead on arrival and dropped immediately — recorded as a
+  /// tagged drop only (no put event), so postmortem waste accounting does
+  /// not double-count it.
   PutResult put(std::shared_ptr<Item> item, std::stop_token st);
 
   struct GetResult {
@@ -185,6 +199,7 @@ class Channel {
 
  private:
   struct Entry {
+    Timestamp ts = kNoTimestamp;
     std::shared_ptr<Item> item;
     std::uint64_t consumed_mask = 0;
     std::uint64_t skipped_mask = 0;
@@ -196,14 +211,40 @@ class Channel {
     Timestamp cursor = kNoTimestamp;  // last timestamp delivered
   };
 
-  /// Reclaims dead entries. Caller holds mu_.
-  void collect_locked(std::int64_t now);
+  /// Events composed under mu_ and appended to the shard after release.
+  using EventBatch = std::vector<stats::Event>;
+
+  /// Reclaims dead entries below the frontier; returns how many were
+  /// erased. Incremental: when the frontier has not moved since the last
+  /// pass and no mask/insert below it changed (`gc_pending_`), this is a
+  /// constant-time no-op. Otherwise only the prefix with ts < frontier is
+  /// visited. Reclaimed items are moved into `reclaimed` so their payloads
+  /// are released after mu_ is dropped. Caller holds mu_.
+  std::size_t collect_locked(std::int64_t now, EventBatch& events,
+                             std::vector<std::shared_ptr<Item>>& reclaimed);
 
   /// True if every registered consumer has consumed or skipped the entry.
   bool all_passed(const Entry& e) const;
 
-  void record_locked(stats::EventType type, const Item& item, std::int64_t now,
-                     NodeId node, std::int64_t a = 0, std::int64_t b = 0);
+  /// Index of the first entry with ts >= `ts` (entries_.size() if none).
+  /// Caller holds mu_.
+  std::size_t lower_bound_locked(Timestamp ts) const;
+
+  /// Index of the entry with exactly `ts`, or entries_.size(). Caller
+  /// holds mu_.
+  std::size_t find_locked(Timestamp ts) const;
+
+  static void add_event(EventBatch& events, stats::EventType type, const Item& item,
+                        std::int64_t now, NodeId node, std::int64_t a = 0,
+                        std::int64_t b = 0);
+
+  /// Appends a composed batch to the stats shard. Called WITHOUT mu_ held;
+  /// stats_mu_ keeps the shard single-writer.
+  void flush_events(EventBatch& events);
+
+  /// Wakes blocked threads only when some exist (skips the notify syscall
+  /// entirely for the common uncontended case). Caller holds mu_.
+  void notify_waiters_locked();
 
   RunContext& ctx_;
   NodeId id_;
@@ -212,12 +253,26 @@ class Channel {
 
   mutable std::mutex mu_;
   std::condition_variable_any cv_;
-  std::map<Timestamp, Entry> entries_;
+  /// Sorted ascending by ts (unique). Deque: O(1) append at the back for
+  /// monotonic producers, O(1) pop at the front for the collector, random
+  /// access for binary search.
+  std::deque<Entry> entries_;
   std::vector<ConsumerState> consumer_states_;
   gc::ConsumerFrontiers frontiers_;
   aru::FeedbackState feedback_;
   std::size_t producer_count_ = 0;
   bool closed_ = false;
+  /// Number of threads currently blocked in cv_.wait (producers on a full
+  /// bounded channel and consumers on an empty one).
+  int waiters_ = 0;
+  /// Frontier value at the end of the last collect pass.
+  Timestamp collected_frontier_ = 0;
+  /// Set when storage below the current frontier may have changed without
+  /// the frontier moving (random-access consume, explicit guarantee skip
+  /// marking, out-of-order insert below the frontier).
+  bool gc_pending_ = false;
+  /// Serializes shard appends now that they happen outside mu_.
+  mutable std::mutex stats_mu_;
 };
 
 }  // namespace stampede

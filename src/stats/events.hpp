@@ -31,7 +31,9 @@ enum class EventType : std::uint8_t {
   kPut,       ///< item inserted into a channel/queue: node = buffer node
   kConsume,   ///< item consumed by a consumer: node = consumer thread
   kSkip,      ///< item skipped over by a consumer: node = consumer thread
-  kDrop,      ///< item reclaimed without ever being consumed by anyone
+  kDrop,      ///< item reclaimed without ever being consumed by anyone;
+              ///< a = 1 when it was dead on arrival (never stored — no
+              ///< matching kPut is recorded for such items)
   kCompute,   ///< one unit of task work: a = duration ns, item = output (0 if none)
   kElide,     ///< DGC computation elimination: a = saved duration ns
   kEmit,      ///< a result left the pipeline at a sink: ts = frame index

@@ -3,7 +3,9 @@
 ///
 /// Writers obtain a `Shard` handle during graph construction; each shard is
 /// only ever written under its owner's serialization domain (a task's own
-/// thread, or a channel's mutex), so appends are lock-free. Item frees can
+/// thread, or — for channels — a dedicated stats mutex so event appends
+/// happen outside the channel's data-plane lock), so appends are lock-free
+/// for the shard itself. Item frees can
 /// happen on any thread (last shared_ptr release), so they go through a
 /// dedicated mutex-protected shard. `merge()` collects and time-sorts
 /// everything into a `Trace` after the run.

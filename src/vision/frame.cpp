@@ -19,6 +19,12 @@ void check_bounds(int x, int y, int width, int height) {
   }
 }
 
+void check_row(int y, int height) {
+  if (y < 0 || y >= height) {
+    throw std::out_of_range("FrameView: row out of bounds");
+  }
+}
+
 }  // namespace
 
 FrameView::FrameView(std::span<std::byte> data, int width, int height)
@@ -50,6 +56,21 @@ int FrameView::luminance(int x, int y) const {
          1000;
 }
 
+std::uint8_t* FrameView::row(int y) {
+  check_row(y, height_);
+  return reinterpret_cast<std::uint8_t*>(data_.data()) + pixel_offset(0, y, width_);
+}
+
+const std::uint8_t* FrameView::row(int y) const {
+  check_row(y, height_);
+  return reinterpret_cast<const std::uint8_t*>(data_.data()) + pixel_offset(0, y, width_);
+}
+
+std::span<std::byte> FrameView::row_span(int y) {
+  check_row(y, height_);
+  return data_.subspan(pixel_offset(0, y, width_), static_cast<std::size_t>(width_) * 3);
+}
+
 ConstFrameView::ConstFrameView(std::span<const std::byte> data, int width, int height)
     : data_(data), width_(width), height_(height) {
   if (data.size() < static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * 3) {
@@ -69,6 +90,16 @@ int ConstFrameView::luminance(int x, int y) const {
   return (static_cast<int>(c.r) * 299 + static_cast<int>(c.g) * 587 +
           static_cast<int>(c.b) * 114) /
          1000;
+}
+
+const std::uint8_t* ConstFrameView::row(int y) const {
+  check_row(y, height_);
+  return reinterpret_cast<const std::uint8_t*>(data_.data()) + pixel_offset(0, y, width_);
+}
+
+std::span<const std::byte> ConstFrameView::row_span(int y) const {
+  check_row(y, height_);
+  return data_.subspan(pixel_offset(0, y, width_), static_cast<std::size_t>(width_) * 3);
 }
 
 SceneGenerator::SceneGenerator(std::uint64_t seed) : seed_(seed) {
@@ -109,6 +140,7 @@ void SceneGenerator::render(std::int64_t index, std::span<std::byte> data, int s
   Xoshiro256 rng(seed_ ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(index + 1)));
 
   for (int y = 0; y < kHeight; y += stride) {
+    std::uint8_t* row = frame.row(y);
     for (int x = 0; x < kWidth; x += stride) {
       // Noisy gray background.
       const auto noise = static_cast<std::uint8_t>(96 + (rng.next() & 31));
@@ -120,7 +152,10 @@ void SceneGenerator::render(std::int64_t index, std::span<std::byte> data, int s
           px = b.color;
         }
       }
-      frame.set(x, y, px);
+      std::uint8_t* out = row + 3 * x;
+      out[0] = px.r;
+      out[1] = px.g;
+      out[2] = px.b;
     }
   }
 }

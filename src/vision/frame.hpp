@@ -48,6 +48,16 @@ class FrameView {
   /// Grayscale intensity of a pixel (0-255).
   int luminance(int x, int y) const;
 
+  /// Pointer to row `y`: 3 interleaved RGB bytes per pixel, `width()`
+  /// pixels. Bounds-checked once per row — the hot-loop accessor; kernel
+  /// inner loops index the row directly instead of paying `get`'s
+  /// per-pixel checks and Rgb construction.
+  std::uint8_t* row(int y);
+  const std::uint8_t* row(int y) const;
+
+  /// Row `y` as a span of 3·width() bytes.
+  std::span<std::byte> row_span(int y);
+
  private:
   std::span<std::byte> data_;
   int width_;
@@ -63,6 +73,12 @@ class ConstFrameView {
   int height() const { return height_; }
   Rgb get(int x, int y) const;
   int luminance(int x, int y) const;
+
+  /// Pointer to row `y` (see FrameView::row).
+  const std::uint8_t* row(int y) const;
+
+  /// Row `y` as a span of 3·width() bytes.
+  std::span<const std::byte> row_span(int y) const;
 
  private:
   std::span<const std::byte> data_;

@@ -1,12 +1,83 @@
 #include "vision/kernels.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace stampede::vision {
+
+namespace {
+
+/// Grayscale intensity of an interleaved-RGB pixel (matches
+/// FrameView::luminance).
+inline int luma(const std::uint8_t* px) {
+  return (static_cast<int>(px[0]) * 299 + static_cast<int>(px[1]) * 587 +
+          static_cast<int>(px[2]) * 114) /
+         1000;
+}
+
+/// Histogram bin for an interleaved-RGB pixel (matches hist_bin(Rgb);
+/// 16 bins per axis reduces to a shift).
+inline int pixel_bin(const std::uint8_t* px) {
+  return ((px[0] >> 4) << 8) | ((px[1] >> 4) << 4) | (px[2] >> 4);
+}
+
+/// Per-channel Gaussian weight tables for w = exp(-‖c - model‖²/2σ²).
+/// exp distributes over the sum of per-channel squared distances, so the
+/// product lut.r[c.r]·lut.g[c.g]·lut.b[c.b] is the same weight computed
+/// with three loads and two multiplies per pixel instead of a std::exp —
+/// building the tables costs 768 exp calls total, versus one per sampled
+/// pixel in the direct form.
+struct ColorWeightLut {
+  double r[256];
+  double g[256];
+  double b[256];
+
+  void build(Rgb model, double sigma) {
+    const double inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+    for (int v = 0; v < 256; ++v) {
+      const double dr = static_cast<double>(v - model.r);
+      const double dg = static_cast<double>(v - model.g);
+      const double db = static_cast<double>(v - model.b);
+      r[v] = std::exp(-dr * dr * inv_two_sigma2);
+      g[v] = std::exp(-dg * dg * inv_two_sigma2);
+      b[v] = std::exp(-db * db * inv_two_sigma2);
+    }
+  }
+
+  double weight(const std::uint8_t* px) const { return r[px[0]] * g[px[1]] * b[px[2]]; }
+};
+
+/// Tables for the two most recent model colors this thread used (σ fixed
+/// at 40). A tracker queries the same one or two models every frame, so at
+/// coarse strides — where the table build would cost more than the scan —
+/// steady state pays nothing.
+const ColorWeightLut& weight_lut(Rgb model) {
+  struct Slot {
+    std::uint32_t key = 0xFF000000;  // unreachable: real keys are 24-bit
+    ColorWeightLut lut;
+  };
+  static thread_local Slot slots[2];
+  static thread_local int last = 0;
+  const std::uint32_t key = (static_cast<std::uint32_t>(model.r) << 16) |
+                            (static_cast<std::uint32_t>(model.g) << 8) | model.b;
+  if (slots[last].key == key) return slots[last].lut;
+  const int other = 1 - last;
+  last = other;
+  if (slots[other].key != key) {
+    slots[other].key = key;
+    slots[other].lut.build(model, 40.0);
+  }
+  return slots[other].lut;
+}
+
+}  // namespace
 
 int frame_difference(ConstFrameView cur, ConstFrameView prev, std::span<std::byte> mask_out,
                      int threshold, int stride) {
@@ -14,12 +85,16 @@ int frame_difference(ConstFrameView cur, ConstFrameView prev, std::span<std::byt
     throw std::invalid_argument("frame_difference: mask buffer too small");
   }
   int moving = 0;
-  for (int y = 0; y < cur.height(); y += stride) {
-    for (int x = 0; x < cur.width(); x += stride) {
-      const int d = std::abs(cur.luminance(x, y) - prev.luminance(x, y));
+  const int height = cur.height();
+  const int width = cur.width();
+  for (int y = 0; y < height; y += stride) {
+    const std::uint8_t* cur_row = cur.row(y);
+    const std::uint8_t* prev_row = prev.row(y);
+    std::byte* mask_row = mask_out.data() + static_cast<std::size_t>(y) * kWidth;
+    for (int x = 0; x < width; x += stride) {
+      const int d = std::abs(luma(cur_row + 3 * x) - luma(prev_row + 3 * x));
       const bool on = d > threshold;
-      mask_out[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)] =
-          std::byte{static_cast<unsigned char>(on ? 255 : 0)};
+      mask_row[x] = std::byte{static_cast<unsigned char>(on ? 255 : 0)};
       moving += on ? 1 : 0;
     }
   }
@@ -32,24 +107,45 @@ void color_histogram(ConstFrameView frame, std::span<std::byte> histogram_payloa
   auto bins = hist.bins();
   std::fill(bins.begin(), bins.end(), 0.0f);
 
+  // Single pass over the frame: integer bin counts accumulate while each
+  // sampled pixel's bin index is parked in a scratch list (reused across
+  // calls), so the backprojection pass below never re-reads frame bytes or
+  // redoes the bin arithmetic. Counts stay exact in float (well under
+  // 2^24 samples), so deferred normalization matches the old
+  // accumulate-then-divide form bit for bit.
+  static thread_local std::vector<std::uint16_t> bin_scratch;
+  bin_scratch.clear();
+  const int height = frame.height();
+  const int width = frame.width();
+  bin_scratch.reserve(static_cast<std::size_t>((height + stride - 1) / stride) *
+                      static_cast<std::size_t>((width + stride - 1) / stride));
+
+  std::array<std::int32_t, kHistBins> counts{};
   int samples = 0;
-  for (int y = 0; y < frame.height(); y += stride) {
-    for (int x = 0; x < frame.width(); x += stride) {
-      bins[static_cast<std::size_t>(hist_bin(frame.get(x, y)))] += 1.0f;
+  for (int y = 0; y < height; y += stride) {
+    const std::uint8_t* row = frame.row(y);
+    for (int x = 0; x < width; x += stride) {
+      const auto bin = static_cast<std::uint16_t>(pixel_bin(row + 3 * x));
+      ++counts[bin];
+      bin_scratch.push_back(bin);
       ++samples;
     }
   }
-  if (samples > 0) {
-    for (float& b : bins) b /= static_cast<float>(samples);
+
+  // Normalized frequencies plus a per-bin byte value for the
+  // backprojection map, so each output pixel is a single table lookup.
+  std::array<std::byte, kHistBins> bp_lut;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kHistBins); ++i) {
+    if (samples > 0) bins[i] = static_cast<float>(counts[i]) / static_cast<float>(samples);
+    bp_lut[i] = std::byte{static_cast<unsigned char>(std::min(255.0f, bins[i] * 2550.0f))};
   }
 
-  // Backprojection: per-pixel bin frequency, scaled to a byte.
   auto bp = hist.backprojection();
-  for (int y = 0; y < frame.height(); y += stride) {
-    for (int x = 0; x < frame.width(); x += stride) {
-      const float f = bins[static_cast<std::size_t>(hist_bin(frame.get(x, y)))];
-      bp[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)] =
-          std::byte{static_cast<unsigned char>(std::min(255.0f, f * 2550.0f))};
+  std::size_t k = 0;
+  for (int y = 0; y < height; y += stride) {
+    std::byte* bp_row = bp.data() + static_cast<std::size_t>(y) * kWidth;
+    for (int x = 0; x < width; x += stride) {
+      bp_row[x] = bp_lut[bin_scratch[k++]];
     }
   }
 }
@@ -59,32 +155,61 @@ LocationRecord detect_target(ConstFrameView frame, std::span<const std::byte> ma
                              int stride) {
   const bool use_mask = mask.size() >= kMaskBytes;
   const auto bins = histogram.bins();
+  // Gaussian-ish color similarity via per-channel weight tables.
+  const ColorWeightLut& lut = weight_lut(model);
 
   double wsum = 0.0, xsum = 0.0, ysum = 0.0;
   int considered = 0;
-  for (int y = 0; y < frame.height(); y += stride) {
-    for (int x = 0; x < frame.width(); x += stride) {
-      if (use_mask) {
-        const auto m = static_cast<unsigned char>(
-            mask[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)]);
-        if (m == 0) continue;
-      }
+  const int height = frame.height();
+  const int width = frame.width();
+  for (int y = 0; y < height; y += stride) {
+    const std::uint8_t* row = frame.row(y);
+    const std::byte* mask_row =
+        use_mask ? mask.data() + static_cast<std::size_t>(y) * kWidth : nullptr;
+
+    const auto process = [&](int x) {
       ++considered;
-      const Rgb c = frame.get(x, y);
-      const double dr = static_cast<double>(c.r) - model.r;
-      const double dg = static_cast<double>(c.g) - model.g;
-      const double db = static_cast<double>(c.b) - model.b;
-      const double dist2 = dr * dr + dg * dg + db * db;
-      // Gaussian-ish color similarity.
-      double w = std::exp(-dist2 / (2.0 * 40.0 * 40.0));
+      const std::uint8_t* px = row + 3 * x;
+      double w = lut.weight(px);
       // Discount colors that are globally common (background): rarity from
       // the frame histogram.
-      const float freq = bins[static_cast<std::size_t>(hist_bin(c))];
+      const float freq = bins[static_cast<std::size_t>(pixel_bin(px))];
       w *= 1.0 / (1.0 + 50.0 * static_cast<double>(freq));
-      if (w < 1e-4) continue;
+      if (w < 1e-4) return;
       wsum += w;
       xsum += w * x;
       ysum += w * y;
+    };
+
+    if (mask_row == nullptr) {
+      for (int x = 0; x < width; x += stride) process(x);
+    } else if (stride == 1) {
+      // Dense scan: one 8-byte load classifies eight mask bytes, and a bit
+      // walk visits only the masked-in pixels (in ascending x, so the
+      // accumulation order — and thus the result — is unchanged). This
+      // avoids a hard-to-predict per-pixel branch on a noisy mask.
+      int x = 0;
+      const int body_end = width & ~7;
+      for (; x < body_end; x += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, mask_row + x, sizeof(word));
+        if (word == 0) continue;
+        // High bit of each byte set iff that mask byte is nonzero.
+        std::uint64_t on =
+            (((word & 0x7F7F7F7F7F7F7F7FULL) + 0x7F7F7F7F7F7F7F7FULL) | word) &
+            0x8080808080808080ULL;
+        while (on) {
+          process(x + (std::countr_zero(on) >> 3));
+          on &= on - 1;
+        }
+      }
+      for (; x < width; ++x) {
+        if (static_cast<unsigned char>(mask_row[x]) != 0) process(x);
+      }
+    } else {
+      for (int x = 0; x < width; x += stride) {
+        if (static_cast<unsigned char>(mask_row[x]) != 0) process(x);
+      }
     }
   }
 
@@ -108,6 +233,10 @@ MeanShiftResult mean_shift_track(ConstFrameView frame, Rgb model, double start_x
   MeanShiftResult result;
   result.x = start_x;
   result.y = start_y;
+  // The color model is fixed across iterations: one table build serves the
+  // whole track.
+  const ColorWeightLut& lut = weight_lut(model);
+  const double radius2 = window_radius * window_radius;
 
   for (int iter = 0; iter < max_iters; ++iter) {
     ++result.iterations;
@@ -120,16 +249,14 @@ MeanShiftResult mean_shift_track(ConstFrameView frame, Rgb model, double start_x
     // Scan the window on the stride grid.
     for (int y = (y_lo / stride) * stride; y <= y_hi; y += stride) {
       if (y < y_lo) continue;
+      const std::uint8_t* row = frame.row(y);
+      const double ddy = y - result.y;
+      const double ddy2 = ddy * ddy;
       for (int x = (x_lo / stride) * stride; x <= x_hi; x += stride) {
         if (x < x_lo) continue;
         const double ddx = x - result.x;
-        const double ddy = y - result.y;
-        if (ddx * ddx + ddy * ddy > window_radius * window_radius) continue;
-        const Rgb c = frame.get(x, y);
-        const double dr = static_cast<double>(c.r) - model.r;
-        const double dg = static_cast<double>(c.g) - model.g;
-        const double db = static_cast<double>(c.b) - model.b;
-        const double w = std::exp(-(dr * dr + dg * dg + db * db) / (2.0 * 40.0 * 40.0));
+        if (ddx * ddx + ddy2 > radius2) continue;
+        const double w = lut.weight(row + 3 * x);
         if (w < 1e-4) continue;
         wsum += w;
         xsum += w * x;

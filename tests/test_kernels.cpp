@@ -268,6 +268,243 @@ TEST(ConnectedComponents, MovingBlobsYieldComponentsOnRealMask) {
   EXPECT_GE(blobs.size(), 1u);  // at least the moved blobs stand out
 }
 
+// -- golden tests: LUT kernels vs direct std::exp references ------------------
+//
+// detect_target and mean_shift_track replaced the per-pixel std::exp with
+// per-channel weight tables, and color_histogram/frame_difference moved to
+// fused row-pointer passes. These references re-state the original
+// per-pixel formulations; the production kernels must agree within 1e-3
+// (the table form only reorders floating-point operations).
+
+double ref_weight(Rgb c, Rgb model) {
+  const double dr = static_cast<double>(c.r) - model.r;
+  const double dg = static_cast<double>(c.g) - model.g;
+  const double db = static_cast<double>(c.b) - model.b;
+  return std::exp(-(dr * dr + dg * dg + db * db) / (2.0 * 40.0 * 40.0));
+}
+
+LocationRecord ref_detect_target(ConstFrameView frame, std::span<const std::byte> mask,
+                                 ConstHistogramView histogram, Rgb model, int model_index,
+                                 int stride) {
+  const bool use_mask = mask.size() >= kMaskBytes;
+  const auto bins = histogram.bins();
+  double wsum = 0.0, xsum = 0.0, ysum = 0.0;
+  int considered = 0;
+  for (int y = 0; y < frame.height(); y += stride) {
+    for (int x = 0; x < frame.width(); x += stride) {
+      if (use_mask &&
+          static_cast<unsigned char>(mask[static_cast<std::size_t>(y) * kWidth +
+                                          static_cast<std::size_t>(x)]) == 0) {
+        continue;
+      }
+      ++considered;
+      const Rgb c = frame.get(x, y);
+      double w = ref_weight(c, model);
+      const float freq = bins[static_cast<std::size_t>(hist_bin(c))];
+      w *= 1.0 / (1.0 + 50.0 * static_cast<double>(freq));
+      if (w < 1e-4) continue;
+      wsum += w;
+      xsum += w * x;
+      ysum += w * y;
+    }
+  }
+  LocationRecord rec;
+  rec.model = model_index;
+  if (wsum > 0.05 && considered > 0) {
+    rec.found = 1;
+    rec.x = xsum / wsum;
+    rec.y = ysum / wsum;
+    rec.confidence = std::min(1.0, wsum / static_cast<double>(considered));
+  }
+  return rec;
+}
+
+MeanShiftResult ref_mean_shift(ConstFrameView frame, Rgb model, double start_x,
+                               double start_y, double window_radius, int max_iters,
+                               int stride) {
+  MeanShiftResult result;
+  result.x = start_x;
+  result.y = start_y;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    ++result.iterations;
+    const int x_lo = std::max(0, static_cast<int>(result.x - window_radius));
+    const int x_hi = std::min(frame.width() - 1, static_cast<int>(result.x + window_radius));
+    const int y_lo = std::max(0, static_cast<int>(result.y - window_radius));
+    const int y_hi = std::min(frame.height() - 1, static_cast<int>(result.y + window_radius));
+    double wsum = 0, xsum = 0, ysum = 0;
+    for (int y = (y_lo / stride) * stride; y <= y_hi; y += stride) {
+      if (y < y_lo) continue;
+      for (int x = (x_lo / stride) * stride; x <= x_hi; x += stride) {
+        if (x < x_lo) continue;
+        const double ddx = x - result.x;
+        const double ddy = y - result.y;
+        if (ddx * ddx + ddy * ddy > window_radius * window_radius) continue;
+        const double w = ref_weight(frame.get(x, y), model);
+        if (w < 1e-4) continue;
+        wsum += w;
+        xsum += w * x;
+        ysum += w * y;
+      }
+    }
+    if (wsum < 1e-6) return result;
+    const double nx = xsum / wsum;
+    const double ny = ysum / wsum;
+    const double shift = std::hypot(nx - result.x, ny - result.y);
+    result.x = nx;
+    result.y = ny;
+    result.mass = wsum;
+    if (shift < static_cast<double>(stride) / 2.0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+void ref_color_histogram(ConstFrameView frame, std::span<std::byte> histogram_payload,
+                         int stride) {
+  HistogramView hist(histogram_payload);
+  auto bins = hist.bins();
+  std::fill(bins.begin(), bins.end(), 0.0f);
+  int samples = 0;
+  for (int y = 0; y < frame.height(); y += stride) {
+    for (int x = 0; x < frame.width(); x += stride) {
+      bins[static_cast<std::size_t>(hist_bin(frame.get(x, y)))] += 1.0f;
+      ++samples;
+    }
+  }
+  if (samples > 0) {
+    for (float& b : bins) b /= static_cast<float>(samples);
+  }
+  auto bp = hist.backprojection();
+  for (int y = 0; y < frame.height(); y += stride) {
+    for (int x = 0; x < frame.width(); x += stride) {
+      const float f = bins[static_cast<std::size_t>(hist_bin(frame.get(x, y)))];
+      bp[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)] =
+          std::byte{static_cast<unsigned char>(std::min(255.0f, f * 2550.0f))};
+    }
+  }
+}
+
+TEST(KernelGolden, DetectTargetMatchesExpReference) {
+  SceneGenerator gen(42);
+  const auto prev = render(gen, 30, 1);
+  const auto cur = render(gen, 31, 1);
+  std::vector<std::byte> mask(kMaskBytes);
+  frame_difference(ConstFrameView(cur), ConstFrameView(prev), mask, 24, 1);
+  std::vector<std::byte> hist_payload(kHistogramBytes);
+  color_histogram(ConstFrameView(cur), hist_payload, 1);
+  const ConstHistogramView hist(hist_payload);
+  const std::span<const std::byte> no_mask;
+
+  for (int model = 0; model < 2; ++model) {
+    // Stride 1 masked (the word-scan path), stride 3 masked (per-pixel
+    // masked path), and stride 1 unmasked.
+    for (const int stride : {1, 3}) {
+      const LocationRecord got = detect_target(ConstFrameView(cur), mask, hist,
+                                               gen.model_color(model), model, stride);
+      const LocationRecord want = ref_detect_target(ConstFrameView(cur), mask, hist,
+                                                    gen.model_color(model), model, stride);
+      SCOPED_TRACE(::testing::Message() << "model=" << model << " stride=" << stride);
+      ASSERT_EQ(want.found, got.found);
+      EXPECT_NEAR(want.x, got.x, 1e-3);
+      EXPECT_NEAR(want.y, got.y, 1e-3);
+      EXPECT_NEAR(want.confidence, got.confidence, 1e-3);
+    }
+    const LocationRecord got = detect_target(ConstFrameView(cur), no_mask, hist,
+                                             gen.model_color(model), model, 1);
+    const LocationRecord want = ref_detect_target(ConstFrameView(cur), no_mask, hist,
+                                                  gen.model_color(model), model, 1);
+    SCOPED_TRACE(::testing::Message() << "model=" << model << " unmasked");
+    ASSERT_EQ(want.found, got.found);
+    EXPECT_NEAR(want.x, got.x, 1e-3);
+    EXPECT_NEAR(want.y, got.y, 1e-3);
+    EXPECT_NEAR(want.confidence, got.confidence, 1e-3);
+  }
+}
+
+TEST(KernelGolden, MeanShiftMatchesExpReference) {
+  SceneGenerator gen(42);
+  const auto frame = render(gen, 40, 1);
+  const Scene truth = gen.scene_at(40);
+  for (int model = 0; model < 2; ++model) {
+    for (const int stride : {1, 2}) {
+      const double sx = truth.blobs[model].cx + 22;
+      const double sy = truth.blobs[model].cy - 17;
+      const MeanShiftResult got = mean_shift_track(ConstFrameView(frame),
+                                                   gen.model_color(model), sx, sy, 60.0, 15,
+                                                   stride);
+      const MeanShiftResult want = ref_mean_shift(ConstFrameView(frame),
+                                                  gen.model_color(model), sx, sy, 60.0, 15,
+                                                  stride);
+      SCOPED_TRACE(::testing::Message() << "model=" << model << " stride=" << stride);
+      ASSERT_EQ(want.converged, got.converged);
+      ASSERT_EQ(want.iterations, got.iterations);
+      EXPECT_NEAR(want.x, got.x, 1e-3);
+      EXPECT_NEAR(want.y, got.y, 1e-3);
+      EXPECT_NEAR(want.mass, got.mass, 1e-3 * std::max(1.0, want.mass));
+    }
+  }
+}
+
+TEST(KernelGolden, ColorHistogramMatchesTwoPassReference) {
+  SceneGenerator gen(42);
+  for (const int stride : {1, 3, 8}) {
+    const auto frame = render(gen, 12, 1);
+    std::vector<std::byte> got_payload(kHistogramBytes);
+    std::vector<std::byte> want_payload(kHistogramBytes);
+    color_histogram(ConstFrameView(frame), got_payload, stride);
+    ref_color_histogram(ConstFrameView(frame), want_payload, stride);
+    // The fused pass defers normalization but computes the same exact
+    // counts, so the payload must match byte for byte.
+    EXPECT_EQ(got_payload, want_payload) << "stride=" << stride;
+  }
+}
+
+TEST(KernelGolden, FrameDifferenceMatchesPerPixelReference) {
+  SceneGenerator gen(42);
+  const auto a = render(gen, 5, 1);
+  const auto b = render(gen, 9, 1);
+  for (const int stride : {1, 4}) {
+    std::vector<std::byte> got(kMaskBytes);
+    std::vector<std::byte> want(kMaskBytes);
+    const int got_moving =
+        frame_difference(ConstFrameView(b), ConstFrameView(a), got, 24, stride);
+    // Reference: the original per-pixel luminance formulation.
+    int want_moving = 0;
+    const ConstFrameView cur(b), prev(a);
+    for (int y = 0; y < cur.height(); y += stride) {
+      for (int x = 0; x < cur.width(); x += stride) {
+        const int d = std::abs(cur.luminance(x, y) - prev.luminance(x, y));
+        const bool on = d > 24;
+        want[static_cast<std::size_t>(y) * kWidth + static_cast<std::size_t>(x)] =
+            std::byte{static_cast<unsigned char>(on ? 255 : 0)};
+        want_moving += on ? 1 : 0;
+      }
+    }
+    EXPECT_EQ(got_moving, want_moving) << "stride=" << stride;
+    EXPECT_EQ(got, want) << "stride=" << stride;
+  }
+}
+
+TEST(FrameView, RowPointerMatchesGet) {
+  SceneGenerator gen(6);
+  const auto buf = render(gen, 3, 1);
+  const ConstFrameView frame(buf);
+  for (const int y : {0, 17, kHeight - 1}) {
+    const std::uint8_t* row = frame.row(y);
+    for (const int x : {0, 1, 333, kWidth - 1}) {
+      const Rgb c = frame.get(x, y);
+      EXPECT_EQ(row[3 * x + 0], c.r);
+      EXPECT_EQ(row[3 * x + 1], c.g);
+      EXPECT_EQ(row[3 * x + 2], c.b);
+    }
+    EXPECT_EQ(frame.row_span(y).size(), static_cast<std::size_t>(kWidth) * 3);
+  }
+  EXPECT_THROW(frame.row(-1), std::out_of_range);
+  EXPECT_THROW(frame.row(kHeight), std::out_of_range);
+}
+
 TEST(DetectTarget, EmptyMaskMeansNothingConsidered) {
   SceneGenerator gen(11);
   const auto cur = render(gen, 31, 2);
