@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Concurrency-hygiene lint for the stampede runtime. Runs in CI and via the
+# `lint` CMake target; exits non-zero on any violation.
+#
+# Rules (allowlist: scripts/lint_allowlist.txt, lines "<rule> <path>"):
+#   raw-mutex    no `std::mutex` outside util/mutex.hpp — every lock must be
+#                a util::Mutex so it carries thread-safety annotations and a
+#                LockRank for the debug validator.
+#   detach       no `std::thread::detach` — every thread must be joined (the
+#                runtime owns its threads via std::jthread).
+#   raw-sleep    no `std::this_thread::sleep_for` in src/ outside the clock —
+#                all runtime sleeping goes through util::Clock so tests can
+#                use ManualClock. (Tests may sleep; the rule covers src/.)
+#   endl         no `std::endl` in src/ — it flushes; hot paths must use '\n'.
+#
+# Also runs clang-tidy over src/ when available and a compile database exists
+# (pass --build-dir, or configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+set -u
+
+cd "$(dirname "$0")/.."
+ALLOWLIST="scripts/lint_allowlist.txt"
+BUILD_DIR=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "usage: $0 [--build-dir <dir>]" >&2; exit 2 ;;
+  esac
+done
+
+failures=0
+
+# allowed <rule> <path> -> 0 if the path is allowlisted for the rule.
+allowed() {
+  [ -f "$ALLOWLIST" ] && grep -v '^#' "$ALLOWLIST" | grep -qx "$1 $2"
+}
+
+# check <rule> <pattern> <description> <path...>
+check() {
+  local rule="$1" pattern="$2" what="$3"
+  shift 3
+  local out
+  out=$(grep -rn --include='*.hpp' --include='*.cpp' -E "$pattern" "$@" 2>/dev/null) || true
+  local hit=0
+  while IFS= read -r line; do
+    [ -z "$line" ] && continue
+    local file="${line%%:*}"
+    if ! allowed "$rule" "$file"; then
+      [ "$hit" -eq 0 ] && echo "lint [$rule]: $what" >&2
+      echo "  $line" >&2
+      hit=1
+    fi
+  done <<< "$out"
+  [ "$hit" -ne 0 ] && failures=$((failures + 1))
+  return 0
+}
+
+check raw-mutex 'std::mutex[^_[:alnum:]]|std::mutex$' \
+  "raw std::mutex — use util::Mutex (annotated, rank-checked)" src tests
+check detach '\.detach\(' \
+  "std::thread::detach — threads must be joined" src tests
+check raw-sleep 'std::this_thread::sleep_for' \
+  "raw sleep in runtime code — go through util::Clock (ManualClock in tests)" src
+check endl 'std::endl' \
+  "std::endl flushes — use '\\n' in runtime code" src
+
+# -- clang-tidy (best-effort: skipped when the toolchain lacks it) ------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  db=""
+  if [ -n "$BUILD_DIR" ] && [ -f "$BUILD_DIR/compile_commands.json" ]; then
+    db="$BUILD_DIR"
+  elif [ -f "build/compile_commands.json" ]; then
+    db="build"
+  fi
+  if [ -n "$db" ]; then
+    echo "lint: running clang-tidy (compile database: $db)"
+    if ! find src -name '*.cpp' -print0 |
+        xargs -0 clang-tidy -p "$db" --quiet --warnings-as-errors='*'; then
+      failures=$((failures + 1))
+    fi
+  else
+    echo "lint: clang-tidy present but no compile_commands.json found; skipping" >&2
+  fi
+else
+  echo "lint: clang-tidy not installed; skipping static checks"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "lint: FAILED ($failures rule(s) violated)" >&2
+  exit 1
+fi
+echo "lint: OK"

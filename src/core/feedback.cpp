@@ -45,25 +45,27 @@ void FeedbackState::set_current_stp(Nanos stp) {
   if (!is_thread_) {
     throw std::logic_error("FeedbackState: current-STP on a non-thread node");
   }
-  current_ = stp;
+  current_ns_.store(stp.count(), std::memory_order_relaxed);
   recompute();
 }
 
 void FeedbackState::recompute() {
-  compressed_ = compress_ ? compress_(backward_) : kUnknownStp;
+  const Nanos compressed = compress_ ? compress_(backward_) : kUnknownStp;
+  compressed_ns_.store(compressed.count(), std::memory_order_relaxed);
   // Thread nodes insert their own execution period: a thread slower than
   // all of its consumers still reports its own pace upstream (paper:
   // "allows a thread with a larger period than its consumers to insert its
   // execution period into the summary-STP").
-  Nanos raw = compressed_;
-  if (is_thread_ && known(current_) && (!known(raw) || current_ > raw)) {
-    raw = current_;
+  Nanos raw = compressed;
+  const Nanos current = current_stp();
+  if (is_thread_ && known(current) && (!known(raw) || current > raw)) {
+    raw = current;
   }
   if (filter_ && known(raw)) {
     const double filtered = filter_->push(static_cast<double>(raw.count()));
     raw = Nanos{static_cast<std::int64_t>(filtered)};
   }
-  summary_ = raw;
+  summary_ns_.store(raw.count(), std::memory_order_relaxed);
 }
 
 }  // namespace stampede::aru

@@ -13,11 +13,16 @@
 /// optionally smoothed by a feedback filter before being propagated
 /// upstream on the next put.
 ///
-/// Thread-safety: a thread node's FeedbackState is touched only by its
+/// Thread-safety: a thread node's FeedbackState is *driven* only by its
 /// owning thread; a channel/queue node's FeedbackState is protected by the
-/// channel/queue mutex. The class itself is not synchronized.
+/// channel/queue mutex. The mutators are not synchronized. The computed
+/// results — `summary()`, `compressed_backward()`, `current_stp()` — are
+/// published as relaxed atomics so diagnostics and tests may poll a
+/// thread node's view from outside; each is an independent scalar whose
+/// readers tolerate staleness, so relaxed ordering is sufficient.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -39,6 +44,33 @@ class FeedbackState {
   FeedbackState(Mode mode, bool is_thread, CompressFn custom = {},
                 std::unique_ptr<Filter> filter = nullptr);
 
+  // Movable for container storage during single-threaded graph/simulator
+  // construction; the atomics make the defaults undeclarable. Must not be
+  // moved once feedback is flowing.
+  FeedbackState(FeedbackState&& other) noexcept
+      : mode_(other.mode_),
+        is_thread_(other.is_thread_),
+        compress_(std::move(other.compress_)),
+        filter_(std::move(other.filter_)),
+        backward_(std::move(other.backward_)),
+        current_ns_(other.current_ns_.load(std::memory_order_relaxed)),
+        compressed_ns_(other.compressed_ns_.load(std::memory_order_relaxed)),
+        summary_ns_(other.summary_ns_.load(std::memory_order_relaxed)) {}
+  FeedbackState& operator=(FeedbackState&& other) noexcept {
+    mode_ = other.mode_;
+    is_thread_ = other.is_thread_;
+    compress_ = std::move(other.compress_);
+    filter_ = std::move(other.filter_);
+    backward_ = std::move(other.backward_);
+    current_ns_.store(other.current_ns_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    compressed_ns_.store(other.compressed_ns_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    summary_ns_.store(other.summary_ns_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Registers one more output connection; returns its slot index in the
   /// backwardSTP vector. Must be called during graph construction, before
   /// any feedback flows.
@@ -54,16 +86,20 @@ class FeedbackState {
 
   /// This node's summary-STP to piggy-back upstream (kUnknownStp if no
   /// information yet or ARU is off).
-  Nanos summary() const { return summary_; }
+  Nanos summary() const { return Nanos{summary_ns_.load(std::memory_order_relaxed)}; }
 
   /// The compressed backwardSTP (before blending current-STP); exposed for
   /// tests and for pacing decisions.
-  Nanos compressed_backward() const { return compressed_; }
+  Nanos compressed_backward() const {
+    return Nanos{compressed_ns_.load(std::memory_order_relaxed)};
+  }
 
   /// Last current-STP fed in (threads only).
-  Nanos current_stp() const { return current_; }
+  Nanos current_stp() const { return Nanos{current_ns_.load(std::memory_order_relaxed)}; }
 
-  /// Read-only view of the backward vector (for diagnostics/tests).
+  /// Read-only view of the backward vector. Unlike the scalar results this
+  /// is NOT safe to poll from outside: callers must be the driving thread
+  /// (or hold the owning channel/queue lock).
   std::span<const Nanos> backward() const { return backward_; }
 
   Mode mode() const { return mode_; }
@@ -78,9 +114,9 @@ class FeedbackState {
   CompressFn compress_;
   std::unique_ptr<Filter> filter_;
   std::vector<Nanos> backward_;
-  Nanos current_ = kUnknownStp;
-  Nanos compressed_ = kUnknownStp;
-  Nanos summary_ = kUnknownStp;
+  std::atomic<std::int64_t> current_ns_{kUnknownStp.count()};
+  std::atomic<std::int64_t> compressed_ns_{kUnknownStp.count()};
+  std::atomic<std::int64_t> summary_ns_{kUnknownStp.count()};
 };
 
 }  // namespace stampede::aru

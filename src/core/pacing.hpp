@@ -3,6 +3,9 @@
 ///        (paper §3.3.2 — "Source threads ... use the propagated
 ///        summary-STP information to adjust their rate of data item
 ///        production").
+///
+/// Thread-safety: pure functions over value arguments — no shared state,
+/// no locks, callable from any thread ("core stays thread-free").
 #pragma once
 
 #include "core/compress.hpp"

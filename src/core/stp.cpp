@@ -25,9 +25,9 @@ Nanos StpMeter::end_iteration(Nanos now) {
   last_period_ = now - iter_start_;
   Nanos stp = last_period_ - blocked_ - paced_;
   if (stp.count() < 0) stp = Nanos{0};
-  current_ = stp;
-  ++iterations_;
-  return current_;
+  current_ns_.store(stp.count(), std::memory_order_relaxed);
+  iterations_.fetch_add(1, std::memory_order_relaxed);
+  return stp;
 }
 
 }  // namespace stampede::aru

@@ -8,12 +8,18 @@
 /// `periodicity_sync()`.
 #pragma once
 
+#include <atomic>
+
 #include "util/time.hpp"
 
 namespace stampede::aru {
 
-/// Per-thread iteration timer. Not thread-safe: owned and driven by the
-/// measured thread itself.
+/// Per-thread iteration timer. Owned and driven by the measured thread
+/// itself; the in-flight bookkeeping is not thread-safe. The two
+/// *results* — `current_stp()` and `iterations()` — are published as
+/// relaxed atomics so monitors (tests, diagnostics) may poll them from
+/// other threads; each is an independent monotonic-ish value with no
+/// cross-field invariant, so relaxed ordering is sufficient.
 class StpMeter {
  public:
   /// Marks the start of a loop iteration at instant `now`.
@@ -31,7 +37,7 @@ class StpMeter {
   Nanos end_iteration(Nanos now);
 
   /// Most recent current-STP (0 before the first completed iteration).
-  Nanos current_stp() const { return current_; }
+  Nanos current_stp() const { return Nanos{current_ns_.load(std::memory_order_relaxed)}; }
 
   /// Whole-iteration wall period of the last iteration (including blocking
   /// and pacing sleep) — the thread's *observed* production period.
@@ -44,15 +50,15 @@ class StpMeter {
   Nanos iteration_start() const { return iter_start_; }
 
   /// Completed iterations so far.
-  std::int64_t iterations() const { return iterations_; }
+  std::int64_t iterations() const { return iterations_.load(std::memory_order_relaxed); }
 
  private:
   Nanos iter_start_{0};
   Nanos blocked_{0};
   Nanos paced_{0};
-  Nanos current_{0};
+  std::atomic<std::int64_t> current_ns_{0};
   Nanos last_period_{0};
-  std::int64_t iterations_ = 0;
+  std::atomic<std::int64_t> iterations_{0};
   bool in_iteration_ = false;
 };
 

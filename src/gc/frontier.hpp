@@ -50,6 +50,12 @@ std::string to_string(Kind kind);
 /// The channel frontier is the minimum guarantee across all consumers
 /// (−infinity semantics when a consumer has never reported: represented
 /// by the initial guarantee 0 — timestamps in this runtime start at 0).
+///
+/// Thread-compatibility: this class is deliberately lock-free and
+/// externally synchronized — each instance is owned by exactly one
+/// Channel and every access happens under that channel's `mu_` (the
+/// owning member is declared `GUARDED_BY(mu_)`, so Clang's thread-safety
+/// analysis checks the discipline at the call sites).
 class ConsumerFrontiers {
  public:
   /// Registers a consumer; returns its index.

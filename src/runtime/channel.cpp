@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace stampede {
 
@@ -31,9 +32,16 @@ Channel::Channel(RunContext& ctx, NodeId id, ChannelConfig config, aru::Mode mod
       feedback_(effective_mode(mode, config_.custom_compress), /*is_thread=*/false,
                 config_.custom_compress, std::move(filter)) {}
 
-void Channel::register_producer(NodeId /*thread*/) { ++producer_count_; }
+void Channel::register_producer(NodeId /*thread*/) {
+  // Registration happens in the single-threaded construction phase, but
+  // taking the lock keeps the guarded-member annotations sound (and the
+  // cost is irrelevant off the data plane).
+  const util::MutexLock lock(mu_);
+  ++producer_count_;
+}
 
 int Channel::register_consumer(NodeId thread, int cluster_node) {
+  const util::MutexLock lock(mu_);
   if (consumer_states_.size() >= static_cast<std::size_t>(kMaxConsumers)) {
     throw std::length_error("Channel: too many consumers");
   }
@@ -41,6 +49,13 @@ int Channel::register_consumer(NodeId thread, int cluster_node) {
   const int idx = frontiers_.add_consumer();
   feedback_.add_output();
   return idx;
+}
+
+void Channel::check_consumer_locked(int consumer_idx, const char* op) const {
+  if (consumer_idx < 0 ||
+      static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
+    throw std::out_of_range(std::string(op) + ": bad consumer index");
+  }
 }
 
 void Channel::add_event(EventBatch& events, stats::EventType type, const Item& item,
@@ -59,7 +74,7 @@ void Channel::add_event(EventBatch& events, stats::EventType type, const Item& i
 void Channel::flush_events(EventBatch& events) {
   if (events.empty()) return;
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const util::MutexLock lock(stats_mu_);
     for (const stats::Event& e : events) shard_->record(e);
   }
   events.clear();
@@ -138,13 +153,16 @@ Channel::PutResult Channel::put(std::shared_ptr<Item> item, std::stop_token st) 
   std::vector<std::shared_ptr<Item>> reclaimed;
   PutResult result;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::UniqueLock lock(mu_);
 
     // Bounded channel: classic backpressure — block until space frees up.
     if (config_.capacity > 0) {
       const Nanos wait_start = ctx_.clock->now();
       ++waiters_;
-      cv_.wait(lock, st, [&] { return closed_ || entries_.size() < config_.capacity; });
+      cv_.wait(lock, st, [&] {
+        mu_.assert_held();  // the wait re-acquires mu_ before evaluating
+        return closed_ || entries_.size() < config_.capacity;
+      });
       --waiters_;
       result.blocked = ctx_.clock->now() - wait_start;
     }
@@ -198,15 +216,13 @@ Channel::PutResult Channel::put(std::shared_ptr<Item> item, std::stop_token st) 
 
 Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
                                        Timestamp extra_guarantee, std::stop_token st) {
-  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
-    throw std::out_of_range("Channel::get_latest: bad consumer index");
-  }
   EventBatch& events = tl_event_batch();
   events.clear();
   std::vector<std::shared_ptr<Item>> reclaimed;
   GetResult result;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::UniqueLock lock(mu_);
+    check_consumer_locked(consumer_idx, "Channel::get_latest");
     ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
     const std::uint64_t my_bit = 1ULL << consumer_idx;
 
@@ -222,6 +238,7 @@ Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
     }
 
     auto newest_unseen = [&]() -> Timestamp {
+      mu_.assert_held();
       if (entries_.empty()) return kNoTimestamp;
       const Timestamp newest = entries_.back().ts;
       return newest > me.cursor ? newest : kNoTimestamp;
@@ -229,7 +246,10 @@ Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
 
     const Nanos wait_start = ctx_.clock->now();
     ++waiters_;
-    cv_.wait(lock, st, [&] { return closed_ || newest_unseen() != kNoTimestamp; });
+    cv_.wait(lock, st, [&] {
+      mu_.assert_held();
+      return closed_ || newest_unseen() != kNoTimestamp;
+    });
     --waiters_;
     result.blocked = ctx_.clock->now() - wait_start;
 
@@ -280,15 +300,13 @@ Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
 
 Channel::GetResult Channel::get_next(int consumer_idx, Nanos consumer_summary,
                                      Timestamp extra_guarantee, std::stop_token st) {
-  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
-    throw std::out_of_range("Channel::get_next: bad consumer index");
-  }
   EventBatch& events = tl_event_batch();
   events.clear();
   std::vector<std::shared_ptr<Item>> reclaimed;
   GetResult result;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::UniqueLock lock(mu_);
+    check_consumer_locked(consumer_idx, "Channel::get_next");
     ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
     const std::uint64_t my_bit = 1ULL << consumer_idx;
 
@@ -300,12 +318,16 @@ Channel::GetResult Channel::get_next(int consumer_idx, Nanos consumer_summary,
     }
 
     auto oldest_unseen = [&]() -> std::size_t {
+      mu_.assert_held();
       return lower_bound_locked(me.cursor + 1);
     };
 
     const Nanos wait_start = ctx_.clock->now();
     ++waiters_;
-    cv_.wait(lock, st, [&] { return closed_ || oldest_unseen() < entries_.size(); });
+    cv_.wait(lock, st, [&] {
+      mu_.assert_held();
+      return closed_ || oldest_unseen() < entries_.size();
+    });
     --waiters_;
     result.blocked = ctx_.clock->now() - wait_start;
 
@@ -333,14 +355,12 @@ Channel::GetResult Channel::get_next(int consumer_idx, Nanos consumer_summary,
 }
 
 Channel::GetResult Channel::get_at(int consumer_idx, Timestamp ts, Nanos consumer_summary) {
-  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
-    throw std::out_of_range("Channel::get_at: bad consumer index");
-  }
   EventBatch& events = tl_event_batch();
   events.clear();
   GetResult result;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
+    check_consumer_locked(consumer_idx, "Channel::get_at");
     const ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
     const std::uint64_t my_bit = 1ULL << consumer_idx;
 
@@ -368,15 +388,13 @@ Channel::GetResult Channel::get_at(int consumer_idx, Timestamp ts, Nanos consume
 
 Channel::GetResult Channel::get_nearest(int consumer_idx, Timestamp ts, Timestamp tolerance,
                                         Nanos consumer_summary) {
-  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
-    throw std::out_of_range("Channel::get_nearest: bad consumer index");
-  }
   if (tolerance < 0) throw std::invalid_argument("Channel::get_nearest: negative tolerance");
   EventBatch& events = tl_event_batch();
   events.clear();
   GetResult result;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
+    check_consumer_locked(consumer_idx, "Channel::get_nearest");
     const ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
     const std::uint64_t my_bit = 1ULL << consumer_idx;
 
@@ -421,16 +439,14 @@ Channel::GetResult Channel::get_nearest(int consumer_idx, Timestamp ts, Timestam
 
 Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
                                           Nanos consumer_summary, std::stop_token st) {
-  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
-    throw std::out_of_range("Channel::get_window: bad consumer index");
-  }
   if (window == 0) throw std::invalid_argument("Channel::get_window: window must be > 0");
   EventBatch& events = tl_event_batch();
   events.clear();
   std::vector<std::shared_ptr<Item>> reclaimed;
   WindowResult result;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::UniqueLock lock(mu_);
+    check_consumer_locked(consumer_idx, "Channel::get_window");
     ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
     const std::uint64_t my_bit = 1ULL << consumer_idx;
 
@@ -439,6 +455,7 @@ Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
     }
 
     auto newest_unseen = [&]() -> Timestamp {
+      mu_.assert_held();
       if (entries_.empty()) return kNoTimestamp;
       const Timestamp newest = entries_.back().ts;
       return newest > me.cursor ? newest : kNoTimestamp;
@@ -446,7 +463,10 @@ Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
 
     const Nanos wait_start = ctx_.clock->now();
     ++waiters_;
-    cv_.wait(lock, st, [&] { return closed_ || newest_unseen() != kNoTimestamp; });
+    cv_.wait(lock, st, [&] {
+      mu_.assert_held();
+      return closed_ || newest_unseen() != kNoTimestamp;
+    });
     --waiters_;
     result.blocked = ctx_.clock->now() - wait_start;
 
@@ -498,14 +518,12 @@ Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
 }
 
 void Channel::raise_guarantee(int consumer_idx, Timestamp g) {
-  if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
-    throw std::out_of_range("Channel::raise_guarantee: bad consumer index");
-  }
   EventBatch& events = tl_event_batch();
   events.clear();
   std::vector<std::shared_ptr<Item>> reclaimed;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
+    check_consumer_locked(consumer_idx, "Channel::raise_guarantee");
     frontiers_.raise(consumer_idx, g);
     // Mark now-dead, never-touched entries as skipped by this consumer so
     // Transparent GC can also reclaim them.
@@ -529,34 +547,39 @@ void Channel::raise_guarantee(int consumer_idx, Timestamp g) {
 }
 
 Timestamp Channel::latest_ts() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return entries_.empty() ? kNoTimestamp : entries_.back().ts;
 }
 
 void Channel::close() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   closed_ = true;
   cv_.notify_all();
 }
 
 std::size_t Channel::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return entries_.size();
 }
 
 Timestamp Channel::frontier() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return frontiers_.frontier();
 }
 
 Nanos Channel::summary() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return feedback_.summary();
 }
 
 std::size_t Channel::consumers() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return consumer_states_.size();
+}
+
+std::size_t Channel::producers() const {
+  const util::MutexLock lock(mu_);
+  return producer_count_;
 }
 
 }  // namespace stampede

@@ -37,7 +37,6 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <stop_token>
 #include <string>
 #include <vector>
@@ -47,6 +46,8 @@
 #include "runtime/context.hpp"
 #include "runtime/item.hpp"
 #include "stats/recorder.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stampede {
 
@@ -195,7 +196,7 @@ class Channel {
   /// Current channel summary-STP (diagnostics/tests).
   Nanos summary() const;
   std::size_t consumers() const;
-  std::size_t producers() const { return producer_count_; }
+  std::size_t producers() const;
 
  private:
   struct Entry {
@@ -219,60 +220,63 @@ class Channel {
   /// pass and no mask/insert below it changed (`gc_pending_`), this is a
   /// constant-time no-op. Otherwise only the prefix with ts < frontier is
   /// visited. Reclaimed items are moved into `reclaimed` so their payloads
-  /// are released after mu_ is dropped. Caller holds mu_.
+  /// are released after mu_ is dropped.
   std::size_t collect_locked(std::int64_t now, EventBatch& events,
-                             std::vector<std::shared_ptr<Item>>& reclaimed);
+                             std::vector<std::shared_ptr<Item>>& reclaimed) REQUIRES(mu_);
 
   /// True if every registered consumer has consumed or skipped the entry.
-  bool all_passed(const Entry& e) const;
+  bool all_passed(const Entry& e) const REQUIRES(mu_);
 
   /// Index of the first entry with ts >= `ts` (entries_.size() if none).
-  /// Caller holds mu_.
-  std::size_t lower_bound_locked(Timestamp ts) const;
+  std::size_t lower_bound_locked(Timestamp ts) const REQUIRES(mu_);
 
-  /// Index of the entry with exactly `ts`, or entries_.size(). Caller
-  /// holds mu_.
-  std::size_t find_locked(Timestamp ts) const;
+  /// Index of the entry with exactly `ts`, or entries_.size().
+  std::size_t find_locked(Timestamp ts) const REQUIRES(mu_);
+
+  /// Throws std::out_of_range unless `consumer_idx` names a registered
+  /// consumer.
+  void check_consumer_locked(int consumer_idx, const char* op) const REQUIRES(mu_);
 
   static void add_event(EventBatch& events, stats::EventType type, const Item& item,
                         std::int64_t now, NodeId node, std::int64_t a = 0,
                         std::int64_t b = 0);
 
-  /// Appends a composed batch to the stats shard. Called WITHOUT mu_ held;
-  /// stats_mu_ keeps the shard single-writer.
-  void flush_events(EventBatch& events);
+  /// Appends a composed batch to the stats shard. Must be called WITHOUT
+  /// mu_ held (lock rank kBufferStats < kBuffer enforces this at runtime
+  /// in ARU_LOCK_DEBUG builds); stats_mu_ keeps the shard single-writer.
+  void flush_events(EventBatch& events) EXCLUDES(mu_, stats_mu_);
 
   /// Wakes blocked threads only when some exist (skips the notify syscall
-  /// entirely for the common uncontended case). Caller holds mu_.
-  void notify_waiters_locked();
+  /// entirely for the common uncontended case).
+  void notify_waiters_locked() REQUIRES(mu_);
 
   RunContext& ctx_;
   NodeId id_;
   ChannelConfig config_;
-  stats::Shard* shard_;
+  stats::Shard* const shard_ PT_GUARDED_BY(stats_mu_);
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kBuffer, "channel.mu"};
   std::condition_variable_any cv_;
   /// Sorted ascending by ts (unique). Deque: O(1) append at the back for
   /// monotonic producers, O(1) pop at the front for the collector, random
   /// access for binary search.
-  std::deque<Entry> entries_;
-  std::vector<ConsumerState> consumer_states_;
-  gc::ConsumerFrontiers frontiers_;
-  aru::FeedbackState feedback_;
-  std::size_t producer_count_ = 0;
-  bool closed_ = false;
+  std::deque<Entry> entries_ GUARDED_BY(mu_);
+  std::vector<ConsumerState> consumer_states_ GUARDED_BY(mu_);
+  gc::ConsumerFrontiers frontiers_ GUARDED_BY(mu_);
+  aru::FeedbackState feedback_ GUARDED_BY(mu_);
+  std::size_t producer_count_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
   /// Number of threads currently blocked in cv_.wait (producers on a full
   /// bounded channel and consumers on an empty one).
-  int waiters_ = 0;
+  int waiters_ GUARDED_BY(mu_) = 0;
   /// Frontier value at the end of the last collect pass.
-  Timestamp collected_frontier_ = 0;
+  Timestamp collected_frontier_ GUARDED_BY(mu_) = 0;
   /// Set when storage below the current frontier may have changed without
   /// the frontier moving (random-access consume, explicit guarantee skip
   /// marking, out-of-order insert below the frontier).
-  bool gc_pending_ = false;
+  bool gc_pending_ GUARDED_BY(mu_) = false;
   /// Serializes shard appends now that they happen outside mu_.
-  mutable std::mutex stats_mu_;
+  mutable util::Mutex stats_mu_{util::LockRank::kBufferStats, "channel.stats_mu"};
 };
 
 }  // namespace stampede

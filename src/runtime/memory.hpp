@@ -6,6 +6,15 @@
 /// bytes) and (b) live diagnostics. The authoritative footprint *metrics*
 /// (time-weighted mean/σ, Figs. 6, 8, 9) are computed postmortem from
 /// alloc/free trace events, not from this tracker.
+///
+/// Thread-safety: fully lock-free. All counters are relaxed atomics —
+/// they are monotonic tallies with no cross-counter invariant a reader
+/// could observe torn (node/total/peak may be mutually stale by a few
+/// operations, which the pressure model tolerates by design). The peak
+/// is maintained with a CAS loop so concurrent allocations can never
+/// lower it. Item destructors call on_free from arbitrary threads,
+/// sometimes under a channel lock — keeping this class lock-free keeps
+/// it off the lock hierarchy entirely.
 #pragma once
 
 #include <atomic>

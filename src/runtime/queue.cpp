@@ -23,6 +23,9 @@ Queue::Queue(RunContext& ctx, NodeId id, QueueConfig config, aru::Mode mode,
 void Queue::register_producer(NodeId /*thread*/) {}
 
 int Queue::register_consumer(NodeId thread, int cluster_node) {
+  // Single-threaded construction phase; locked to keep the annotations
+  // sound (see Channel::register_consumer).
+  const util::MutexLock lock(mu_);
   consumer_states_.push_back(ConsumerState{.thread = thread, .cluster_node = cluster_node});
   feedback_.add_output();
   return static_cast<int>(consumer_states_.size()) - 1;
@@ -30,12 +33,15 @@ int Queue::register_consumer(NodeId thread, int cluster_node) {
 
 Queue::PutResult Queue::put(std::shared_ptr<Item> item, std::stop_token st) {
   if (!item) throw std::invalid_argument("Queue::put: null item");
-  std::unique_lock<std::mutex> lock(mu_);
+  util::UniqueLock lock(mu_);
 
   PutResult result;
   if (config_.capacity > 0) {
     const Nanos wait_start = ctx_.clock->now();
-    cv_.wait(lock, st, [&] { return closed_ || items_.size() < config_.capacity; });
+    cv_.wait(lock, st, [&] {
+      mu_.assert_held();
+      return closed_ || items_.size() < config_.capacity;
+    });
     result.blocked = ctx_.clock->now() - wait_start;
   }
   if (closed_ || st.stop_requested()) {
@@ -58,10 +64,10 @@ Queue::PutResult Queue::put(std::shared_ptr<Item> item, std::stop_token st) {
 }
 
 Queue::GetResult Queue::get(int consumer_idx, Nanos consumer_summary, std::stop_token st) {
+  util::UniqueLock lock(mu_);
   if (consumer_idx < 0 || static_cast<std::size_t>(consumer_idx) >= consumer_states_.size()) {
     throw std::out_of_range("Queue::get: bad consumer index");
   }
-  std::unique_lock<std::mutex> lock(mu_);
   const ConsumerState& me = consumer_states_[static_cast<std::size_t>(consumer_idx)];
 
   GetResult result;
@@ -70,7 +76,10 @@ Queue::GetResult Queue::get(int consumer_idx, Nanos consumer_summary, std::stop_
   }
 
   const Nanos wait_start = ctx_.clock->now();
-  cv_.wait(lock, st, [&] { return closed_ || !items_.empty(); });
+  cv_.wait(lock, st, [&] {
+    mu_.assert_held();
+    return closed_ || !items_.empty();
+  });
   result.blocked = ctx_.clock->now() - wait_start;
 
   if (items_.empty()) return result;  // closed & drained, or stop requested
@@ -92,18 +101,18 @@ Queue::GetResult Queue::get(int consumer_idx, Nanos consumer_summary, std::stop_
 }
 
 void Queue::close() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   closed_ = true;
   cv_.notify_all();
 }
 
 std::size_t Queue::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return items_.size();
 }
 
 Nanos Queue::summary() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return feedback_.summary();
 }
 

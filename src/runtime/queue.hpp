@@ -13,7 +13,6 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <stop_token>
 #include <string>
 
@@ -21,6 +20,8 @@
 #include "runtime/context.hpp"
 #include "runtime/item.hpp"
 #include "stats/recorder.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stampede {
 
@@ -78,14 +79,16 @@ class Queue {
   RunContext& ctx_;
   NodeId id_;
   QueueConfig config_;
-  stats::Shard* shard_;
+  /// Unlike Channel, queue events are recorded under mu_ (queue traffic is
+  /// control-plane scale; no out-of-lock flush needed yet).
+  stats::Shard* const shard_ PT_GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kBuffer, "queue.mu"};
   std::condition_variable_any cv_;
-  std::deque<std::shared_ptr<Item>> items_;
-  std::vector<ConsumerState> consumer_states_;
-  aru::FeedbackState feedback_;
-  bool closed_ = false;
+  std::deque<std::shared_ptr<Item>> items_ GUARDED_BY(mu_);
+  std::vector<ConsumerState> consumer_states_ GUARDED_BY(mu_);
+  aru::FeedbackState feedback_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace stampede

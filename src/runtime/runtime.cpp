@@ -18,6 +18,7 @@ Runtime::Runtime(RuntimeConfig config)
   run_.cost_mode = config_.cost_mode;
   run_.gc = config_.gc;
   run_.aru = config_.aru;
+  const util::MutexLock lock(lifecycle_mu_);
   t_start_ = run_.now_ns();
 }
 
@@ -29,7 +30,7 @@ std::unique_ptr<Filter> Runtime::filter_for(const std::string& override_spec) co
 }
 
 void Runtime::check_mutable(const char* op) const {
-  if (running_ || stopped_) {
+  if (running_.load(std::memory_order_acquire) || stopped_.load(std::memory_order_acquire)) {
     throw std::logic_error(std::string("Runtime: ") + op + " after start()");
   }
 }
@@ -122,8 +123,9 @@ void Runtime::start() {
     task->set_source(graph_.is_source(task->id()));
   }
 
+  const util::MutexLock lock(lifecycle_mu_);
   t_start_ = run_.now_ns();
-  running_ = true;
+  running_.store(true, std::memory_order_release);
   threads_.reserve(tasks_.size() + 1);
   for (auto& task : tasks_) {
     threads_.emplace_back([t = task.get()](std::stop_token st) { t->run_loop(st); });
@@ -175,13 +177,18 @@ bool Runtime::wait_emits(std::int64_t n, Nanos timeout) {
 }
 
 void Runtime::run_for(Nanos d) {
-  if (!running_) start();
+  if (!running()) start();
   run_.clock->sleep_for(d);
 }
 
 void Runtime::stop() {
-  if (!running_ || stopped_) {
-    stopped_ = true;
+  const util::MutexLock lock(lifecycle_mu_);
+  stop_locked();
+}
+
+void Runtime::stop_locked() {
+  if (!running_.load(std::memory_order_acquire) || stopped_.load(std::memory_order_acquire)) {
+    stopped_.store(true, std::memory_order_release);
     return;
   }
   run_.stopping.store(true, std::memory_order_relaxed);
@@ -192,15 +199,15 @@ void Runtime::stop() {
     if (th.joinable()) th.join();
   }
   threads_.clear();
-  running_ = false;
-  stopped_ = true;
+  running_.store(false, std::memory_order_release);
+  stopped_.store(true, std::memory_order_release);
   t_stop_ = run_.now_ns();
   STAMPEDE_LOG(kInfo) << "runtime stopped after "
                       << to_millis(Nanos{t_stop_ - t_start_}) << " ms";
 }
 
 bool Runtime::drain(Nanos timeout) {
-  if (!running_) return true;
+  if (!running()) return true;
   // Close the buffers: producers' puts start failing (bodies should treat
   // a failed put / null get as kDone) while consumers still drain stored
   // items.
@@ -221,14 +228,21 @@ bool Runtime::drain(Nanos timeout) {
 }
 
 stats::Trace Runtime::take_trace() {
-  if (running_) throw std::logic_error("Runtime: take_trace while running");
-  if (t_stop_ == 0) t_stop_ = run_.now_ns();
+  if (running()) throw std::logic_error("Runtime: take_trace while running");
+  std::int64_t t_begin = 0;
+  std::int64_t t_end = 0;
+  {
+    const util::MutexLock lock(lifecycle_mu_);
+    if (t_stop_ == 0) t_stop_ = run_.now_ns();
+    t_begin = t_start_;
+    t_end = t_stop_;
+  }
 
   // Drain buffers so every remaining item's free event lands in the trace
   // before the merge.
   channels_.clear();
   queues_.clear();
-  return recorder_.merge(t_start_, t_stop_);
+  return recorder_.merge(t_begin, t_end);
 }
 
 }  // namespace stampede

@@ -17,6 +17,7 @@
 /// \endcode
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -26,6 +27,8 @@
 #include "runtime/graph.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/task.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stampede {
 
@@ -84,7 +87,9 @@ class Runtime {
   void run_for(Nanos d);
 
   /// Requests all tasks to stop, closes all buffers, joins all threads.
-  /// Idempotent.
+  /// Idempotent and safe to call from several control threads (the first
+  /// caller joins; later callers see the stopped state). Must NOT be
+  /// called from inside a task body — it joins the task threads.
   void stop();
 
   /// Graceful shutdown: closes all buffers *without* signalling tasks, so
@@ -94,7 +99,7 @@ class Runtime {
   /// hard stop() was issued instead.
   bool drain(Nanos timeout);
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
 
   // -- results & introspection -------------------------------------------------
 
@@ -115,6 +120,7 @@ class Runtime {
   NodeId next_node_id() { return static_cast<NodeId>(graph_.nodes().size()); }
   std::unique_ptr<Filter> filter_for(const std::string& override_spec) const;
   void check_mutable(const char* op) const;
+  void stop_locked() REQUIRES(lifecycle_mu_);
 
   RuntimeConfig config_;
   stats::Recorder recorder_;
@@ -122,15 +128,25 @@ class Runtime {
   RunContext run_;
   Graph graph_;
 
+  // Graph containers are mutated only during the single-threaded
+  // construction phase (enforced by check_mutable) and are read-only once
+  // start() spawns threads, so they need no lock.
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::unique_ptr<TaskContext>> tasks_;
-  std::vector<std::jthread> threads_;
 
-  bool running_ = false;
-  bool stopped_ = false;
-  std::int64_t t_start_ = 0;
-  std::int64_t t_stop_ = 0;
+  /// Serializes start/stop/drain transitions. Rank kLifecycle: held while
+  /// closing buffers (rank kBuffer) and joining task threads — task
+  /// bodies never acquire it, so the join cannot deadlock.
+  mutable util::Mutex lifecycle_mu_{util::LockRank::kLifecycle, "runtime.lifecycle"};
+  std::vector<std::jthread> threads_ GUARDED_BY(lifecycle_mu_);
+
+  /// Atomic mirrors of the lifecycle state so hot-path readers
+  /// (running(), check_mutable from task threads) stay lock-free.
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+  std::int64_t t_start_ GUARDED_BY(lifecycle_mu_) = 0;
+  std::int64_t t_stop_ GUARDED_BY(lifecycle_mu_) = 0;
 };
 
 }  // namespace stampede

@@ -29,13 +29,13 @@ const char* to_string(EventType type) {
 }
 
 Shard* Recorder::new_shard() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   shards_.push_back(std::make_unique<Shard>());
   return shards_.back().get();
 }
 
 void Recorder::set_node_name(NodeRef node, std::string name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   if (node < 0) return;
   if (static_cast<std::size_t>(node) >= node_names_.size()) {
     node_names_.resize(static_cast<std::size_t>(node) + 1);
@@ -44,12 +44,12 @@ void Recorder::set_node_name(NodeRef node, std::string name) {
 }
 
 void Recorder::record_any_thread(const Event& e) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   any_thread_shard_.record(e);
 }
 
 Trace Recorder::merge(std::int64_t t_begin, std::int64_t t_end) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   Trace trace;
   trace.t_begin = t_begin;
   trace.t_end = t_end;

@@ -13,11 +13,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "stats/events.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stampede::stats {
 
@@ -67,10 +68,16 @@ class Recorder {
   Trace merge(std::int64_t t_begin, std::int64_t t_end) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  Shard any_thread_shard_;
-  std::vector<std::string> node_names_;
+  /// Rank kRecorder: acquired from Item destructors, which can run under
+  /// a channel/queue lock (same-timestamp overwrite path) — so it must
+  /// rank above kBuffer.
+  mutable util::Mutex mu_{util::LockRank::kRecorder, "recorder.mu"};
+  /// Guards the shard *registry*. Shard contents are written lock-free by
+  /// their single owner; merge() reads them only after all writers joined
+  /// (the happens-before edge is the thread join in Runtime::stop()).
+  std::vector<std::unique_ptr<Shard>> shards_ GUARDED_BY(mu_);
+  Shard any_thread_shard_ GUARDED_BY(mu_);
+  std::vector<std::string> node_names_ GUARDED_BY(mu_);
   std::atomic<ItemId> next_id_{0};
   std::atomic<std::int64_t> emits_{0};
 };

@@ -9,8 +9,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 
 #include "util/time.hpp"
 

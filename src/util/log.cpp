@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace stampede::log_detail {
 
@@ -42,8 +43,9 @@ LogLevel current_level() { return static_cast<LogLevel>(level_storage().load(std
 void set_level(LogLevel level) { level_storage().store(static_cast<int>(level), std::memory_order_relaxed); }
 
 void write(LogLevel level, const std::string& msg) {
-  static std::mutex mu;
-  const std::lock_guard<std::mutex> lock(mu);
+  // Leaf rank: logging may happen under any other lock.
+  static util::Mutex mu(util::LockRank::kLeaf, "log.sink");
+  const util::MutexLock lock(mu);
   std::fprintf(stderr, "[stampede %s] %s\n", level_name(level), msg.c_str());
 }
 

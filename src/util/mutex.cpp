@@ -1,0 +1,92 @@
+#include "util/mutex.hpp"
+
+#ifdef STAMPEDE_LOCK_DEBUG
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace stampede::util {
+
+namespace {
+
+/// One entry per mutex the current thread holds, in acquisition order.
+struct HeldLock {
+  const Mutex* mu;
+  LockRank rank;
+  const char* name;
+};
+
+std::vector<HeldLock>& held_stack() {
+  static thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+[[noreturn]] void die(const char* what, const char* acquiring, int acquiring_rank,
+                      const char* holding, int holding_rank) {
+  std::fprintf(stderr,
+               "[stampede lock-debug] %s: acquiring \"%s\" (rank %d) while holding "
+               "\"%s\" (rank %d)\n",
+               what, acquiring, acquiring_rank, holding, holding_rank);
+  std::abort();
+}
+
+}  // namespace
+
+void Mutex::check_order() const {
+  const auto& stack = held_stack();
+  if (stack.empty()) return;
+  const HeldLock& top = stack.back();
+  if (top.mu == this) {
+    std::fprintf(stderr, "[stampede lock-debug] recursive acquisition of \"%s\"\n", name_);
+    std::abort();
+  }
+  // The hierarchy is strict: same-rank nesting (e.g. one channel's lock
+  // inside another's) is as deadlock-prone as inverted ranks.
+  if (static_cast<int>(rank_) <= static_cast<int>(top.rank)) {
+    die("lock-order violation", name_, static_cast<int>(rank_), top.name,
+        static_cast<int>(top.rank));
+  }
+}
+
+void Mutex::on_acquired() {
+  held_stack().push_back(HeldLock{this, rank_, name_});
+}
+
+void Mutex::on_released() {
+  auto& stack = held_stack();
+  // Scoped guards release LIFO, but tolerate out-of-order release (e.g. a
+  // future std::unique_lock-style early unlock) by erasing wherever the
+  // entry sits.
+  const auto it = std::find_if(stack.rbegin(), stack.rend(),
+                               [this](const HeldLock& h) { return h.mu == this; });
+  if (it == stack.rend()) {
+    std::fprintf(stderr, "[stampede lock-debug] releasing \"%s\" which this thread does not hold\n",
+                 name_);
+    std::abort();
+  }
+  stack.erase(std::next(it).base());
+}
+
+void Mutex::assert_held() const {
+  const auto& stack = held_stack();
+  const bool held = std::any_of(stack.begin(), stack.end(),
+                                [this](const HeldLock& h) { return h.mu == this; });
+  if (!held) {
+    std::fprintf(stderr, "[stampede lock-debug] assert_held failed for \"%s\"\n", name_);
+    std::abort();
+  }
+}
+
+}  // namespace stampede::util
+
+#else
+
+// The translation unit must not be empty in release builds.
+namespace stampede::util {
+void lock_debug_disabled_tu_anchor() {}
+}  // namespace stampede::util
+
+#endif  // STAMPEDE_LOCK_DEBUG

@@ -1,10 +1,15 @@
 #include "util/spin.hpp"
 
+#include <atomic>
+
 namespace stampede {
 
 namespace {
-// Volatile sink so mix_work's result is always observable.
-volatile std::uint64_t g_sink = 0;
+// Sink so mix_work's result is always observable. Atomic (relaxed): many
+// threads busy-spin concurrently, and a plain/volatile global store from
+// each of them is a data race (TSan flags it); the stored value itself is
+// meaningless.
+std::atomic<std::uint64_t> g_sink{0};
 }  // namespace
 
 std::uint64_t mix_work(std::uint64_t seed, std::uint64_t iters) {
@@ -30,7 +35,7 @@ void busy_spin_for(Clock& clock, Nanos d) {
   while (clock.now() < deadline) {
     x = mix_work(x, 64);  // ~sub-microsecond granule between clock polls
   }
-  g_sink = x;
+  g_sink.store(x, std::memory_order_relaxed);
 }
 
 }  // namespace stampede

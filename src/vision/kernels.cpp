@@ -312,7 +312,7 @@ std::vector<Blob8> connected_components(std::span<const std::byte> mask, int str
       if (!set_at(gx, gy)) continue;
       const int me = gy * gw + gx;
       // 8-connectivity to already-visited neighbours.
-      for (const auto [dx, dy] :
+      for (const auto& [dx, dy] :
            {std::pair{-1, 0}, std::pair{-1, -1}, std::pair{0, -1}, std::pair{1, -1}}) {
         const int nx = gx + dx;
         const int ny = gy + dy;

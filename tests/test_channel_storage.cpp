@@ -251,7 +251,9 @@ void run_interleaving(gc::Kind kind, std::uint64_t seed) {
         const Timestamp want = model.get_at(c, probe);
         const auto result = ch->get_at(c, probe, aru::kUnknownStp);
         ASSERT_EQ(want != kNoTimestamp, result.item != nullptr) << "probe ts=" << probe;
-        if (result.item) ASSERT_EQ(want, result.item->ts());
+        if (result.item) {
+          ASSERT_EQ(want, result.item->ts());
+        }
         break;
       }
       case 6: {
@@ -261,7 +263,9 @@ void run_interleaving(gc::Kind kind, std::uint64_t seed) {
         const auto result = ch->get_nearest(c, probe, tolerance, aru::kUnknownStp);
         ASSERT_EQ(want != kNoTimestamp, result.item != nullptr)
             << "probe ts=" << probe << " tol=" << tolerance;
-        if (result.item) ASSERT_EQ(want, result.item->ts());
+        if (result.item) {
+          ASSERT_EQ(want, result.item->ts());
+        }
         break;
       }
       case 7: {

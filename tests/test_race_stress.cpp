@@ -1,0 +1,184 @@
+/// \file test_race_stress.cpp
+/// \brief Concurrency stress: hammer one channel from 8+ threads with
+///        every access mode simultaneously.
+///
+/// This test exists to give ThreadSanitizer (and the ARU_LOCK_DEBUG
+/// runtime lock validator) surface area over the channel's full locking
+/// matrix: mixed put / get_latest / get_next / get_at / get_nearest /
+/// raise_guarantee / introspection traffic with GC running on every
+/// operation, plus the bounded-capacity backpressure path. Run it under
+/// the `tsan` CMake preset with `TSAN_OPTIONS=halt_on_error=1` (CI does);
+/// in a plain build it still checks the cross-thread accounting
+/// invariants it asserts at the end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/channel.hpp"
+#include "test_support.hpp"
+
+namespace stampede {
+namespace {
+
+using test::Env;
+using test::never_stop;
+
+/// Producers interleave disjoint residues so the global timestamp order
+/// is only *mostly* monotonic — exercising both the append fast path and
+/// the binary-search insert (including inserts below the frontier).
+void produce(Env& env, Channel& ch, int lane, int lanes, int count,
+             std::atomic<std::int64_t>& stored) {
+  for (int i = 0; i < count; ++i) {
+    const auto ts = static_cast<Timestamp>(i * lanes + lane);
+    const auto res = ch.put(env.make_item(ts), never_stop());
+    if (res.stored) stored.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+TEST(RaceStress, MixedAccessEightThreadsOneChannel) {
+  Env env;
+  env.ctx.clock = &RealClock::instance();  // real time: real cv waits
+  auto ch = env.make_channel();
+  ch->register_producer(100);
+  ch->register_producer(101);
+
+  constexpr int kLanes = 2;
+  constexpr int kPerProducer = 4000;
+  const int c_latest0 = ch->register_consumer(200, 0);
+  const int c_latest1 = ch->register_consumer(201, 0);
+  const int c_next = ch->register_consumer(202, 0);
+  const int c_random = ch->register_consumer(203, 0);
+
+  std::atomic<std::int64_t> stored{0};
+  std::atomic<std::int64_t> latest_got{0};
+  std::atomic<std::int64_t> next_got{0};
+  std::atomic<std::int64_t> random_got{0};
+  std::atomic<std::int64_t> probes{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  // 2 producers.
+  threads.emplace_back([&] { produce(env, *ch, 0, kLanes, kPerProducer, stored); });
+  threads.emplace_back([&] { produce(env, *ch, 1, kLanes, kPerProducer, stored); });
+  // 2 latest-mode consumers (skip-marking + DGC guarantee raises + GC).
+  for (const int c : {c_latest0, c_latest1}) {
+    threads.emplace_back([&, c] {
+      Nanos summary = millis(1);
+      while (true) {
+        const auto res = ch->get_latest(c, summary, kNoTimestamp, never_stop());
+        if (!res.item) break;  // closed & drained
+        latest_got.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // 1 in-order consumer.
+  threads.emplace_back([&] {
+    while (true) {
+      const auto res = ch->get_next(c_next, aru::kUnknownStp, kNoTimestamp, never_stop());
+      if (!res.item) break;
+      next_got.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // 1 random-access prober: get_at/get_nearest plus explicit guarantees
+  // (without them its cursor would pin the frontier at zero forever).
+  threads.emplace_back([&] {
+    Timestamp g = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const Timestamp probe = ch->latest_ts();
+      if (probe != kNoTimestamp) {
+        if (ch->get_at(c_random, probe, aru::kUnknownStp).item) {
+          random_got.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (ch->get_nearest(c_random, probe / 2, /*tolerance=*/8, aru::kUnknownStp).item) {
+          random_got.fetch_add(1, std::memory_order_relaxed);
+        }
+        g = std::max(g, probe / 2);
+        ch->raise_guarantee(c_random, g);
+      }
+      std::this_thread::yield();
+    }
+    // Unpin the frontier so the drain below can finish.
+    ch->raise_guarantee(c_random, static_cast<Timestamp>(kLanes * kPerProducer));
+  });
+  // 2 introspection threads: const accessors racing the data plane.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        (void)ch->size();
+        (void)ch->frontier();
+        (void)ch->summary();
+        (void)ch->latest_ts();
+        probes.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Producers finish first; closing wakes blocked consumers to drain out.
+  threads[0].join();
+  threads[1].join();
+  ch->close();
+  for (std::size_t i = 2; i <= 4; ++i) threads[i].join();  // blocking consumers
+  done.store(true, std::memory_order_relaxed);
+  for (std::size_t i = 5; i < threads.size(); ++i) threads[i].join();
+
+  // Under DGC a put below the frontier is dropped dead-on-arrival, so not
+  // every put stores — but the tallies must stay within the put count.
+  EXPECT_GT(stored.load(), 0);
+  EXPECT_LE(stored.load(), static_cast<std::int64_t>(kLanes) * kPerProducer);
+  EXPECT_GT(latest_got.load(), 0);
+  EXPECT_GT(next_got.load(), 0);
+  EXPECT_GT(probes.load(), 0);
+  // Latest-mode consumers never see more items than were stored.
+  EXPECT_LE(latest_got.load(), 2 * stored.load());
+}
+
+TEST(RaceStress, BoundedChannelBackpressureUnderContention) {
+  Env env;
+  env.ctx.clock = &RealClock::instance();
+  auto ch = env.make_channel({.name = "bounded", .capacity = 4});
+  ch->register_producer(100);
+  ch->register_producer(101);
+  ch->register_producer(102);
+  ch->register_producer(103);
+  const int c0 = ch->register_consumer(200, 0);
+  const int c1 = ch->register_consumer(201, 0);
+
+  constexpr int kPerProducer = 1500;
+  constexpr int kProducers = 4;
+  std::atomic<std::int64_t> stored{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back(
+        [&, p] { produce(env, *ch, p, kProducers, kPerProducer, stored); });
+  }
+  // One fast consumer and one laggard (DGC reclaims under the laggard's
+  // raised guarantees, freeing space for blocked producers — the waiter
+  // -count notify path).
+  threads.emplace_back([&] {
+    while (ch->get_latest(c0, aru::kUnknownStp, kNoTimestamp, never_stop()).item) {
+    }
+  });
+  threads.emplace_back([&] {
+    int polls = 0;
+    while (true) {
+      const auto res = ch->get_next(c1, aru::kUnknownStp, kNoTimestamp, never_stop());
+      if (!res.item) break;
+      if (++polls % 16 == 0) std::this_thread::yield();
+    }
+  });
+
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  ch->close();
+  threads[kProducers].join();
+  threads[kProducers + 1].join();
+
+  EXPECT_GT(stored.load(), 0);
+  EXPECT_LE(ch->size(), 4u) << "capacity bound held under contention";
+}
+
+}  // namespace
+}  // namespace stampede

@@ -221,7 +221,10 @@ TEST_P(ChainProperty, SourceConvergesToMaxStageCost) {
   for (int i = 0; i < n; ++i) {
     const Nanos cost = millis(1 + static_cast<std::int64_t>(rng.below(30)));
     max_cost = std::max(max_cost, cost);
-    SimStage s{.name = "s" + std::to_string(i), .cost = cost};
+    // std::string{} + ... instead of "s" + std::to_string(i): GCC 12 at
+    // -O3 flags the const char* overload of operator+ with a bogus
+    // -Wrestrict (gcc bug 105329).
+    SimStage s{.name = std::string("s") + std::to_string(i), .cost = cost};
     if (i + 1 < n) s.consumers = {i + 1};
     stages.push_back(std::move(s));
   }

@@ -131,8 +131,8 @@ TEST(SpdApi, QueuePipelineDeliversExactlyOnce) {
 }
 
 TEST(SpdApi, BadArgumentsReturnErrors) {
-  EXPECT_EQ(spd_init(nullptr) == nullptr, false);  // null attr = defaults
-  spd_runtime* rt = spd_init(nullptr);
+  spd_runtime* rt = spd_init(nullptr);  // null attr = defaults
+  ASSERT_NE(rt, nullptr);
   EXPECT_EQ(spd_chan_alloc(nullptr, "x", 0, SPD_DEP_INDEPENDENT), SPD_ERR_ARG);
   EXPECT_EQ(spd_chan_alloc(rt, nullptr, 0, SPD_DEP_INDEPENDENT), SPD_ERR_ARG);
   EXPECT_EQ(spd_thread_create(rt, "t", 0, nullptr, nullptr), SPD_ERR_ARG);

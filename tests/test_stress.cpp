@@ -197,9 +197,15 @@ TEST(Stress, TraceOrderingInvariantPerItem) {
   for (const auto& [id, o] : orders) {
     if (id == 0 || o.alloc < 0) continue;
     ++checked;
-    if (o.put >= 0) EXPECT_LE(o.alloc, o.put);
-    if (o.first_use >= 0 && o.put >= 0) EXPECT_LE(o.put, o.first_use);
-    if (o.free >= 0) EXPECT_LE(o.alloc, o.free);
+    if (o.put >= 0) {
+      EXPECT_LE(o.alloc, o.put);
+    }
+    if (o.first_use >= 0 && o.put >= 0) {
+      EXPECT_LE(o.put, o.first_use);
+    }
+    if (o.free >= 0) {
+      EXPECT_LE(o.alloc, o.free);
+    }
   }
   EXPECT_GT(checked, 10);
 }

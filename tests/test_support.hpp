@@ -64,4 +64,23 @@ inline std::stop_token never_stop() {
   return source.get_token();
 }
 
+/// True when built under ThreadSanitizer. Its ~10x instrumentation
+/// slowdown distorts the compute/sleep ratio of timing-calibrated
+/// integration tests; use this to relax *magnitude* assertions while
+/// still running the threaded pipeline (the race coverage is the point
+/// of the TSan build, not the throughput numbers).
+consteval bool tsan_enabled() {
+#if defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
 }  // namespace stampede::test

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "test_support.hpp"
 #include "vision/records.hpp"
 
 namespace stampede::vision {
@@ -90,9 +91,16 @@ TEST(TrackerRun, DetectionAccuracyCountersTrackTruth) {
 TEST(TrackerRun, AruCutsWasteDramatically) {
   const TrackerResult off = run_tracker(quick(aru::Mode::kOff));
   const TrackerResult maxr = run_tracker(quick(aru::Mode::kMax));
-  EXPECT_GT(off.analysis.res.wasted_mem_pct, 10.0);
-  EXPECT_LT(maxr.analysis.res.wasted_mem_pct, 6.0);
-  EXPECT_LT(maxr.analysis.res.footprint_mb_mean, off.analysis.res.footprint_mb_mean);
+  if constexpr (test::tsan_enabled()) {
+    // TSan's slowdown compresses the producer/consumer rate gap, so only
+    // the directional claim is stable; the magnitudes are pinned by the
+    // uninstrumented builds.
+    EXPECT_LT(maxr.analysis.res.wasted_mem_pct, off.analysis.res.wasted_mem_pct);
+  } else {
+    EXPECT_GT(off.analysis.res.wasted_mem_pct, 10.0);
+    EXPECT_LT(maxr.analysis.res.wasted_mem_pct, 6.0);
+    EXPECT_LT(maxr.analysis.res.footprint_mb_mean, off.analysis.res.footprint_mb_mean);
+  }
 }
 
 TEST(TrackerRun, FootprintNeverBelowIgcBound) {
