@@ -1,0 +1,119 @@
+/// \file net_throughput.cpp
+/// \brief Loopback micro-benchmarks of the networked transport: put and
+///        get round-trip latency and sustained items/bytes per second at
+///        the paper's payload scales (1 KB location records up to 1 MB
+///        frame-sized items).
+///
+/// Each benchmark stands up an in-process ChannelServer on an ephemeral
+/// loopback port and drives it through a RemoteChannel proxy, so the
+/// measured path is the full production stack: wire encode → TCP →
+/// server decode → channel op → ack encode → TCP → proxy decode.
+///
+/// Run via bench/run_bench.sh to emit BENCH_net.json at the repo root.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <stop_token>
+
+#include "net/remote_channel.hpp"
+#include "runtime/runtime.hpp"
+
+namespace stampede {
+namespace {
+
+/// One served channel + one attached proxy on loopback.
+struct Loop {
+  Runtime rt;
+  Channel* channel = nullptr;
+  std::unique_ptr<net::ChannelServer> server;
+  std::unique_ptr<net::RemoteChannel> proxy;
+  std::stop_source stop;
+
+  /// `producers`/`consumers` are the remote slot counts; the proxy claims
+  /// slot 0 on each side that has one.
+  Loop(int producers, int consumers) : rt(RuntimeConfig{}) {
+    channel = &rt.add_channel({.name = "bench"});
+    server = std::make_unique<net::ChannelServer>(
+        rt, std::vector<net::ServedChannel>{{.channel = channel,
+                                             .remote_producers = producers,
+                                             .remote_consumers = consumers}});
+    server->start();
+    proxy = std::make_unique<net::RemoteChannel>(
+        rt, net::RemoteChannelConfig{
+                .name = "bench",
+                .transport = {.port = server->port()},
+                .producer_key = producers > 0 ? 0 : -1,
+                .consumer_key = consumers > 0 ? 0 : -1,
+            });
+  }
+
+  ~Loop() { server->stop(); }
+
+  std::shared_ptr<Item> item(Timestamp ts, std::size_t bytes) {
+    return std::make_shared<Item>(rt.context(), ts, bytes, /*producer=*/100,
+                                  /*cluster_node=*/0, std::vector<ItemId>{}, Nanos{0});
+  }
+};
+
+/// Put round trip: encode + send + server-side materialize + channel put +
+/// PutAck with the folded summary-STP. The channel has no consumers, so
+/// stored items die on arrival and occupancy stays flat.
+void BM_NetPutRtt(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Loop loop(/*producers=*/1, /*consumers=*/0);
+  Timestamp ts = 0;
+  // Warm up: first put pays the connect + Hello handshake.
+  (void)loop.proxy->put(loop.item(ts++, bytes), loop.stop.get_token());
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.proxy->put(loop.item(ts++, bytes), loop.stop.get_token()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_NetPutRtt)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+/// Get round trip: a local put makes the channel ready, then the proxy
+/// pulls the item over the wire (server-side get + item payload + backward
+/// summary-STP in the reply).
+void BM_NetGetRtt(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Loop loop(/*producers=*/0, /*consumers=*/1);
+  Timestamp ts = 0;
+  loop.channel->put(loop.item(ts++, bytes), loop.stop.get_token());
+  (void)loop.proxy->get_latest(aru::kUnknownStp, kNoTimestamp, loop.stop.get_token());
+
+  for (auto _ : state) {
+    loop.channel->put(loop.item(ts++, bytes), loop.stop.get_token());
+    benchmark::DoNotOptimize(
+        loop.proxy->get_latest(aru::kUnknownStp, kNoTimestamp, loop.stop.get_token()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_NetGetRtt)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+/// Producer→consumer relay through the served channel: one proxy puts,
+/// another gets, so each iteration crosses the wire twice (the two-process
+/// pipeline hop distributed_tracker runs at full scale).
+void BM_NetPutGetPipe(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Loop loop(/*producers=*/1, /*consumers=*/1);
+  Timestamp ts = 0;
+  (void)loop.proxy->put(loop.item(ts++, bytes), loop.stop.get_token());
+  (void)loop.proxy->get_latest(aru::kUnknownStp, kNoTimestamp, loop.stop.get_token());
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.proxy->put(loop.item(ts++, bytes), loop.stop.get_token()));
+    benchmark::DoNotOptimize(
+        loop.proxy->get_latest(aru::kUnknownStp, kNoTimestamp, loop.stop.get_token()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 2 * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_NetPutGetPipe)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace stampede
+
+BENCHMARK_MAIN();

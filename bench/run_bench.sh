@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the hot-path micro-benchmarks and emits their JSON results at the
-# repo root (BENCH_channel.json / BENCH_kernels.json). Every PR that
-# touches a hot path re-runs this script and commits the refreshed JSON,
-# so the perf trajectory is tracked in-tree from PR 1 onward.
+# repo root (BENCH_channel.json / BENCH_kernels.json / BENCH_net.json).
+# Every PR that touches a hot path re-runs this script and commits the
+# refreshed JSON, so the perf trajectory is tracked in-tree from PR 1
+# onward.
 #
 # Usage:
 #   bench/run_bench.sh [build-dir]
@@ -15,10 +16,11 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 
-if [[ ! -x "$BUILD/bench/micro_channel" || ! -x "$BUILD/bench/micro_kernels" ]]; then
+if [[ ! -x "$BUILD/bench/micro_channel" || ! -x "$BUILD/bench/micro_kernels" ||
+      ! -x "$BUILD/bench/net_throughput" ]]; then
   echo "building benchmarks in $BUILD..." >&2
   cmake -B "$BUILD" -S "$ROOT" >/dev/null
-  cmake --build "$BUILD" -j --target micro_channel micro_kernels >/dev/null
+  cmake --build "$BUILD" -j --target micro_channel micro_kernels net_throughput >/dev/null
 fi
 
 common_args=(
@@ -35,5 +37,6 @@ run() {
 
 run micro_channel BENCH_channel.json
 run micro_kernels BENCH_kernels.json
+run net_throughput BENCH_net.json
 
-echo "wrote $ROOT/BENCH_channel.json and $ROOT/BENCH_kernels.json" >&2
+echo "wrote $ROOT/BENCH_channel.json, $ROOT/BENCH_kernels.json and $ROOT/BENCH_net.json" >&2

@@ -1,0 +1,259 @@
+/// \file distributed_tracker.cpp
+/// \brief The Fig. 5 people tracker split across two OS processes over
+///        loopback TCP (ISSUE 3 tentpole demo).
+///
+/// Process layout:
+///
+///   front process                      back process (this binary, role=back)
+///   ─────────────                      ───────────────────────────────────
+///   digitizer ──put──▶ RemoteChannel ══TCP══▶ ChannelServer ──▶ frames
+///               ◀── PutAck{summary-STP} ──┘                      ├─▶ background ─▶ masks ─┐
+///                                                                ├─▶ histogram ─▶ hists ─┼─▶ detect×2 ─▶ gui
+///                                                                └──────────(frames)─────┘
+///
+/// The back process hosts the real `frames` channel plus the four heavy
+/// stages and serves the channel on an ephemeral loopback port; it then
+/// re-execs itself (role=front) as a child. The front process runs only
+/// the digitizer, wired to a RemoteChannel proxy, so every frame and every
+/// backward summary-STP crosses a real socket. The front prints the
+/// digitizer's paced period second by second (the same chart as
+/// adaptive_load) and fails unless the period converged onto the
+/// downstream summary-STP received over the wire.
+///
+/// Run:   distributed_tracker [seconds=6] [scale=1.0] [seed=42] [aru=min]
+///                            [stride=8] [conv=1.5]
+#include <spawn.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/remote_channel.hpp"
+#include "runtime/runtime.hpp"
+#include "stats/postmortem.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "vision/stages.hpp"
+
+extern char** environ;
+
+using namespace stampede;
+
+namespace {
+
+struct Shared {
+  std::int64_t run_seconds = 6;
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  aru::Mode aru = aru::Mode::kMin;
+  int stride = vision::kDefaultStride;
+  double conv = 1.5;  ///< convergence threshold, × digitizer base cost
+};
+
+Shared parse_shared(const Options& cli) {
+  Shared s;
+  s.run_seconds = cli.get_int("seconds", s.run_seconds);
+  s.scale = cli.get_double("scale", s.scale);
+  s.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  s.aru = aru::parse_mode(cli.get_string("aru", "min"));
+  s.stride = static_cast<int>(cli.get_int("stride", s.stride));
+  s.conv = cli.get_double("conv", s.conv);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// front: digitizer + RemoteChannel proxy
+// ---------------------------------------------------------------------------
+
+int run_front(const Shared& sh, std::uint16_t port) {
+  const vision::StageCosts costs = vision::StageCosts{}.scaled(sh.scale);
+  auto gen = std::make_shared<vision::SceneGenerator>(sh.seed);
+
+  Runtime rt({.aru = {.mode = sh.aru}, .seed = sh.seed});
+  net::RemoteChannel frames(rt, {.name = "frames",
+                                 .transport = {.port = port},
+                                 .producer_key = 0});
+  TaskContext& dig = rt.add_task(
+      {.name = "digitizer",
+       .body = vision::make_digitizer(gen, costs, INT64_MAX, sh.stride)});
+  rt.connect(dig, frames);
+
+  rt.start();
+  rt.clock().sleep_for(seconds(sh.run_seconds));
+  rt.stop();
+
+  const stats::Trace trace = rt.take_trace();
+  const stats::Analyzer post(trace);
+
+  // The digitizer's paced period over time, bucketed per second — the
+  // period should climb from the digitizer's own cost onto the downstream
+  // summary-STP arriving over the wire (same chart as adaptive_load).
+  std::printf("front: digitizer summary-STP (its paced period), second by second:\n");
+  const auto series = post.stp_series(dig.id());
+  std::vector<double> per_second;
+  {
+    StreamingStats bucket;
+    std::int64_t bucket_end = trace.t_begin + 1'000'000'000;
+    for (const auto& s : series) {
+      while (s.t >= bucket_end) {
+        per_second.push_back(bucket.count() ? bucket.mean() / 1e6 : 0.0);
+        bucket = StreamingStats{};
+        bucket_end += 1'000'000'000;
+      }
+      if (s.summary_ns > 0) bucket.add(static_cast<double>(s.summary_ns));
+    }
+    if (bucket.count()) per_second.push_back(bucket.mean() / 1e6);
+  }
+  for (std::size_t i = 0; i < per_second.size(); ++i) {
+    std::printf("front:   t=%2zus  %6.2f ms  |%s\n", i, per_second[i],
+                std::string(static_cast<std::size_t>(per_second[i] * 2), '#').c_str());
+  }
+  std::printf("front: %lld drops, %lld put-link reconnects, last summary %.2f ms\n",
+              static_cast<long long>(frames.drops()),
+              static_cast<long long>(frames.reconnects()),
+              static_cast<double>(frames.summary().count()) / 1e6);
+
+  // Convergence check: feedback must have crossed the wire (summary known)
+  // and the source must have settled onto a period meaningfully above its
+  // own cost — i.e. it is pacing against the downstream stages, not
+  // free-running.
+  double last = 0.0;
+  for (const double v : per_second) {
+    if (v > 0.0) last = v;
+  }
+  const double threshold_ms =
+      sh.conv * static_cast<double>(costs.digitizer.count()) / 1e6;
+  const bool known = aru::known(frames.summary());
+  const bool converged = sh.aru == aru::Mode::kOff ||
+                         (known && last >= threshold_ms);
+  if (sh.aru == aru::Mode::kOff) {
+    std::printf("front: ARU off — no convergence expected, skipping check\n");
+  } else if (converged) {
+    std::printf("front: converged (last-second period %.2f ms >= %.2f ms)\n", last,
+                threshold_ms);
+  } else {
+    std::printf("front: FAILED to converge (summary %s, last-second period "
+                "%.2f ms < %.2f ms)\n",
+                known ? "known" : "unknown", last, threshold_ms);
+  }
+  return converged ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// back: frames channel + heavy stages + ChannelServer, spawns the front
+// ---------------------------------------------------------------------------
+
+int spawn_front(const char* self, const Shared& sh, std::uint16_t port, pid_t* pid) {
+  std::vector<std::string> args = {
+      self,
+      "role=front",
+      "port=" + std::to_string(port),
+      "seconds=" + std::to_string(sh.run_seconds),
+      "scale=" + std::to_string(sh.scale),
+      "seed=" + std::to_string(sh.seed),
+      "aru=" + aru::to_string(sh.aru),
+      "stride=" + std::to_string(sh.stride),
+      "conv=" + std::to_string(sh.conv),
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  return ::posix_spawn(pid, self, nullptr, nullptr, argv.data(), environ);
+}
+
+int run_back(const char* self, const Shared& sh) {
+  const vision::StageCosts costs = vision::StageCosts{}.scaled(sh.scale);
+  auto gen = std::make_shared<vision::SceneGenerator>(sh.seed);
+  auto stats0 = std::make_shared<vision::DetectionStats>();
+  auto stats1 = std::make_shared<vision::DetectionStats>();
+
+  Runtime rt({.aru = {.mode = sh.aru}, .seed = sh.seed + 1});
+  Channel& frames = rt.add_channel({.name = "frames"});
+  Channel& masks = rt.add_channel({.name = "masks"});
+  Channel& hists = rt.add_channel({.name = "hists"});
+  Channel& loc1 = rt.add_channel({.name = "loc1"});
+  Channel& loc2 = rt.add_channel({.name = "loc2"});
+
+  TaskContext& bg = rt.add_task(
+      {.name = "background", .body = vision::make_background(costs, sh.stride)});
+  TaskContext& hist = rt.add_task(
+      {.name = "histogram", .body = vision::make_histogram(costs, sh.stride)});
+  TaskContext& det1 = rt.add_task(
+      {.name = "detect1",
+       .body = vision::make_target_detection(gen, costs, 0, sh.stride, stats0)});
+  TaskContext& det2 = rt.add_task(
+      {.name = "detect2",
+       .body = vision::make_target_detection(gen, costs, 1, sh.stride, stats1)});
+  TaskContext& gui = rt.add_task({.name = "gui", .body = vision::make_gui(costs)});
+
+  rt.connect(bg, masks);
+  rt.connect(hist, hists);
+  rt.connect(det1, loc1);
+  rt.connect(det2, loc2);
+  rt.connect(frames, bg);
+  rt.connect(frames, hist);
+  rt.connect(masks, det1);
+  rt.connect(hists, det1);
+  rt.connect(frames, det1);
+  rt.connect(masks, det2);
+  rt.connect(hists, det2);
+  rt.connect(frames, det2);
+  rt.connect(loc1, gui);
+  rt.connect(loc2, gui);
+
+  // The digitizer lives in the front process: export `frames` with one
+  // remote producer slot.
+  net::ChannelServer server(rt, {{.channel = &frames, .remote_producers = 1}});
+
+  rt.start();
+  server.start();
+  std::printf("back: serving 'frames' on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  pid_t child = -1;
+  if (const int rc = spawn_front(self, sh, server.port(), &child); rc != 0) {
+    std::fprintf(stderr, "back: posix_spawn failed: %d\n", rc);
+    server.stop();
+    rt.stop();
+    return 1;
+  }
+
+  int status = 0;
+  while (::waitpid(child, &status, 0) < 0 && errno == EINTR) {
+  }
+  server.stop();
+  rt.stop();
+
+  const stats::Trace trace = rt.take_trace();
+  const stats::Analyzer post(trace);
+  const auto a = post.run();
+  std::printf("back: throughput %.1f/s, footprint %.2f MB, wasted memory %.1f%%\n",
+              a.perf.throughput_fps, a.res.footprint_mb_mean, a.res.wasted_mem_pct);
+  std::printf("back: detections model0 %lld found / %lld missed (err %.1f px), "
+              "model1 %lld / %lld (err %.1f px)\n",
+              static_cast<long long>(stats0->found.load()),
+              static_cast<long long>(stats0->missed.load()), stats0->mean_error_px(),
+              static_cast<long long>(stats1->found.load()),
+              static_cast<long long>(stats1->missed.load()), stats1->mean_error_px());
+
+  if (!WIFEXITED(status)) {
+    std::fprintf(stderr, "back: front terminated abnormally\n");
+    return 1;
+  }
+  return WEXITSTATUS(status);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options cli = Options::parse(argc, argv);
+  const Shared sh = parse_shared(cli);
+  if (cli.get_string("role", "back") == "front") {
+    return run_front(sh, static_cast<std::uint16_t>(cli.get_int("port", 0)));
+  }
+  return run_back(argv[0], sh);
+}

@@ -1,0 +1,110 @@
+/// \file spd_node.cpp
+/// \brief Standalone channel-server node: hosts Stampede channels and
+///        exports them over TCP so pipelines in other processes can attach
+///        RemoteChannel proxies (ISSUE 3 tentpole launcher).
+///
+/// The node owns a Runtime with only channels (no tasks); remote peers
+/// drive the channels through net::ChannelServer connection threads, so
+/// the summary-STP fold, DGC guarantees and trace events happen here
+/// exactly as for local peers.
+///
+/// Run:   spd_node channels=frames:1:1,loc:1:2 [port=0] [seconds=30]
+///                 [capacity=0] [aru=min] [quiet=false]
+///
+/// The channel spec is `name:remote_producers:remote_consumers`,
+/// comma-separated. Port 0 binds an ephemeral port; the bound port is
+/// announced on stdout as `spd_node: listening on <port>` (and flushed)
+/// so parent processes / tests can scrape it.
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/remote_channel.hpp"
+#include "runtime/runtime.hpp"
+#include "util/options.hpp"
+
+using namespace stampede;
+
+namespace {
+
+struct ChannelSpec {
+  std::string name;
+  int producers = 1;
+  int consumers = 1;
+};
+
+/// Parses `name:P:C,name:P:C,...`; P and C default to 1 when omitted.
+std::vector<ChannelSpec> parse_channels(const std::string& spec) {
+  std::vector<ChannelSpec> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find(',', pos), spec.size());
+    const std::string entry = spec.substr(pos, end - pos);
+    if (!entry.empty()) {
+      ChannelSpec cs;
+      const std::size_t c1 = entry.find(':');
+      cs.name = entry.substr(0, c1);
+      if (c1 != std::string::npos) {
+        const std::size_t c2 = entry.find(':', c1 + 1);
+        cs.producers = std::stoi(entry.substr(c1 + 1, c2 - c1 - 1));
+        if (c2 != std::string::npos) cs.consumers = std::stoi(entry.substr(c2 + 1));
+      }
+      if (cs.name.empty() || cs.producers < 0 || cs.consumers < 0) {
+        throw std::invalid_argument("bad channel spec entry: '" + entry + "'");
+      }
+      out.push_back(std::move(cs));
+    }
+    pos = end + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("channels= spec is empty");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options cli = Options::parse(argc, argv);
+  const auto specs = parse_channels(cli.get_string("channels", "frames:1:1"));
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  const auto run_seconds = cli.get_int("seconds", 30);
+  const auto capacity = static_cast<std::size_t>(cli.get_int("capacity", 0));
+  const aru::Mode mode = aru::parse_mode(cli.get_string("aru", "min"));
+  const bool quiet = cli.get_bool("quiet", false);
+
+  Runtime rt({.aru = {.mode = mode}});
+  std::vector<net::ServedChannel> served;
+  served.reserve(specs.size());
+  for (const auto& s : specs) {
+    Channel& ch = rt.add_channel({.name = s.name, .capacity = capacity});
+    served.push_back({.channel = &ch,
+                      .remote_producers = s.producers,
+                      .remote_consumers = s.consumers});
+  }
+  net::ChannelServer server(rt, served, {.port = port});
+
+  rt.start();
+  server.start();
+
+  // Parseable announcement: tests and parent processes scrape the port.
+  std::printf("spd_node: listening on %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (!quiet) {
+    for (const auto& s : specs) {
+      std::printf("spd_node:   channel '%s' (remote producers=%d consumers=%d)\n",
+                  s.name.c_str(), s.producers, s.consumers);
+    }
+    std::fflush(stdout);
+  }
+
+  rt.clock().sleep_for(seconds(run_seconds));
+
+  server.stop();
+  rt.stop();
+  if (!quiet) {
+    std::printf("spd_node: served %lld connection(s), exiting\n",
+                static_cast<long long>(server.accepted()));
+  }
+  return 0;
+}

@@ -12,6 +12,9 @@
 #                all runtime sleeping goes through util::Clock so tests can
 #                use ManualClock. (Tests may sleep; the rule covers src/.)
 #   endl         no `std::endl` in src/ — it flushes; hot paths must use '\n'.
+#   raw-socket   no raw `::socket`/`::connect` outside src/net/socket.cpp —
+#                all network I/O goes through net::TcpStream/TcpListener so
+#                it is nonblocking, deadline-bounded and SIGPIPE-safe.
 #
 # Also runs clang-tidy over src/ when available and a compile database exists
 # (pass --build-dir, or configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON).
@@ -62,6 +65,10 @@ check raw-sleep 'std::this_thread::sleep_for' \
   "raw sleep in runtime code — go through util::Clock (ManualClock in tests)" src
 check endl 'std::endl' \
   "std::endl flushes — use '\\n' in runtime code" src
+
+check raw-socket '(^|[^[:alnum:]_:])::(socket|connect)[[:space:]]*\(' \
+  "raw ::socket/::connect — go through net::TcpStream / net::TcpListener" \
+  src tests bench examples
 
 # -- clang-tidy (best-effort: skipped when the toolchain lacks it) ------------
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -9,6 +9,7 @@
 /// tasks on five nodes). See DESIGN.md §2 for the substitution rationale.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -27,11 +28,14 @@ struct Link {
   /// Sustained bandwidth in bytes per second (<= 0 means infinite).
   double bytes_per_sec = 0.0;
 
-  /// Transfer time for a payload of `bytes`.
+  /// Transfer time for a payload of `bytes`. The bytes/bandwidth term is
+  /// rounded to the nearest nanosecond: truncation would bias every
+  /// transfer fast, and at low bandwidths (where one byte costs whole
+  /// nanoseconds) the floor loses up to a full ns per hop.
   Nanos transfer_time(std::size_t bytes) const {
     Nanos t = latency;
     if (bytes_per_sec > 0.0) {
-      t += Nanos{static_cast<std::int64_t>(static_cast<double>(bytes) / bytes_per_sec * 1e9)};
+      t += Nanos{std::llround(static_cast<double>(bytes) / bytes_per_sec * 1e9)};
     }
     return t;
   }

@@ -1,0 +1,398 @@
+#include "net/remote_channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/item.hpp"
+#include "util/log.hpp"
+
+namespace stampede::net {
+namespace {
+
+/// Slice for the server's "anything to read?" poll; short enough that
+/// stop requests and heartbeat deadlines are honored promptly.
+constexpr Nanos kServeSlice = millis(20);
+/// Accept-loop poll slice.
+constexpr Nanos kAcceptSlice = millis(50);
+
+/// Builds the on-the-wire representation of an item.
+WireItem to_wire(const Item& item) {
+  WireItem wi;
+  wi.ts = item.ts();
+  wi.origin_id = item.id();
+  wi.produce_cost_ns = item.produce_cost().count();
+  wi.attrs = {{kTagProducerNode, item.producer()},
+              {kTagClusterNode, item.cluster_node()}};
+  const auto payload = item.data();
+  wi.payload.assign(payload.begin(), payload.end());
+  return wi;
+}
+
+/// Materializes a local Item replica from a received WireItem, accounting
+/// the allocation in the trace exactly like TaskContext::make_item (the
+/// Item constructor itself handles the memory tracker).
+std::shared_ptr<Item> materialize(RunContext& ctx, const WireItem& wi, NodeId producer,
+                                  int cluster_node, stats::Shard* shard) {
+  auto item = std::make_shared<Item>(ctx, wi.ts, wi.payload.size(), producer,
+                                     cluster_node, std::vector<ItemId>{},
+                                     Nanos{wi.produce_cost_ns});
+  std::copy(wi.payload.begin(), wi.payload.end(), item->mutable_data().begin());
+  shard->record(stats::Event{.type = stats::EventType::kAlloc,
+                             .node = producer,
+                             .ts = wi.ts,
+                             .item = item->id(),
+                             .t = ctx.now_ns(),
+                             .a = static_cast<std::int64_t>(wi.payload.size()),
+                             .b = cluster_node});
+  shard->record_item(stats::ItemRecord{
+      .id = item->id(),
+      .ts = wi.ts,
+      .bytes = static_cast<std::int64_t>(wi.payload.size()),
+      .producer = producer,
+      .cluster_node = cluster_node,
+      .t_alloc = item->t_alloc(),
+      .produce_cost = wi.produce_cost_ns,
+  });
+  return item;
+}
+
+/// Reads one complete frame (server side). False on any failure; a
+/// non-kOk mid-frame leaves the stream desynchronized, so the caller must
+/// drop the connection.
+bool read_frame(TcpStream& stream, Nanos timeout, FrameHeader& header,
+                std::vector<std::byte>& body) {
+  std::vector<std::byte> raw(kHeaderBytes);
+  if (stream.recv_exact(raw, timeout) != IoStatus::kOk) return false;
+  if (!decode_header(raw, header, nullptr)) return false;
+  body.resize(header.body_len);
+  return header.body_len == 0 || stream.recv_exact(body, timeout) == IoStatus::kOk;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RemoteChannel (client proxy)
+// ---------------------------------------------------------------------------
+
+RemoteChannel::RemoteChannel(Runtime& rt, RemoteChannelConfig config)
+    : ctx_(rt.context()), config_(std::move(config)) {
+  node_ = rt.add_remote_node(config_.name, NodeKind::kChannel);
+  if (config_.producer_key >= 0) {
+    put_shard_ = rt.recorder().new_shard();
+    put_link_ = std::make_unique<Transport>(
+        ctx_, node_, config_.transport,
+        HelloMsg{.channel = config_.name, .producer_key = config_.producer_key},
+        put_shard_);
+  }
+  if (config_.consumer_key >= 0) {
+    get_shard_ = rt.recorder().new_shard();
+    get_link_ = std::make_unique<Transport>(
+        ctx_, node_, config_.transport,
+        HelloMsg{.channel = config_.name, .consumer_key = config_.consumer_key},
+        get_shard_);
+  }
+}
+
+void RemoteChannel::hold_summary(Nanos summary) {
+  summary_ns_.store(summary.count(), std::memory_order_relaxed);
+}
+
+std::int64_t RemoteChannel::reconnects() const {
+  std::int64_t n = 0;
+  if (put_link_) n += put_link_->reconnects();
+  if (get_link_) n += get_link_->reconnects();
+  return n;
+}
+
+bool RemoteChannel::connected() const {
+  return (put_link_ && put_link_->connected()) || (get_link_ && get_link_->connected());
+}
+
+RemoteEndpoint::PutResult RemoteChannel::put(std::shared_ptr<Item> item,
+                                             std::stop_token st) {
+  if (!put_link_) {
+    throw std::logic_error("RemoteChannel::put: no producer_key configured");
+  }
+  if (!item) throw std::invalid_argument("RemoteChannel::put: null item");
+
+  PutMsg msg;
+  msg.item = to_wire(*item);
+  const Nanos held = summary();
+  if (aru::known(held)) msg.stp.push_back(held);
+
+  const std::vector<std::byte> frame = encode(msg);
+  std::vector<std::byte> body;
+  const auto status =
+      put_link_->rpc(frame, MsgType::kPutAck, body, /*wait_for_link=*/false, st);
+
+  if (status == Transport::RpcStatus::kOk) {
+    PutAckMsg ack;
+    if (decode(body, ack, nullptr)) {
+      if (aru::known(ack.summary)) hold_summary(ack.summary);
+      return PutResult{.summary = aru::known(ack.summary) ? ack.summary : held,
+                       .stored = ack.stored,
+                       .closed = ack.closed};
+    }
+    put_link_->disconnect();  // garbled ack: treat the link as dead
+  }
+  if (status == Transport::RpcStatus::kStopped) {
+    return PutResult{.summary = held};
+  }
+
+  // Link down: account the item as a drop (dead on arrival — no put event
+  // exists for it anywhere) and report the held summary-STP so the source
+  // keeps pacing at the last known downstream rate instead of either
+  // stalling or free-running.
+  drops_.fetch_add(1, std::memory_order_relaxed);
+  put_shard_->record(stats::Event{.type = stats::EventType::kDrop,
+                                  .node = node_,
+                                  .ts = item->ts(),
+                                  .item = item->id(),
+                                  .t = ctx_.now_ns(),
+                                  .a = 1});
+  return PutResult{.summary = held, .dropped = true};
+}
+
+RemoteEndpoint::GetResult RemoteChannel::get_latest(Nanos consumer_summary,
+                                                    Timestamp guarantee,
+                                                    std::stop_token st) {
+  if (!get_link_) {
+    throw std::logic_error("RemoteChannel::get_latest: no consumer_key configured");
+  }
+  const Nanos t0 = ctx_.clock->now();
+  const std::vector<std::byte> frame =
+      encode(GetMsg{.consumer_summary = consumer_summary, .guarantee = guarantee});
+  std::vector<std::byte> body;
+
+  for (;;) {
+    const auto status =
+        get_link_->rpc(frame, MsgType::kGetReply, body, /*wait_for_link=*/true, st);
+    if (status == Transport::RpcStatus::kStopped) break;
+    if (status == Transport::RpcStatus::kDisconnected) continue;  // re-issue
+
+    GetReplyMsg reply;
+    if (!decode(body, reply, nullptr)) {
+      get_link_->disconnect();
+      continue;
+    }
+    if (aru::known(reply.summary)) hold_summary(reply.summary);
+    if (!reply.has_item) {
+      if (reply.closed) break;  // remote channel closed and drained
+      continue;
+    }
+    auto item =
+        materialize(ctx_, reply.item, node_, config_.cluster_node, get_shard_);
+    return GetResult{.item = std::move(item),
+                     .blocked = ctx_.clock->now() - t0,
+                     .skipped = reply.skipped};
+  }
+  return GetResult{.item = nullptr, .blocked = ctx_.clock->now() - t0};
+}
+
+// ---------------------------------------------------------------------------
+// ChannelServer (skeleton)
+// ---------------------------------------------------------------------------
+
+ChannelServer::ChannelServer(Runtime& rt, std::vector<ServedChannel> channels,
+                             ServerConfig config)
+    : rt_(rt), ctx_(rt.context()), config_(config) {
+  for (const ServedChannel& sc : channels) {
+    if (sc.channel == nullptr) {
+      throw std::invalid_argument("ChannelServer: null channel");
+    }
+    Served s{.channel = sc.channel};
+    for (int p = 0; p < sc.remote_producers; ++p) {
+      const NodeId n = rt_.add_remote_node(
+          sc.channel->name() + ":remote_producer" + std::to_string(p),
+          NodeKind::kThread);
+      rt_.add_remote_edge(n, sc.channel->id());
+      sc.channel->register_producer(n);
+      s.producer_nodes.push_back(n);
+    }
+    for (int c = 0; c < sc.remote_consumers; ++c) {
+      const NodeId n = rt_.add_remote_node(
+          sc.channel->name() + ":remote_consumer" + std::to_string(c),
+          NodeKind::kThread);
+      rt_.add_remote_edge(sc.channel->id(), n);
+      // Consumer placed on the channel's own cluster node: the simulated
+      // transfer model stays out of the way — the real network is the
+      // transfer now.
+      s.consumer_idx.push_back(
+          sc.channel->register_consumer(n, sc.channel->cluster_node()));
+    }
+    served_.push_back(std::move(s));
+  }
+}
+
+ChannelServer::~ChannelServer() { stop(); }
+
+const ChannelServer::Served* ChannelServer::find(const std::string& name) const {
+  for (const Served& s : served_) {
+    if (s.channel->name() == name) return &s;
+  }
+  return nullptr;
+}
+
+void ChannelServer::start() {
+  std::string err;
+  auto listener = TcpListener::listen(config_.port, &err);
+  if (!listener) throw std::runtime_error("ChannelServer: listen failed: " + err);
+
+  const util::MutexLock lock(mu_);
+  if (started_) throw std::logic_error("ChannelServer: start() called twice");
+  started_ = true;
+  port_.store(listener->port(), std::memory_order_release);
+  threads_.emplace_back(
+      [this, l = std::make_shared<TcpListener>(std::move(*listener))](
+          std::stop_token st) { accept_loop(std::move(*l), st); });
+}
+
+void ChannelServer::stop() {
+  std::vector<std::jthread> threads;
+  {
+    const util::MutexLock lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    threads = std::move(threads_);
+  }
+  for (auto& t : threads) t.request_stop();
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ChannelServer::accept_loop(TcpListener listener, std::stop_token st) {
+  while (!st.stop_requested()) {
+    auto stream = listener.accept(kAcceptSlice);
+    if (!stream) continue;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    const util::MutexLock lock(mu_);
+    if (stopped_) break;  // connection dropped by Socket destructor
+    threads_.emplace_back(
+        [this, s = std::make_shared<TcpStream>(std::move(*stream))](
+            std::stop_token cst) { serve_connection(std::move(*s), cst); });
+  }
+}
+
+void ChannelServer::serve_connection(TcpStream stream, std::stop_token st) {
+  // Attach: first frame must be a Hello naming a served channel and
+  // claiming valid endpoint slots.
+  FrameHeader header{};
+  std::vector<std::byte> body;
+  if (!read_frame(stream, config_.io_timeout, header, body) ||
+      header.type != MsgType::kHello) {
+    return;
+  }
+  HelloMsg hello;
+  if (!decode(body, hello, nullptr)) return;
+
+  const Served* served = find(hello.channel);
+  HelloAckMsg ack;
+  if (served == nullptr) {
+    ack.message = "unknown channel '" + hello.channel + "'";
+  } else if (hello.producer_key >= 0 &&
+             hello.producer_key >= static_cast<std::int32_t>(served->producer_nodes.size())) {
+    ack.message = "producer_key out of range";
+  } else if (hello.consumer_key >= 0 &&
+             hello.consumer_key >= static_cast<std::int32_t>(served->consumer_idx.size())) {
+    ack.message = "consumer_key out of range";
+  } else {
+    ack.ok = true;
+  }
+  if (stream.send_all(encode(ack), config_.io_timeout) != IoStatus::kOk) return;
+  if (!ack.ok) {
+    STAMPEDE_LOG(kWarn) << "net.server: rejected hello: " << ack.message;
+    return;
+  }
+
+  stats::Shard* shard = rt_.recorder().new_shard();
+  serve_attached(stream, *served, hello, shard, st);
+}
+
+void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
+                                   const HelloMsg& hello, stats::Shard* shard,
+                                   std::stop_token st) {
+  Channel& channel = *served.channel;
+  const NodeId chan_node = channel.id();
+  std::int64_t last_tx = ctx_.now_ns();
+
+  auto send_frame = [&](const std::vector<std::byte>& frame, MsgType type) {
+    if (stream.send_all(frame, config_.io_timeout) != IoStatus::kOk) return false;
+    last_tx = ctx_.now_ns();
+    shard->record(stats::Event{.type = stats::EventType::kNetTx,
+                               .node = chan_node,
+                               .t = last_tx,
+                               .a = static_cast<std::int64_t>(frame.size()),
+                               .b = static_cast<std::int64_t>(type)});
+    return true;
+  };
+  auto heartbeat_if_due = [&] {
+    if (Nanos{ctx_.now_ns() - last_tx} < config_.heartbeat_interval) return true;
+    return send_frame(encode(HeartbeatMsg{.t_ns = ctx_.now_ns()}), MsgType::kHeartbeat);
+  };
+
+  while (!st.stop_requested()) {
+    if (!stream.readable(kServeSlice)) {
+      if (stream.peer_hup() || !heartbeat_if_due()) return;
+      continue;
+    }
+    FrameHeader header{};
+    std::vector<std::byte> body;
+    if (!read_frame(stream, config_.io_timeout, header, body)) return;
+    shard->record(stats::Event{
+        .type = stats::EventType::kNetRx,
+        .node = chan_node,
+        .t = ctx_.now_ns(),
+        .a = static_cast<std::int64_t>(kHeaderBytes + header.body_len),
+        .b = static_cast<std::int64_t>(header.type)});
+
+    switch (header.type) {
+      case MsgType::kPut: {
+        if (hello.producer_key < 0) return;  // protocol violation
+        PutMsg msg;
+        if (!decode(body, msg, nullptr)) return;
+        auto item = materialize(
+            ctx_, msg.item,
+            served.producer_nodes[static_cast<std::size_t>(hello.producer_key)],
+            channel.cluster_node(), shard);
+        const auto res = channel.put(std::move(item), st);
+        PutAckMsg reply{.stored = res.stored,
+                        .closed = channel.closed(),
+                        .summary = res.channel_summary,
+                        .stp = channel.backward_stp()};
+        if (!send_frame(encode(reply), MsgType::kPutAck)) return;
+        break;
+      }
+      case MsgType::kGet: {
+        if (hello.consumer_key < 0) return;
+        GetMsg msg;
+        if (!decode(body, msg, nullptr)) return;
+        const int idx = served.consumer_idx[static_cast<std::size_t>(hello.consumer_key)];
+        // Block here (not in the channel) so heartbeats keep flowing and a
+        // vanished peer is noticed while we wait for data.
+        while (!channel.ready(idx)) {
+          if (st.stop_requested() || stream.peer_hup() || !heartbeat_if_due()) return;
+          ctx_.clock->sleep_for(config_.poll_interval);
+        }
+        auto res = channel.get_latest(idx, msg.consumer_summary, msg.guarantee, st);
+        GetReplyMsg reply{.has_item = res.item != nullptr,
+                          .closed = channel.closed(),
+                          .skipped = res.skipped,
+                          .summary = channel.summary(),
+                          .stp = channel.backward_stp()};
+        if (res.item) reply.item = to_wire(*res.item);
+        if (!send_frame(encode(reply), MsgType::kGetReply)) return;
+        break;
+      }
+      case MsgType::kClose:
+        return;
+      case MsgType::kHeartbeat:
+        break;  // liveness only
+      default:
+        return;  // protocol violation
+    }
+  }
+}
+
+}  // namespace stampede::net

@@ -1,0 +1,207 @@
+/// \file remote_channel.hpp
+/// \brief The two halves of a cross-process channel: the client-side
+///        `RemoteChannel` proxy and the server-side `ChannelServer`
+///        skeleton.
+///
+/// A pipeline spans processes by placing the real `Channel` in one process
+/// and exporting it through a `ChannelServer`; peers in other processes
+/// wire a `RemoteChannel` into their own `Runtime` via the same
+/// `connect()` calls used for local buffers, so task bodies are oblivious
+/// to the process boundary.
+///
+///   front process                         back process
+///   ─────────────                         ────────────
+///   digitizer ──put──▶ RemoteChannel ══TCP══▶ ChannelServer ──▶ Channel
+///                        ◀── PutAck{summary-STP, backwardSTP} ──┘
+///
+/// Endpoint slots are agreed out of band: the server pre-registers
+/// `remote_producers`/`remote_consumers` pseudo-nodes on the channel at
+/// construction (graph wiring must finish before `Runtime::start`), and a
+/// client claims slot k by sending `producer_key=k` / `consumer_key=k` in
+/// its Hello. Reconnecting with the same key resumes the same consumer
+/// cursor and feedback slot.
+///
+/// Failure semantics: see RemoteEndpoint (runtime/remote.hpp). The proxy
+/// holds the last summary-STP received over the wire in an atomic, so a
+/// producer paced by ARU keeps its period through an outage instead of
+/// free-running into a doomed-to-drop frenzy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stop_token>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "runtime/remote.hpp"
+#include "runtime/runtime.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace stampede::net {
+
+// ---------------------------------------------------------------------------
+// Client proxy
+// ---------------------------------------------------------------------------
+
+struct RemoteChannelConfig {
+  /// Channel name as served by the remote ChannelServer.
+  std::string name;
+  /// Server address + connection tuning.
+  TransportConfig transport;
+  /// Producer slot claimed on the remote channel (-1 = this proxy never
+  /// puts). Slots are 0..remote_producers-1 on the serving side.
+  std::int32_t producer_key = -1;
+  /// Consumer slot claimed on the remote channel (-1 = never gets).
+  std::int32_t consumer_key = -1;
+  /// Local virtual cluster node that received item copies are charged to.
+  int cluster_node = 0;
+};
+
+class RemoteChannel final : public RemoteEndpoint {
+ public:
+  /// Registers the proxy as a graph node in `rt` (call before rt.start()).
+  /// Connection establishment is lazy — construction never touches the
+  /// network, so wiring order and server startup order are independent.
+  RemoteChannel(Runtime& rt, RemoteChannelConfig config);
+
+  // -- RemoteEndpoint ---------------------------------------------------------
+
+  PutResult put(std::shared_ptr<Item> item, std::stop_token st) override;
+  GetResult get_latest(Nanos consumer_summary, Timestamp guarantee,
+                       std::stop_token st) override;
+  NodeId id() const override { return node_; }
+  const std::string& name() const override { return config_.name; }
+
+  // -- introspection (tests / diagnostics) ------------------------------------
+
+  /// Last summary-STP received over the wire (kUnknownStp before any).
+  /// This is the value producers pace against while the link is down.
+  Nanos summary() const { return Nanos{summary_ns_.load(std::memory_order_relaxed)}; }
+
+  /// Items dropped locally because the link was down.
+  std::int64_t drops() const { return drops_.load(std::memory_order_relaxed); }
+
+  /// Put-link recoveries (see Transport::reconnects).
+  std::int64_t reconnects() const;
+
+  bool connected() const;
+
+ private:
+  void hold_summary(Nanos summary);
+
+  RunContext& ctx_;
+  RemoteChannelConfig config_;
+  NodeId node_ = kNoNode;
+
+  /// Separate links (and trace shards) for the two directions, so a
+  /// blocking get parked on the server never head-of-line-blocks puts.
+  /// Each transport is driven by exactly one task thread (its shard's
+  /// single writer): the producer owns put_link_, the consumer get_link_.
+  std::unique_ptr<Transport> put_link_;
+  std::unique_ptr<Transport> get_link_;
+  stats::Shard* put_shard_ = nullptr;  ///< written only by the putting thread
+  stats::Shard* get_shard_ = nullptr;  ///< written only by the getting thread
+
+  std::atomic<std::int64_t> summary_ns_{aru::kUnknownStp.count()};
+  std::atomic<std::int64_t> drops_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Server skeleton
+// ---------------------------------------------------------------------------
+
+/// One channel exported by a ChannelServer.
+struct ServedChannel {
+  Channel* channel = nullptr;
+  /// Producer slots reserved for remote peers (Hello producer_key range).
+  int remote_producers = 0;
+  /// Consumer slots reserved for remote peers (Hello consumer_key range).
+  int remote_consumers = 0;
+};
+
+struct ServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (read via port()).
+  std::uint16_t port = 0;
+  /// Idle/heartbeat cadence: while a connection has nothing to send, a
+  /// heartbeat goes out at least this often so clients can tell a slow
+  /// channel from a dead server.
+  Nanos heartbeat_interval = millis(100);
+  /// Poll period while a get waits for the channel to become ready.
+  Nanos poll_interval = millis(1);
+  /// Per-frame send/receive budget (mirror of TransportConfig::io_timeout).
+  Nanos io_timeout = seconds(1);
+};
+
+/// Serves local channels to remote RemoteChannel proxies. One accept
+/// thread plus one thread per live connection; connection threads drive
+/// the channel with the peer's identity, so the channel-side feedback
+/// fold, GC guarantees, and trace events all happen exactly as they would
+/// for a local peer.
+class ChannelServer {
+ public:
+  /// Registers remote producer/consumer pseudo-nodes on every served
+  /// channel (must run during graph construction, before rt.start()).
+  ChannelServer(Runtime& rt, std::vector<ServedChannel> channels,
+                ServerConfig config = {});
+  ~ChannelServer();
+
+  ChannelServer(const ChannelServer&) = delete;
+  ChannelServer& operator=(const ChannelServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. Throws std::runtime_error
+  /// if the port cannot be bound.
+  void start() EXCLUDES(mu_);
+
+  /// Closes the listener and all connections, joins all threads.
+  /// Idempotent.
+  void stop() EXCLUDES(mu_);
+
+  /// Bound port (valid after start(); resolves port 0 to the ephemeral
+  /// port actually bound).
+  std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Connections accepted so far (diagnostics/tests).
+  std::int64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Served {
+    Channel* channel = nullptr;
+    /// producer_key → pseudo-node registered for that remote producer.
+    std::vector<NodeId> producer_nodes;
+    /// consumer_key → channel consumer index.
+    std::vector<int> consumer_idx;
+  };
+
+  void accept_loop(TcpListener listener, std::stop_token st);
+  void serve_connection(TcpStream stream, std::stop_token st);
+
+  /// Handles one attached connection after a successful Hello. `shard` is
+  /// owned by this connection's thread.
+  void serve_attached(TcpStream& stream, const Served& served, const HelloMsg& hello,
+                      stats::Shard* shard, std::stop_token st);
+
+  const Served* find(const std::string& name) const;
+
+  Runtime& rt_;
+  RunContext& ctx_;
+  const ServerConfig config_;
+  std::vector<Served> served_;
+
+  /// Guards the lifecycle flags + connection-thread registry across
+  /// start/stop and the accept loop (the listener itself is owned by the
+  /// accept thread). Rank kNet: connection threads acquire channel locks
+  /// (kBuffer) while serving, never the reverse.
+  mutable util::Mutex mu_{util::LockRank::kNet, "net.server"};
+  std::vector<std::jthread> threads_ GUARDED_BY(mu_);
+  bool started_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
+
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<std::int64_t> accepted_{0};
+};
+
+}  // namespace stampede::net

@@ -1,0 +1,132 @@
+/// \file socket.hpp
+/// \brief Thin RAII wrappers over POSIX TCP sockets.
+///
+/// This is the *only* translation unit in the tree allowed to touch raw
+/// `::socket` / `::connect` (enforced by scripts/lint.sh); everything else
+/// goes through TcpStream / TcpListener. Design points:
+///
+///  * all sockets are nonblocking; every operation takes an explicit
+///    timeout and is realized as a poll() loop, so a wedged peer can never
+///    hang a runtime thread indefinitely;
+///  * connect is the classic nonblocking three-step (O_NONBLOCK +
+///    EINPROGRESS, poll for POLLOUT, read SO_ERROR);
+///  * sends use MSG_NOSIGNAL — a dead peer yields kClosed, never SIGPIPE;
+///  * EINTR is retried everywhere.
+///
+/// These wrappers hold no locks and no runtime state; synchronization and
+/// reconnect policy live one layer up in net::Transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace stampede::net {
+
+/// Outcome of a timed socket operation.
+enum class IoStatus : std::uint8_t {
+  kOk,       ///< full transfer completed
+  kTimeout,  ///< deadline elapsed before completion
+  kClosed,   ///< orderly peer shutdown (EOF) or EPIPE/ECONNRESET
+  kError,    ///< any other socket error
+};
+
+const char* to_string(IoStatus s);
+
+/// Owning file-descriptor handle (close-on-destroy, move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { reset(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected, nonblocking TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Socket sock) : sock_(std::move(sock)) {}
+
+  /// Nonblocking connect to host:port bounded by `timeout`. Returns an
+  /// empty optional on failure (refused, unreachable, timed out); `*err`
+  /// gets a diagnostic when non-null.
+  static std::optional<TcpStream> connect(const std::string& host, std::uint16_t port,
+                                          Nanos timeout, std::string* err = nullptr);
+
+  bool valid() const { return sock_.valid(); }
+  void close() { sock_.reset(); }
+
+  /// Sends the whole buffer or fails. kTimeout applies to overall progress:
+  /// the deadline is `timeout` from the call, not per chunk.
+  IoStatus send_all(std::span<const std::byte> data, Nanos timeout);
+
+  /// Receives exactly `out.size()` bytes or fails. A timeout with zero
+  /// bytes read is a clean kTimeout; a timeout mid-message is also
+  /// kTimeout but leaves the stream desynchronized — callers must treat
+  /// any non-kOk mid-frame result as fatal for the connection.
+  IoStatus recv_exact(std::span<std::byte> out, Nanos timeout);
+
+  /// True once the peer has hung up (POLLHUP/POLLERR or pending EOF).
+  /// Non-destructive: does not consume buffered data.
+  bool peer_hup() const;
+
+  /// Waits up to `timeout` for the stream to become readable (data or
+  /// EOF). False on timeout.
+  bool readable(Nanos timeout) const;
+
+ private:
+  Socket sock_;
+};
+
+/// A listening TCP socket bound to loopback-reachable INADDR_ANY.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port (read it back via
+  /// `port()`). Empty optional on failure.
+  static std::optional<TcpListener> listen(std::uint16_t port, std::string* err = nullptr);
+
+  bool valid() const { return sock_.valid(); }
+  std::uint16_t port() const { return port_; }
+  void close() { sock_.reset(); }
+
+  /// Waits up to `timeout` for one inbound connection. Empty optional on
+  /// timeout, listener close, or error.
+  std::optional<TcpStream> accept(Nanos timeout);
+
+ private:
+  TcpListener(Socket sock, std::uint16_t port) : sock_(std::move(sock)), port_(port) {}
+
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace stampede::net

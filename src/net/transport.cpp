@@ -1,0 +1,175 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stampede::net {
+namespace {
+
+/// Sleep slice while waiting out a backoff gate: short enough that stop
+/// requests are honored promptly.
+constexpr Nanos kRetrySlice = millis(5);
+
+}  // namespace
+
+Transport::Transport(RunContext& ctx, NodeId node, TransportConfig config, HelloMsg hello,
+                     stats::Shard* shard)
+    : ctx_(ctx),
+      node_(node),
+      config_(std::move(config)),
+      hello_(std::move(hello)),
+      shard_(shard) {}
+
+void Transport::add_event(EventBatch& events, stats::EventType type, std::int64_t a,
+                          std::int64_t b) const {
+  events.push_back(stats::Event{
+      .type = type, .node = node_, .t = ctx_.now_ns(), .a = a, .b = b});
+}
+
+void Transport::flush(EventBatch& events) {
+  if (events.empty()) return;
+  const util::MutexLock lock(stats_mu_);
+  for (const stats::Event& e : events) shard_->record(e);
+  events.clear();
+}
+
+void Transport::disconnect() {
+  EventBatch events;
+  {
+    const util::MutexLock lock(mu_);
+    disconnect_locked();
+  }
+  flush(events);
+}
+
+void Transport::disconnect_locked() {
+  stream_.close();
+  connected_.store(false, std::memory_order_relaxed);
+}
+
+bool Transport::ensure_connected_locked(EventBatch& events) {
+  if (stream_.valid()) return true;
+
+  const std::int64_t now = ctx_.now_ns();
+  if (now < next_attempt_ns_) return false;  // backoff gate not yet open
+
+  auto fail = [&] {
+    ++failed_attempts_;
+    backoff_ = backoff_.count() == 0
+                   ? config_.backoff_initial
+                   : std::min(backoff_ * 2, config_.backoff_max);
+    next_attempt_ns_ = now + backoff_.count();
+    return false;
+  };
+
+  auto stream = TcpStream::connect(config_.host, config_.port, config_.connect_timeout);
+  if (!stream) return fail();
+  stream_ = std::move(*stream);
+
+  // Handshake: Hello → HelloAck(ok).
+  const std::vector<std::byte> hello = encode(hello_);
+  if (stream_.send_all(hello, config_.io_timeout) != IoStatus::kOk) {
+    disconnect_locked();
+    return fail();
+  }
+  add_event(events, stats::EventType::kNetTx, static_cast<std::int64_t>(hello.size()),
+            static_cast<std::int64_t>(MsgType::kHello));
+  FrameHeader header{};
+  std::vector<std::byte> body;
+  if (!read_frame_locked(header, body, events) || header.type != MsgType::kHelloAck) {
+    disconnect_locked();
+    return fail();
+  }
+  HelloAckMsg ack;
+  if (!decode(body, ack, nullptr) || !ack.ok) {
+    disconnect_locked();
+    return fail();
+  }
+
+  if (had_session_) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    add_event(events, stats::EventType::kReconnect, failed_attempts_, backoff_.count());
+  }
+  had_session_ = true;
+  failed_attempts_ = 0;
+  backoff_ = Nanos{0};
+  next_attempt_ns_ = 0;
+  connected_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool Transport::read_frame_locked(FrameHeader& header, std::vector<std::byte>& body,
+                                  EventBatch& events) {
+  std::vector<std::byte> raw(kHeaderBytes);
+  if (stream_.recv_exact(raw, config_.io_timeout) != IoStatus::kOk) {
+    disconnect_locked();
+    return false;
+  }
+  if (!decode_header(raw, header, nullptr)) {
+    disconnect_locked();
+    return false;
+  }
+  body.resize(header.body_len);
+  if (header.body_len > 0 &&
+      stream_.recv_exact(body, config_.io_timeout) != IoStatus::kOk) {
+    disconnect_locked();
+    return false;
+  }
+  add_event(events, stats::EventType::kNetRx,
+            static_cast<std::int64_t>(kHeaderBytes + header.body_len),
+            static_cast<std::int64_t>(header.type));
+  return true;
+}
+
+Transport::RpcStatus Transport::exchange_locked(std::span<const std::byte> frame,
+                                                MsgType expect,
+                                                std::vector<std::byte>& reply_body,
+                                                EventBatch& events) {
+  if (stream_.send_all(frame, config_.io_timeout) != IoStatus::kOk) {
+    disconnect_locked();
+    return RpcStatus::kDisconnected;
+  }
+  FrameHeader req_header{};
+  decode_header(frame, req_header, nullptr);
+  add_event(events, stats::EventType::kNetTx, static_cast<std::int64_t>(frame.size()),
+            static_cast<std::int64_t>(req_header.type));
+
+  // Heartbeats count as liveness (they reset the per-frame io_timeout) but
+  // are otherwise consumed here; anything else must be the expected reply.
+  for (;;) {
+    FrameHeader header{};
+    if (!read_frame_locked(header, reply_body, events)) return RpcStatus::kDisconnected;
+    if (header.type == MsgType::kHeartbeat) continue;
+    if (header.type != expect) {
+      disconnect_locked();
+      return RpcStatus::kDisconnected;
+    }
+    return RpcStatus::kOk;
+  }
+}
+
+Transport::RpcStatus Transport::rpc(std::span<const std::byte> frame, MsgType expect,
+                                    std::vector<std::byte>& reply_body, bool wait_for_link,
+                                    std::stop_token st) {
+  for (;;) {
+    if (stop_requested(st)) return RpcStatus::kStopped;
+
+    EventBatch events;
+    bool sent_or_failfast = true;
+    RpcStatus status = RpcStatus::kDisconnected;
+    {
+      const util::MutexLock lock(mu_);
+      if (ensure_connected_locked(events)) {
+        status = exchange_locked(frame, expect, reply_body, events);
+      } else if (wait_for_link) {
+        sent_or_failfast = false;  // not connected yet — keep waiting
+      }
+    }
+    flush(events);
+    if (sent_or_failfast) return status;
+
+    ctx_.clock->sleep_for(kRetrySlice);
+  }
+}
+
+}  // namespace stampede::net

@@ -1,0 +1,152 @@
+/// \file transport.hpp
+/// \brief Client-side connection manager: one logical link to a channel
+///        server, with handshake, heartbeat-aware RPC, and bounded
+///        exponential-backoff reconnect.
+///
+/// A Transport is *caller-driven*: it owns no background thread. Every
+/// RPC — connect (with Hello/HelloAck handshake) if needed, send the
+/// request frame, read frames until the expected reply type (heartbeats
+/// are consumed as liveness) — runs on the calling task thread under one
+/// `util::Mutex` of rank `kNet`. That keeps the whole net client inside
+/// the lock-order validator and the -Wthread-safety analysis, and means a
+/// stopped runtime has no orphan I/O threads to chase.
+///
+/// Reconnect policy: after a failed connect attempt the next attempt is
+/// gated by an exponential backoff doubling from `backoff_initial` to at
+/// most `backoff_max`. `wait_for_link` RPCs (gets) sleep through the gate
+/// and retry; fail-fast RPCs (puts) return kDisconnected immediately so
+/// the producer can drop the item and keep pacing. A successful handshake
+/// after a previous session records a `kReconnect` trace event carrying
+/// the failed-attempt count and the final backoff.
+///
+/// Trace events (kNetTx/kNetRx/kReconnect) are composed under `mu_` and
+/// appended to the stats shard only after it is released, under a
+/// dedicated mutex of rank `kNetStats` — ranked *below* kNet so flushing
+/// while holding the transport lock is a runtime hierarchy violation,
+/// exactly mirroring the Channel kBufferStats/kBuffer discipline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <stop_token>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "runtime/context.hpp"
+#include "stats/recorder.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace stampede::net {
+
+struct TransportConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Budget for one TCP connect + handshake attempt.
+  Nanos connect_timeout = millis(250);
+  /// Per-frame send/receive budget. Must comfortably exceed the server's
+  /// heartbeat interval: a live server emits *something* at least that
+  /// often, so a full io_timeout of silence means the link is dead.
+  Nanos io_timeout = seconds(1);
+  /// Reconnect backoff bounds (attempt n waits min(initial·2ⁿ⁻¹, max)).
+  Nanos backoff_initial = millis(10);
+  Nanos backoff_max = millis(500);
+};
+
+class Transport {
+ public:
+  enum class RpcStatus : std::uint8_t {
+    kOk,            ///< reply of the expected type received
+    kDisconnected,  ///< no link (fail-fast mode) or link died mid-RPC
+    kStopped,       ///< stop token fired / runtime stopping
+  };
+
+  /// \param ctx    run services (clock for timestamps and backoff sleeps).
+  /// \param node   graph node the trace events are attributed to.
+  /// \param hello  handshake sent on every (re)connect.
+  /// \param shard  recorder shard owned by this transport.
+  Transport(RunContext& ctx, NodeId node, TransportConfig config, HelloMsg hello,
+            stats::Shard* shard);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Executes one request/reply exchange. `frame` must be a complete
+  /// encoded frame; on kOk, `reply_body` holds the body of the first
+  /// non-heartbeat reply frame, whose type matched `expect`.
+  ///
+  /// \param wait_for_link  true: block (through backoff/reconnect cycles)
+  ///        until a link exists before sending — used by gets. false:
+  ///        return kDisconnected at the first hurdle — used by puts.
+  ///        Either way, once the request is sent the outcome is final:
+  ///        a link death mid-RPC returns kDisconnected and the caller
+  ///        decides whether to re-issue the (lost) request.
+  RpcStatus rpc(std::span<const std::byte> frame, MsgType expect,
+                std::vector<std::byte>& reply_body, bool wait_for_link,
+                std::stop_token st) EXCLUDES(mu_, stats_mu_);
+
+  /// Drops the link (next rpc reconnects). Safe to call concurrently.
+  void disconnect() EXCLUDES(mu_, stats_mu_);
+
+  bool connected() const { return connected_.load(std::memory_order_relaxed); }
+
+  /// Successful handshakes after the first (i.e. recoveries).
+  std::int64_t reconnects() const { return reconnects_.load(std::memory_order_relaxed); }
+
+  const TransportConfig& config() const { return config_; }
+
+ private:
+  using EventBatch = std::vector<stats::Event>;
+
+  /// Establishes the link if absent and due. Returns true when connected.
+  bool ensure_connected_locked(EventBatch& events) REQUIRES(mu_);
+
+  /// Sends `frame`, then reads frames (skipping heartbeats) until one of
+  /// type `expect` arrives. Disconnects on any failure.
+  RpcStatus exchange_locked(std::span<const std::byte> frame, MsgType expect,
+                            std::vector<std::byte>& reply_body, EventBatch& events)
+      REQUIRES(mu_);
+
+  /// Reads one complete frame. False (and disconnect) on any failure.
+  bool read_frame_locked(FrameHeader& header, std::vector<std::byte>& body,
+                         EventBatch& events) REQUIRES(mu_);
+
+  void disconnect_locked() REQUIRES(mu_);
+
+  void add_event(EventBatch& events, stats::EventType type, std::int64_t a,
+                 std::int64_t b) const;
+
+  /// Appends a composed batch to the shard. Must be called WITHOUT mu_
+  /// held (rank kNetStats < kNet makes the inverse order a validator
+  /// abort in ARU_LOCK_DEBUG builds).
+  void flush(EventBatch& events) EXCLUDES(mu_, stats_mu_);
+
+  bool stop_requested(const std::stop_token& st) const {
+    return st.stop_requested() || ctx_.stopping.load(std::memory_order_relaxed);
+  }
+
+  RunContext& ctx_;
+  const NodeId node_;
+  const TransportConfig config_;
+  const HelloMsg hello_;
+
+  mutable util::Mutex mu_{util::LockRank::kNet, "net.transport"};
+  TcpStream stream_ GUARDED_BY(mu_);
+  /// Backoff state: consecutive failed attempts since the link was lost,
+  /// the current backoff, and the earliest instant of the next attempt.
+  std::int64_t failed_attempts_ GUARDED_BY(mu_) = 0;
+  Nanos backoff_ GUARDED_BY(mu_){0};
+  std::int64_t next_attempt_ns_ GUARDED_BY(mu_) = 0;
+  bool had_session_ GUARDED_BY(mu_) = false;
+
+  mutable util::Mutex stats_mu_{util::LockRank::kNetStats, "net.transport.stats"};
+  stats::Shard* const shard_ PT_GUARDED_BY(stats_mu_);
+
+  std::atomic<bool> connected_{false};
+  std::atomic<std::int64_t> reconnects_{0};
+};
+
+}  // namespace stampede::net

@@ -1,0 +1,387 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace stampede::net {
+namespace {
+
+/// Append-only little-endian byte writer. Encoding is infallible (sizes
+/// were validated when the message was built), so there is no error path.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::byte>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(std::byte{v}); }
+
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    out_.insert(out_.end(), p, p + s.size());
+  }
+
+  void bytes(const std::vector<std::byte>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  void stp_vector(const std::vector<Nanos>& v) {
+    u16(static_cast<std::uint16_t>(v.size()));
+    for (Nanos n : v) i64(n.count());
+  }
+
+  void item(const WireItem& it) {
+    i64(it.ts);
+    u64(it.origin_id);
+    i64(it.produce_cost_ns);
+    u16(static_cast<std::uint16_t>(it.attrs.size()));
+    for (const auto& [key, value] : it.attrs) {
+      u32(key);
+      i64(value);
+    }
+    bytes(it.payload);
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Bounds-checked little-endian reader. Every accessor returns false once
+/// the cursor would pass the end; `fail()` latches so a single check after
+/// a run of reads suffices.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> buf) : buf_(buf) {}
+
+  bool u8(std::uint8_t& v) {
+    if (!need(1)) return false;
+    v = static_cast<std::uint8_t>(buf_[pos_++]);
+    return true;
+  }
+
+  bool u16(std::uint16_t& v) {
+    std::uint8_t lo = 0, hi = 0;
+    if (!u8(lo) || !u8(hi)) return false;
+    v = static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(hi) << 8));
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    std::uint16_t lo = 0, hi = 0;
+    if (!u16(lo) || !u16(hi)) return false;
+    v = static_cast<std::uint32_t>(lo) | (static_cast<std::uint32_t>(hi) << 16);
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    std::uint32_t lo = 0, hi = 0;
+    if (!u32(lo) || !u32(hi)) return false;
+    v = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+  }
+
+  bool i64(std::int64_t& v) {
+    std::uint64_t u = 0;
+    if (!u64(u)) return false;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+
+  bool boolean(bool& v) {
+    std::uint8_t b = 0;
+    if (!u8(b)) return false;
+    if (b > 1) return set_err("bad bool encoding");
+    v = b != 0;
+    return true;
+  }
+
+  bool str(std::string& s) {
+    std::uint16_t len = 0;
+    if (!u16(len)) return false;
+    if (len > kMaxNameBytes) return set_err("string exceeds kMaxNameBytes");
+    if (!need(len)) return false;
+    s.assign(reinterpret_cast<const char*>(buf_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool bytes(std::vector<std::byte>& b) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (len > kMaxPayloadBytes) return set_err("payload exceeds kMaxPayloadBytes");
+    if (!need(len)) return false;
+    b.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+  bool stp_vector(std::vector<Nanos>& v) {
+    std::uint16_t count = 0;
+    if (!u16(count)) return false;
+    if (count > kMaxStpSlots) return set_err("STP vector exceeds kMaxStpSlots");
+    v.clear();
+    v.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      std::int64_t ns = 0;
+      if (!i64(ns)) return false;
+      v.push_back(Nanos{ns});
+    }
+    return true;
+  }
+
+  bool item(WireItem& it) {
+    std::uint16_t attr_count = 0;
+    if (!i64(it.ts) || !u64(it.origin_id) || !i64(it.produce_cost_ns) ||
+        !u16(attr_count)) {
+      return false;
+    }
+    if (attr_count > kMaxAttrs) return set_err("attr count exceeds kMaxAttrs");
+    it.attrs.clear();
+    it.attrs.reserve(attr_count);
+    for (std::uint16_t i = 0; i < attr_count; ++i) {
+      std::uint32_t key = 0;
+      std::int64_t value = 0;
+      if (!u32(key) || !i64(value)) return false;
+      it.attrs.emplace_back(key, value);
+    }
+    return bytes(it.payload);
+  }
+
+  /// Everything consumed and nothing failed: a complete, exact decode.
+  bool done() const { return !failed_ && pos_ == buf_.size(); }
+
+  const char* error() const {
+    if (err_ != nullptr) return err_;
+    if (failed_) return "truncated buffer";
+    if (pos_ != buf_.size()) return "trailing bytes after message";
+    return "ok";
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (failed_ || buf_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool set_err(const char* what) {
+    failed_ = true;
+    if (err_ == nullptr) err_ = what;
+    return false;
+  }
+
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  const char* err_ = nullptr;
+};
+
+std::vector<std::byte> make_frame(MsgType type, const auto& write_body) {
+  std::vector<std::byte> frame;
+  frame.reserve(kHeaderBytes + 64);
+  Writer header(frame);
+  header.u32(kWireMagic);
+  header.u32(0);  // body length patched below
+  header.u8(kWireVersion);
+  header.u8(static_cast<std::uint8_t>(type));
+  header.u16(0);  // reserved
+  Writer body(frame);
+  write_body(body);
+  const auto body_len = static_cast<std::uint32_t>(frame.size() - kHeaderBytes);
+  frame[4] = std::byte{static_cast<std::uint8_t>(body_len)};
+  frame[5] = std::byte{static_cast<std::uint8_t>(body_len >> 8)};
+  frame[6] = std::byte{static_cast<std::uint8_t>(body_len >> 16)};
+  frame[7] = std::byte{static_cast<std::uint8_t>(body_len >> 24)};
+  return frame;
+}
+
+bool finish(const Reader& r, std::string* err) {
+  if (r.done()) return true;
+  if (err != nullptr) *err = r.error();
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloAck: return "hello_ack";
+    case MsgType::kPut: return "put";
+    case MsgType::kPutAck: return "put_ack";
+    case MsgType::kGet: return "get";
+    case MsgType::kGetReply: return "get_reply";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kClose: return "close";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encode(const HelloMsg& m) {
+  return make_frame(MsgType::kHello, [&](Writer& w) {
+    w.str(m.channel);
+    w.u32(static_cast<std::uint32_t>(m.producer_key));
+    w.u32(static_cast<std::uint32_t>(m.consumer_key));
+  });
+}
+
+std::vector<std::byte> encode(const HelloAckMsg& m) {
+  return make_frame(MsgType::kHelloAck, [&](Writer& w) {
+    w.u8(m.ok ? 1 : 0);
+    w.str(m.message);
+  });
+}
+
+std::vector<std::byte> encode(const PutMsg& m) {
+  return make_frame(MsgType::kPut, [&](Writer& w) {
+    w.item(m.item);
+    w.stp_vector(m.stp);
+  });
+}
+
+std::vector<std::byte> encode(const PutAckMsg& m) {
+  return make_frame(MsgType::kPutAck, [&](Writer& w) {
+    w.u8(m.stored ? 1 : 0);
+    w.u8(m.closed ? 1 : 0);
+    w.i64(m.summary.count());
+    w.stp_vector(m.stp);
+  });
+}
+
+std::vector<std::byte> encode(const GetMsg& m) {
+  return make_frame(MsgType::kGet, [&](Writer& w) {
+    w.i64(m.consumer_summary.count());
+    w.i64(m.guarantee);
+  });
+}
+
+std::vector<std::byte> encode(const GetReplyMsg& m) {
+  return make_frame(MsgType::kGetReply, [&](Writer& w) {
+    w.u8(m.has_item ? 1 : 0);
+    w.u8(m.closed ? 1 : 0);
+    w.item(m.item);
+    w.u32(static_cast<std::uint32_t>(m.skipped));
+    w.i64(m.summary.count());
+    w.stp_vector(m.stp);
+  });
+}
+
+std::vector<std::byte> encode(const HeartbeatMsg& m) {
+  return make_frame(MsgType::kHeartbeat, [&](Writer& w) { w.i64(m.t_ns); });
+}
+
+std::vector<std::byte> encode_close() {
+  return make_frame(MsgType::kClose, [](Writer&) {});
+}
+
+bool decode_header(std::span<const std::byte> buf, FrameHeader& out, std::string* err) {
+  Reader r(buf.first(buf.size() < kHeaderBytes ? buf.size() : kHeaderBytes));
+  std::uint32_t magic = 0, body_len = 0;
+  std::uint8_t version = 0, type = 0;
+  std::uint16_t reserved = 0;
+  if (!r.u32(magic) || !r.u32(body_len) || !r.u8(version) || !r.u8(type) ||
+      !r.u16(reserved)) {
+    if (err != nullptr) *err = "header truncated";
+    return false;
+  }
+  if (magic != kWireMagic) {
+    if (err != nullptr) *err = "bad magic";
+    return false;
+  }
+  if (version != kWireVersion) {
+    if (err != nullptr) *err = "unsupported wire version";
+    return false;
+  }
+  if (!valid_type(type)) {
+    if (err != nullptr) *err = "unknown message type";
+    return false;
+  }
+  if (body_len > kMaxBodyBytes) {
+    if (err != nullptr) *err = "body exceeds kMaxBodyBytes";
+    return false;
+  }
+  out.type = static_cast<MsgType>(type);
+  out.body_len = body_len;
+  return true;
+}
+
+bool decode(std::span<const std::byte> body, HelloMsg& out, std::string* err) {
+  Reader r(body);
+  std::uint32_t producer = 0, consumer = 0;
+  if (r.str(out.channel) && r.u32(producer) && r.u32(consumer)) {
+    out.producer_key = static_cast<std::int32_t>(producer);
+    out.consumer_key = static_cast<std::int32_t>(consumer);
+  }
+  return finish(r, err);
+}
+
+bool decode(std::span<const std::byte> body, HelloAckMsg& out, std::string* err) {
+  Reader r(body);
+  if (r.boolean(out.ok)) r.str(out.message);
+  return finish(r, err);
+}
+
+bool decode(std::span<const std::byte> body, PutMsg& out, std::string* err) {
+  Reader r(body);
+  if (r.item(out.item)) r.stp_vector(out.stp);
+  return finish(r, err);
+}
+
+bool decode(std::span<const std::byte> body, PutAckMsg& out, std::string* err) {
+  Reader r(body);
+  std::int64_t summary_ns = 0;
+  if (r.boolean(out.stored) && r.boolean(out.closed) && r.i64(summary_ns)) {
+    out.summary = Nanos{summary_ns};
+    r.stp_vector(out.stp);
+  }
+  return finish(r, err);
+}
+
+bool decode(std::span<const std::byte> body, GetMsg& out, std::string* err) {
+  Reader r(body);
+  std::int64_t summary_ns = 0;
+  if (r.i64(summary_ns) && r.i64(out.guarantee)) {
+    out.consumer_summary = Nanos{summary_ns};
+  }
+  return finish(r, err);
+}
+
+bool decode(std::span<const std::byte> body, GetReplyMsg& out, std::string* err) {
+  Reader r(body);
+  std::uint32_t skipped = 0;
+  std::int64_t summary_ns = 0;
+  if (r.boolean(out.has_item) && r.boolean(out.closed) && r.item(out.item) &&
+      r.u32(skipped) && r.i64(summary_ns)) {
+    out.skipped = static_cast<std::int32_t>(skipped);
+    out.summary = Nanos{summary_ns};
+    r.stp_vector(out.stp);
+  }
+  return finish(r, err);
+}
+
+bool decode(std::span<const std::byte> body, HeartbeatMsg& out, std::string* err) {
+  Reader r(body);
+  r.i64(out.t_ns);
+  return finish(r, err);
+}
+
+}  // namespace stampede::net

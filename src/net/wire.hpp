@@ -1,0 +1,187 @@
+/// \file wire.hpp
+/// \brief Length-prefixed wire protocol for remote channels.
+///
+/// Every message travels as one *frame*:
+///
+///   offset  size  field
+///   ------  ----  -----------------------------------------------
+///        0     4  magic 0x5350444E ("SPDN", big-endian constant)
+///        4     4  body length in bytes (little-endian u32)
+///        8     1  protocol version (kWireVersion)
+///        9     1  message type (MsgType)
+///       10     2  reserved (zero)
+///       12     n  body (per-type layout below)
+///
+/// All multi-byte integers are little-endian. Strings are a u16 length
+/// followed by raw bytes; item payloads a u32 length followed by raw
+/// bytes; the summary-STP vector a u16 slot count followed by one i64
+/// nanosecond value per slot (`aru::kUnknownStp` = 0 marks empty slots).
+///
+/// The backward summary-STP vector is piggy-backed on the feedback-bearing
+/// messages, making paper §3.3.2 Fig. 3 literal on the wire:
+///
+///  * `kGet` (consumer → channel) carries the consumer's summary-STP,
+///    folded into the served channel's backwardSTP vector;
+///  * `kGetReply` and `kPutAck` (channel → peer) carry the channel's full
+///    backwardSTP vector plus its compressed summary, which the producing
+///    process feeds to its source pacing;
+///  * `kPut` (producer → channel) carries the producer's own backward
+///    vector for diagnostics/tracing on the serving side.
+///
+/// Decoding is defensive: every length is bounds-checked against both the
+/// buffer and a hard cap (kMaxStpSlots, kMaxAttrs, kMaxPayloadBytes,
+/// kMaxNameBytes), and a truncated or corrupt buffer yields `false` plus a
+/// diagnostic — never undefined behaviour. The fuzz-style round-trip and
+/// truncation tests live in tests/test_wire.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "util/time.hpp"
+
+namespace stampede::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x5350444E;  // "SPDN"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+
+/// Hard caps a decoder enforces before trusting any on-the-wire length.
+inline constexpr std::size_t kMaxStpSlots = 64;  ///< matches Channel::kMaxConsumers
+inline constexpr std::size_t kMaxAttrs = 64;
+inline constexpr std::size_t kMaxNameBytes = 256;
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 26;  // 64 MiB
+/// Upper bound on a whole frame body (payload + generous envelope slack).
+inline constexpr std::size_t kMaxBodyBytes = kMaxPayloadBytes + (std::size_t{1} << 16);
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,    ///< connection attach: channel name + endpoint keys
+  kHelloAck,     ///< attach outcome
+  kPut,          ///< item + producer backward-STP vector
+  kPutAck,       ///< stored/closed + channel summary + backward-STP vector
+  kGet,          ///< latest-item request + consumer summary-STP + guarantee
+  kGetReply,     ///< item (or closed) + channel summary + backward-STP vector
+  kHeartbeat,    ///< liveness while a blocking get waits server-side
+  kClose,        ///< orderly goodbye
+};
+
+/// True for a value the header decoder should accept.
+constexpr bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         t <= static_cast<std::uint8_t>(MsgType::kClose);
+}
+
+const char* to_string(MsgType type);
+
+/// Well-known item attribute keys. Attributes are free-form (key, value)
+/// tags preserved end-to-end; unknown keys must be carried through.
+inline constexpr std::uint32_t kTagProducerNode = 1;  ///< origin-process producer NodeId
+inline constexpr std::uint32_t kTagClusterNode = 2;   ///< origin-process cluster node
+
+/// A timestamped item in transit: everything a peer needs to materialize
+/// a local `Item` replica plus the attribute tags riding along.
+struct WireItem {
+  Timestamp ts = kNoTimestamp;
+  std::uint64_t origin_id = 0;  ///< item id in the *sending* process's id space
+  std::int64_t produce_cost_ns = 0;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> attrs;
+  std::vector<std::byte> payload;
+
+  bool operator==(const WireItem&) const = default;
+};
+
+struct HelloMsg {
+  std::string channel;
+  std::int32_t producer_key = -1;  ///< pre-registered producer slot (-1 = none)
+  std::int32_t consumer_key = -1;  ///< pre-registered consumer slot (-1 = none)
+
+  bool operator==(const HelloMsg&) const = default;
+};
+
+struct HelloAckMsg {
+  bool ok = false;
+  std::string message;
+
+  bool operator==(const HelloAckMsg&) const = default;
+};
+
+struct PutMsg {
+  WireItem item;
+  std::vector<Nanos> stp;  ///< producer's backwardSTP vector (diagnostic)
+
+  bool operator==(const PutMsg&) const = default;
+};
+
+struct PutAckMsg {
+  bool stored = false;
+  bool closed = false;       ///< channel is closed; producers should stop
+  Nanos summary{0};          ///< channel summary-STP (paper §3.3.2 put return)
+  std::vector<Nanos> stp;    ///< channel's full backwardSTP vector
+
+  bool operator==(const PutAckMsg&) const = default;
+};
+
+struct GetMsg {
+  Nanos consumer_summary{0};            ///< piggy-backed consumer summary-STP
+  Timestamp guarantee = kNoTimestamp;   ///< DGC extra guarantee (kNoTimestamp = none)
+
+  bool operator==(const GetMsg&) const = default;
+};
+
+struct GetReplyMsg {
+  bool has_item = false;
+  bool closed = false;  ///< channel closed and drained: consumer should stop
+  WireItem item;        ///< valid only when has_item
+  std::int32_t skipped = 0;
+  Nanos summary{0};          ///< channel summary-STP
+  std::vector<Nanos> stp;    ///< channel's full backwardSTP vector
+
+  bool operator==(const GetReplyMsg&) const = default;
+};
+
+struct HeartbeatMsg {
+  std::int64_t t_ns = 0;  ///< sender clock at emission (diagnostics)
+
+  bool operator==(const HeartbeatMsg&) const = default;
+};
+
+/// Decoded frame header.
+struct FrameHeader {
+  MsgType type{};
+  std::uint32_t body_len = 0;
+};
+
+// -- encoding ---------------------------------------------------------------
+// Each returns a complete frame (header + body), ready to send.
+
+std::vector<std::byte> encode(const HelloMsg& m);
+std::vector<std::byte> encode(const HelloAckMsg& m);
+std::vector<std::byte> encode(const PutMsg& m);
+std::vector<std::byte> encode(const PutAckMsg& m);
+std::vector<std::byte> encode(const GetMsg& m);
+std::vector<std::byte> encode(const GetReplyMsg& m);
+std::vector<std::byte> encode(const HeartbeatMsg& m);
+std::vector<std::byte> encode_close();
+
+// -- decoding ---------------------------------------------------------------
+// All decoders return false (and set *err when non-null) on truncated,
+// oversized, or malformed input. They never throw and never read out of
+// bounds.
+
+/// Decodes the 12-byte header; `buf` must hold at least kHeaderBytes.
+bool decode_header(std::span<const std::byte> buf, FrameHeader& out, std::string* err);
+
+bool decode(std::span<const std::byte> body, HelloMsg& out, std::string* err);
+bool decode(std::span<const std::byte> body, HelloAckMsg& out, std::string* err);
+bool decode(std::span<const std::byte> body, PutMsg& out, std::string* err);
+bool decode(std::span<const std::byte> body, PutAckMsg& out, std::string* err);
+bool decode(std::span<const std::byte> body, GetMsg& out, std::string* err);
+bool decode(std::span<const std::byte> body, GetReplyMsg& out, std::string* err);
+bool decode(std::span<const std::byte> body, HeartbeatMsg& out, std::string* err);
+
+}  // namespace stampede::net

@@ -551,6 +551,20 @@ Timestamp Channel::latest_ts() const {
   return entries_.empty() ? kNoTimestamp : entries_.back().ts;
 }
 
+bool Channel::ready(int consumer_idx) const {
+  const util::MutexLock lock(mu_);
+  check_consumer_locked(consumer_idx, "ready");
+  if (closed_) return true;
+  if (entries_.empty()) return false;
+  return entries_.back().ts >
+         consumer_states_[static_cast<std::size_t>(consumer_idx)].cursor;
+}
+
+bool Channel::closed() const {
+  const util::MutexLock lock(mu_);
+  return closed_;
+}
+
 void Channel::close() {
   const util::MutexLock lock(mu_);
   closed_ = true;
@@ -570,6 +584,12 @@ Timestamp Channel::frontier() const {
 Nanos Channel::summary() const {
   const util::MutexLock lock(mu_);
   return feedback_.summary();
+}
+
+std::vector<Nanos> Channel::backward_stp() const {
+  const util::MutexLock lock(mu_);
+  const auto view = feedback_.backward();
+  return {view.begin(), view.end()};
 }
 
 std::size_t Channel::consumers() const {

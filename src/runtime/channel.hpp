@@ -180,6 +180,15 @@ class Channel {
   /// (kNoTimestamp when empty).
   Timestamp latest_ts() const;
 
+  /// Non-blocking probe: would get_latest for this consumer return without
+  /// blocking? True when an unseen item is stored or the channel is closed
+  /// (a blocking get would return the drained remainder or null). Lets the
+  /// net server skeleton poll instead of parking a thread per consumer.
+  bool ready(int consumer_idx) const;
+
+  /// True once close() was called.
+  bool closed() const;
+
   /// Wakes all waiters; subsequent puts are rejected, gets drain what is
   /// left and then return null.
   void close();
@@ -195,6 +204,10 @@ class Channel {
   Timestamp frontier() const;
   /// Current channel summary-STP (diagnostics/tests).
   Nanos summary() const;
+  /// Snapshot of the backwardSTP vector (one slot per registered consumer;
+  /// kUnknownStp = nothing received). The net skeleton piggy-backs this on
+  /// put acks and get replies (paper §3.3.2 Fig. 3 over the wire).
+  std::vector<Nanos> backward_stp() const;
   std::size_t consumers() const;
   std::size_t producers() const;
 

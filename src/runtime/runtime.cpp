@@ -114,6 +114,31 @@ void Runtime::connect(Queue& queue, TaskContext& task) {
   graph_.add_edge(queue.id(), task.id());
 }
 
+NodeId Runtime::add_remote_node(const std::string& name, NodeKind kind) {
+  check_mutable("add_remote_node");
+  const NodeId id = next_node_id();
+  graph_.add_node(NodeInfo{.id = id, .kind = kind, .name = name, .cluster_node = 0});
+  recorder_.set_node_name(id, name);
+  return id;
+}
+
+void Runtime::add_remote_edge(NodeId from, NodeId to) {
+  check_mutable("add_remote_edge");
+  graph_.add_edge(from, to);
+}
+
+void Runtime::connect(TaskContext& task, RemoteEndpoint& remote) {
+  check_mutable("connect");
+  task.add_output(remote);
+  graph_.add_edge(task.id(), remote.id());
+}
+
+void Runtime::connect(RemoteEndpoint& remote, TaskContext& task) {
+  check_mutable("connect");
+  task.add_input(remote);
+  graph_.add_edge(remote.id(), task.id());
+}
+
 void Runtime::start() {
   check_mutable("start");
   graph_.validate();

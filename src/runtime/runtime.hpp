@@ -72,6 +72,24 @@ class Runtime {
   void connect(Channel& channel, TaskContext& task);
   void connect(Queue& queue, TaskContext& task);
 
+  // -- distributed pipelines (src/net) ----------------------------------------
+
+  /// Registers a graph node that stands in for an entity living in another
+  /// process: a remote channel proxy (kChannel) or a remote peer thread
+  /// (kThread). The node gets a trace name and participates in graph
+  /// validation but owns no local storage. Returns the assigned id.
+  NodeId add_remote_node(const std::string& name, NodeKind kind);
+
+  /// Registers an edge touching a remote node (e.g. remote producer →
+  /// local channel). Both ids must already be registered.
+  void add_remote_edge(NodeId from, NodeId to);
+
+  /// Producer edge into a remote channel: `task` puts into `remote`.
+  void connect(TaskContext& task, RemoteEndpoint& remote);
+
+  /// Consumer edge from a remote channel: `task` reads `remote`.
+  void connect(RemoteEndpoint& remote, TaskContext& task);
+
   // -- execution ---------------------------------------------------------------
 
   /// Validates the graph and launches one thread per task.
@@ -111,6 +129,9 @@ class Runtime {
   stats::Recorder& recorder() { return recorder_; }
   Clock& clock() { return *run_.clock; }
   const RunContext& context() const { return run_; }
+  /// Mutable run services for the net layer (item materialization on the
+  /// receive path needs the tracker/recorder).
+  RunContext& context() { return run_; }
 
   std::size_t channels() const { return channels_.size(); }
   std::size_t queues() const { return queues_.size(); }

@@ -38,6 +38,10 @@ void TaskContext::add_input(Queue& q) {
   inputs_.push_back(InputPort{.queue = &q, .consumer_idx = idx});
 }
 
+void TaskContext::add_input(RemoteEndpoint& remote) {
+  inputs_.push_back(InputPort{.remote = &remote});
+}
+
 void TaskContext::add_output(Channel& ch) {
   ch.register_producer(id_);
   const int slot = feedback_.add_output();
@@ -48,6 +52,11 @@ void TaskContext::add_output(Queue& q) {
   q.register_producer(id_);
   const int slot = feedback_.add_output();
   outputs_.push_back(OutputPort{.queue = &q, .feedback_slot = slot});
+}
+
+void TaskContext::add_output(RemoteEndpoint& remote) {
+  const int slot = feedback_.add_output();
+  outputs_.push_back(OutputPort{.remote = &remote, .feedback_slot = slot});
 }
 
 void TaskContext::record(stats::EventType type, std::int64_t a, std::int64_t b,
@@ -129,6 +138,12 @@ std::shared_ptr<const Item> TaskContext::get(std::size_t idx) {
     blocked = res.blocked;
     transfer = res.transfer;
     overhead = res.overhead;
+  } else if (port.remote != nullptr) {
+    // Real network transfer: the RPC's wall time already contains the
+    // transfer, so only blocked time is accounted (no simulated cost).
+    auto res = port.remote->get_latest(my_summary, extra, stop_token_);
+    item = std::move(res.item);
+    blocked = res.blocked;
   } else {
     auto res = port.queue->get(port.consumer_idx, my_summary, stop_token_);
     item = std::move(res.item);
@@ -331,6 +346,13 @@ bool TaskContext::put(std::size_t idx, std::shared_ptr<Item> item) {
     overhead = res.overhead;
     blocked = res.blocked;
     stored = res.stored;
+  } else if (port.remote != nullptr) {
+    auto res = port.remote->put(std::move(item), stop_token_);
+    summary = res.summary;
+    // A drop on a dead link is a successful iteration from the producer's
+    // point of view: it keeps producing (and pacing against the held
+    // summary-STP) rather than treating the pipeline as finished.
+    stored = res.stored || res.dropped;
   } else {
     auto res = port.queue->put(std::move(item), stop_token_);
     summary = res.queue_summary;

@@ -27,6 +27,7 @@
 #include "core/stp.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/queue.hpp"
+#include "runtime/remote.hpp"
 #include "util/rng.hpp"
 
 namespace stampede {
@@ -169,6 +170,7 @@ class TaskContext {
   struct InputPort {
     Channel* channel = nullptr;
     Queue* queue = nullptr;
+    RemoteEndpoint* remote = nullptr;
     int consumer_idx = 0;
     /// Remote copy held on this task's cluster node (Stampede materializes
     /// transferred items locally); replaced on the next remote fetch from
@@ -178,14 +180,17 @@ class TaskContext {
   struct OutputPort {
     Channel* channel = nullptr;
     Queue* queue = nullptr;
+    RemoteEndpoint* remote = nullptr;
     int feedback_slot = 0;
   };
 
   // Runtime-side wiring/driving (construction and thread loop).
   void add_input(Channel& ch);
   void add_input(Queue& q);
+  void add_input(RemoteEndpoint& remote);
   void add_output(Channel& ch);
   void add_output(Queue& q);
+  void add_output(RemoteEndpoint& remote);
   void set_source(bool is_source) { is_source_ = is_source; }
   void run_loop(std::stop_token st);
 

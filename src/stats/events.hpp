@@ -48,6 +48,10 @@ enum class EventType : std::uint8_t {
   kReplicate,   ///< remote copy materialized on a consumer's node:
                 ///< a = bytes, b = consumer cluster node
   kReplicaFree, ///< remote copy released: a = bytes, b = cluster node
+  kNetTx,       ///< wire frame sent: a = bytes, b = message type (net::MsgType)
+  kNetRx,       ///< wire frame received: a = bytes, b = message type
+  kReconnect,   ///< transport reconnected after link loss:
+                ///< a = failed attempts before success, b = last backoff ns
 };
 
 /// One trace event. Compact fixed-size POD; semantics of a/b depend on type.

@@ -24,6 +24,9 @@ const char* to_string(EventType type) {
     case EventType::kGauge: return "gauge";
     case EventType::kReplicate: return "replicate";
     case EventType::kReplicaFree: return "replica-free";
+    case EventType::kNetTx: return "net-tx";
+    case EventType::kNetRx: return "net-rx";
+    case EventType::kReconnect: return "reconnect";
   }
   return "?";
 }

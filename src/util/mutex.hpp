@@ -21,8 +21,9 @@
 /// The hierarchy (see docs/ARCHITECTURE.md "Concurrency & validation"):
 ///
 ///   kLifecycle (Runtime) < kBufferStats (Channel::stats_mu_)
-///     < kBuffer (Channel::mu_ / Queue::mu_) < kRecorder (stats::Recorder)
-///     < kLeaf (log sink, misc. leaves)
+///     < kNetStats (net transport stats flush) < kNet (net::Transport /
+///     server registry) < kBuffer (Channel::mu_ / Queue::mu_)
+///     < kRecorder (stats::Recorder) < kLeaf (log sink, misc. leaves)
 ///
 /// `kBufferStats` ranking *below* `kBuffer` encodes the out-of-lock flush
 /// rule: trace batches must be appended to the shard only after the
@@ -43,6 +44,10 @@ namespace stampede::util {
 enum class LockRank : int {
   kLifecycle = 10,    ///< Runtime start/stop/join state.
   kBufferStats = 20,  ///< Channel stats flush — never under kBuffer.
+  kNetStats = 22,     ///< Net transport stats flush — never under kNet.
+  kNet = 25,          ///< net::Transport connection / server registry.
+                      ///< Below kBuffer: the server skeleton performs
+                      ///< channel puts/gets while serving a connection.
   kBuffer = 30,       ///< Channel/Queue data plane. Never nested.
   kRecorder = 40,     ///< Recorder registry (item frees land here).
   kLeaf = 100,        ///< Leaves: log sink, test-only locks.

@@ -16,6 +16,38 @@ TEST(Link, InfiniteBandwidthIsLatencyOnly) {
   EXPECT_EQ(link.transfer_time(1 << 20), micros(50));
 }
 
+TEST(Link, TransferTimeRoundsToNearestNanosecond) {
+  // 2 bytes at 3 B/s = 666666666.66... ns. Truncation used to lose the
+  // fractional nanosecond (666666666); round-to-nearest gives ...667.
+  const Link link{.latency = Nanos{0}, .bytes_per_sec = 3.0};
+  EXPECT_EQ(link.transfer_time(2), Nanos{666'666'667});
+  // 1 byte at 3 B/s = 333333333.33... ns rounds *down*.
+  EXPECT_EQ(link.transfer_time(1), Nanos{333'333'333});
+}
+
+TEST(Link, LowBandwidthBoundariesDoNotAccumulateTruncationBias) {
+  // At 7 B/s each byte costs 1e9/7 = 142857142.857 ns. Across many
+  // single-byte transfers the *rounded* per-transfer cost must stay within
+  // half a nanosecond of the exact value — the old truncating conversion
+  // was a systematic -0.857 ns per call.
+  const Link link{.latency = Nanos{0}, .bytes_per_sec = 7.0};
+  const double exact = 1e9 / 7.0;
+  for (int bytes = 1; bytes <= 64; ++bytes) {
+    const double want = exact * bytes;
+    const auto got = static_cast<double>(link.transfer_time(bytes).count());
+    EXPECT_NEAR(got, want, 0.5) << "bytes=" << bytes;
+  }
+}
+
+TEST(Link, SubNanosecondTransferRoundsToZeroOrOne) {
+  // 1 byte over a 10 GB/s link is 0.1 ns -> rounds to 0; 6 bytes is
+  // 0.6 ns -> rounds to 1. Either way the result is non-negative and
+  // deterministic.
+  const Link link{.latency = Nanos{0}, .bytes_per_sec = 1e10};
+  EXPECT_EQ(link.transfer_time(1), Nanos{0});
+  EXPECT_EQ(link.transfer_time(6), Nanos{1});
+}
+
 TEST(Topology, SingleNodeHasNoTransfers) {
   const Topology t = Topology::single_node();
   EXPECT_EQ(t.nodes(), 1);
