@@ -8,8 +8,11 @@
 /// the summary-STP fold, DGC guarantees and trace events happen here
 /// exactly as for local peers.
 ///
-/// Run:   spd_node channels=frames:1:1,loc:1:2 [port=0] [seconds=30]
-///                 [capacity=0] [aru=min] [quiet=false]
+/// Run:   spd_node channels=frames:1:1,loc:1:2 [host=127.0.0.1] [port=0]
+///                 [seconds=30] [capacity=0] [aru=min] [quiet=false]
+///
+/// `host` is the bind address: loopback-only by default, a concrete
+/// interface address (or 0.0.0.0) to serve off-host peers.
 ///
 /// The channel spec is `name:remote_producers:remote_consumers`,
 /// comma-separated. Port 0 binds an ephemeral port; the bound port is
@@ -67,6 +70,7 @@ std::vector<ChannelSpec> parse_channels(const std::string& spec) {
 int main(int argc, char** argv) {
   const Options cli = Options::parse(argc, argv);
   const auto specs = parse_channels(cli.get_string("channels", "frames:1:1"));
+  const auto host = cli.get_string("host", "127.0.0.1");
   const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
   const auto run_seconds = cli.get_int("seconds", 30);
   const auto capacity = static_cast<std::size_t>(cli.get_int("capacity", 0));
@@ -82,7 +86,7 @@ int main(int argc, char** argv) {
                       .remote_producers = s.producers,
                       .remote_consumers = s.consumers});
   }
-  net::ChannelServer server(rt, served, {.port = port});
+  net::ChannelServer server(rt, served, {.host = host, .port = port});
 
   rt.start();
   server.start();

@@ -1,6 +1,7 @@
 #include "net/remote_channel.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -77,6 +78,11 @@ bool read_frame(TcpStream& stream, Nanos timeout, FrameHeader& header,
 
 RemoteChannel::RemoteChannel(Runtime& rt, RemoteChannelConfig config)
     : ctx_(rt.context()), config_(std::move(config)) {
+  if (config_.name.size() > kMaxNameBytes) {
+    throw std::invalid_argument("RemoteChannel: channel name exceeds kMaxNameBytes (" +
+                                std::to_string(kMaxNameBytes) + "): '" + config_.name +
+                                "'");
+  }
   node_ = rt.add_remote_node(config_.name, NodeKind::kChannel);
   if (config_.producer_key >= 0) {
     put_shard_ = rt.recorder().new_shard();
@@ -196,10 +202,15 @@ RemoteEndpoint::GetResult RemoteChannel::get_latest(Nanos consumer_summary,
 
 ChannelServer::ChannelServer(Runtime& rt, std::vector<ServedChannel> channels,
                              ServerConfig config)
-    : rt_(rt), ctx_(rt.context()), config_(config) {
+    : rt_(rt), ctx_(rt.context()), config_(std::move(config)) {
   for (const ServedChannel& sc : channels) {
     if (sc.channel == nullptr) {
       throw std::invalid_argument("ChannelServer: null channel");
+    }
+    if (sc.channel->name().size() > kMaxNameBytes) {
+      throw std::invalid_argument(
+          "ChannelServer: channel name exceeds kMaxNameBytes (" +
+          std::to_string(kMaxNameBytes) + "): '" + sc.channel->name() + "'");
     }
     Served s{.channel = sc.channel};
     for (int p = 0; p < sc.remote_producers; ++p) {
@@ -236,46 +247,79 @@ const ChannelServer::Served* ChannelServer::find(const std::string& name) const 
 
 void ChannelServer::start() {
   std::string err;
-  auto listener = TcpListener::listen(config_.port, &err);
+  auto listener = TcpListener::listen(config_.host, config_.port, &err);
   if (!listener) throw std::runtime_error("ChannelServer: listen failed: " + err);
 
   const util::MutexLock lock(mu_);
   if (started_) throw std::logic_error("ChannelServer: start() called twice");
   started_ = true;
   port_.store(listener->port(), std::memory_order_release);
-  threads_.emplace_back(
+  accept_thread_ = std::jthread(
       [this, l = std::make_shared<TcpListener>(std::move(*listener))](
           std::stop_token st) { accept_loop(std::move(*l), st); });
 }
 
 void ChannelServer::stop() {
-  std::vector<std::jthread> threads;
+  std::jthread accept;
+  std::vector<Conn> conns;
   {
     const util::MutexLock lock(mu_);
     if (stopped_) return;
     stopped_ = true;
-    threads = std::move(threads_);
+    accept = std::move(accept_thread_);
+    conns = std::move(conns_);
   }
-  for (auto& t : threads) t.request_stop();
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
+  accept.request_stop();
+  for (auto& c : conns) c.thread.request_stop();
+  if (accept.joinable()) accept.join();
+  for (auto& c : conns) {
+    if (c.thread.joinable()) c.thread.join();
   }
+}
+
+void ChannelServer::reap_finished_locked() {
+  std::erase_if(conns_, [&](Conn& c) {
+    if (!c.state->done.load(std::memory_order_acquire)) return false;
+    if (c.thread.joinable()) c.thread.join();  // finished: joins immediately
+    if (c.state->shard != nullptr) free_shards_.push_back(c.state->shard);
+    return true;
+  });
+}
+
+stats::Shard* ChannelServer::acquire_shard() {
+  {
+    const util::MutexLock lock(mu_);
+    if (!free_shards_.empty()) {
+      stats::Shard* shard = free_shards_.back();
+      free_shards_.pop_back();
+      return shard;
+    }
+  }
+  return rt_.recorder().new_shard();
 }
 
 void ChannelServer::accept_loop(TcpListener listener, std::stop_token st) {
   while (!st.stop_requested()) {
     auto stream = listener.accept(kAcceptSlice);
+    const util::MutexLock lock(mu_);
+    if (stopped_) break;  // any pending connection dropped by Socket destructor
+    reap_finished_locked();
     if (!stream) continue;
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    const util::MutexLock lock(mu_);
-    if (stopped_) break;  // connection dropped by Socket destructor
-    threads_.emplace_back(
-        [this, s = std::make_shared<TcpStream>(std::move(*stream))](
-            std::stop_token cst) { serve_connection(std::move(*s), cst); });
+    auto state = std::make_shared<ConnState>();
+    conns_.push_back(Conn{
+        .thread = std::jthread(
+            [this, state, s = std::make_shared<TcpStream>(std::move(*stream))](
+                std::stop_token cst) {
+              serve_connection(std::move(*s), *state, cst);
+              state->done.store(true, std::memory_order_release);
+            }),
+        .state = state});
   }
 }
 
-void ChannelServer::serve_connection(TcpStream stream, std::stop_token st) {
+void ChannelServer::serve_connection(TcpStream stream, ConnState& state,
+                                     std::stop_token st) {
   // Attach: first frame must be a Hello naming a served channel and
   // claiming valid endpoint slots.
   FrameHeader header{};
@@ -306,7 +350,8 @@ void ChannelServer::serve_connection(TcpStream stream, std::stop_token st) {
     return;
   }
 
-  stats::Shard* shard = rt_.recorder().new_shard();
+  stats::Shard* shard = acquire_shard();
+  state.shard = shard;  // published to the reaper by the done flag
   serve_attached(stream, *served, hello, shard, st);
 }
 
@@ -356,10 +401,18 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
             ctx_, msg.item,
             served.producer_nodes[static_cast<std::size_t>(hello.producer_key)],
             channel.cluster_node(), shard);
-        const auto res = channel.put(std::move(item), st);
-        PutAckMsg reply{.stored = res.stored,
+        // Wait out a full bounded channel here (not in the channel) for the
+        // same reason as the kGet loop below: heartbeats must keep flowing
+        // while backpressure holds the ack, or the client times out the RPC
+        // and records a spurious drop for an item the server later stores.
+        std::optional<Channel::PutResult> res;
+        while (!(res = channel.try_put(item))) {
+          if (st.stop_requested() || stream.peer_hup() || !heartbeat_if_due()) return;
+          ctx_.clock->sleep_for(config_.poll_interval);
+        }
+        PutAckMsg reply{.stored = res->stored,
                         .closed = channel.closed(),
-                        .summary = res.channel_summary,
+                        .summary = res->channel_summary,
                         .stp = channel.backward_stp()};
         if (!send_frame(encode(reply), MsgType::kPutAck)) return;
         break;

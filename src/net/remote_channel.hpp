@@ -124,6 +124,10 @@ struct ServedChannel {
 };
 
 struct ServerConfig {
+  /// Local address to bind. Loopback-only by default; set to a concrete
+  /// interface address (or "0.0.0.0" for all interfaces) to let off-host
+  /// peers attach.
+  std::string host = "127.0.0.1";
   /// TCP port to listen on; 0 picks an ephemeral port (read via port()).
   std::uint16_t port = 0;
   /// Idle/heartbeat cadence: while a connection has nothing to send, a
@@ -176,13 +180,37 @@ class ChannelServer {
     std::vector<int> consumer_idx;
   };
 
+  /// State shared between a connection thread and the accept loop's
+  /// reaper. `done` is the thread's last store; once it reads true the
+  /// thread writes nothing further, so joining is instant and the shard
+  /// (if one was ever attached) is safe to hand to a new connection.
+  struct ConnState {
+    std::atomic<bool> done{false};
+    stats::Shard* shard = nullptr;  ///< set once by the connection thread
+  };
+
+  /// One connection thread plus the state the reaper inspects.
+  struct Conn {
+    std::jthread thread;
+    std::shared_ptr<ConnState> state;
+  };
+
   void accept_loop(TcpListener listener, std::stop_token st);
-  void serve_connection(TcpStream stream, std::stop_token st);
+  void serve_connection(TcpStream stream, ConnState& state, std::stop_token st);
 
   /// Handles one attached connection after a successful Hello. `shard` is
   /// owned by this connection's thread.
   void serve_attached(TcpStream& stream, const Served& served, const HelloMsg& hello,
                       stats::Shard* shard, std::stop_token st);
+
+  /// Joins and erases finished connection threads, returning their shards
+  /// to the free pool. Runs on every accept-loop tick so reconnect churn
+  /// (clients dying and re-dialing for hours) cannot accumulate exited
+  /// threads or per-connection shards without bound.
+  void reap_finished_locked() REQUIRES(mu_);
+
+  /// Pops a recycled shard or allocates a fresh one.
+  stats::Shard* acquire_shard() EXCLUDES(mu_);
 
   const Served* find(const std::string& name) const;
 
@@ -196,7 +224,11 @@ class ChannelServer {
   /// accept thread). Rank kNet: connection threads acquire channel locks
   /// (kBuffer) while serving, never the reverse.
   mutable util::Mutex mu_{util::LockRank::kNet, "net.server"};
-  std::vector<std::jthread> threads_ GUARDED_BY(mu_);
+  std::jthread accept_thread_ GUARDED_BY(mu_);
+  std::vector<Conn> conns_ GUARDED_BY(mu_);
+  /// Shards of reaped connections, reused by later connections (the old
+  /// owner thread has exited, so single-writer discipline is preserved).
+  std::vector<stats::Shard*> free_shards_ GUARDED_BY(mu_);
   bool started_ GUARDED_BY(mu_) = false;
   bool stopped_ GUARDED_BY(mu_) = false;
 

@@ -204,6 +204,11 @@ bool TcpStream::readable(Nanos timeout) const {
 }
 
 std::optional<TcpListener> TcpListener::listen(std::uint16_t port, std::string* err) {
+  return listen("127.0.0.1", port, err);
+}
+
+std::optional<TcpListener> TcpListener::listen(const std::string& host,
+                                               std::uint16_t port, std::string* err) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) {
     fill_err(err, "socket");
@@ -218,8 +223,11 @@ std::optional<TcpListener> TcpListener::listen(std::uint16_t port, std::string* 
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "inet_pton: invalid bind address '" + host + "'";
+    return std::nullopt;
+  }
   if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
     fill_err(err, "bind");
     return std::nullopt;

@@ -107,11 +107,18 @@ class TcpStream {
   Socket sock_;
 };
 
-/// A listening TCP socket bound to loopback-reachable INADDR_ANY.
+/// A listening TCP socket. Binds loopback-only (127.0.0.1) by default;
+/// pass an explicit local address — "0.0.0.0" for all interfaces — to
+/// accept off-host peers.
 class TcpListener {
  public:
-  /// Binds and listens; port 0 picks an ephemeral port (read it back via
-  /// `port()`). Empty optional on failure.
+  /// Binds `host`:`port` and listens; port 0 picks an ephemeral port
+  /// (read it back via `port()`). `host` must be a dotted-quad IPv4
+  /// address of a local interface. Empty optional on failure.
+  static std::optional<TcpListener> listen(const std::string& host, std::uint16_t port,
+                                           std::string* err = nullptr);
+
+  /// Loopback-only convenience overload (binds 127.0.0.1).
   static std::optional<TcpListener> listen(std::uint16_t port, std::string* err = nullptr);
 
   bool valid() const { return sock_.valid(); }

@@ -124,7 +124,8 @@ bool Transport::read_frame_locked(FrameHeader& header, std::vector<std::byte>& b
 Transport::RpcStatus Transport::exchange_locked(std::span<const std::byte> frame,
                                                 MsgType expect,
                                                 std::vector<std::byte>& reply_body,
-                                                EventBatch& events) {
+                                                EventBatch& events,
+                                                const std::stop_token& st) {
   if (stream_.send_all(frame, config_.io_timeout) != IoStatus::kOk) {
     disconnect_locked();
     return RpcStatus::kDisconnected;
@@ -136,10 +137,20 @@ Transport::RpcStatus Transport::exchange_locked(std::span<const std::byte> frame
 
   // Heartbeats count as liveness (they reset the per-frame io_timeout) but
   // are otherwise consumed here; anything else must be the expected reply.
+  // A live-but-idle server heartbeats forever, so the stop token must be
+  // re-checked between frames or a parked get never observes shutdown.
   for (;;) {
     FrameHeader header{};
     if (!read_frame_locked(header, reply_body, events)) return RpcStatus::kDisconnected;
-    if (header.type == MsgType::kHeartbeat) continue;
+    if (header.type == MsgType::kHeartbeat) {
+      if (stop_requested(st)) {
+        // Abandoning mid-RPC: the real reply may still arrive later and
+        // would desynchronize the next exchange, so drop the link.
+        disconnect_locked();
+        return RpcStatus::kStopped;
+      }
+      continue;
+    }
     if (header.type != expect) {
       disconnect_locked();
       return RpcStatus::kDisconnected;
@@ -160,7 +171,7 @@ Transport::RpcStatus Transport::rpc(std::span<const std::byte> frame, MsgType ex
     {
       const util::MutexLock lock(mu_);
       if (ensure_connected_locked(events)) {
-        status = exchange_locked(frame, expect, reply_body, events);
+        status = exchange_locked(frame, expect, reply_body, events, st);
       } else if (wait_for_link) {
         sent_or_failfast = false;  // not connected yet — keep waiting
       }

@@ -105,10 +105,13 @@ class Transport {
   bool ensure_connected_locked(EventBatch& events) REQUIRES(mu_);
 
   /// Sends `frame`, then reads frames (skipping heartbeats) until one of
-  /// type `expect` arrives. Disconnects on any failure.
+  /// type `expect` arrives. Disconnects on any failure. The stop token is
+  /// re-checked after every consumed heartbeat so a reply wait against a
+  /// live-but-idle server (which heartbeats indefinitely) still honors
+  /// shutdown; stop mid-RPC drops the link and returns kStopped.
   RpcStatus exchange_locked(std::span<const std::byte> frame, MsgType expect,
-                            std::vector<std::byte>& reply_body, EventBatch& events)
-      REQUIRES(mu_);
+                            std::vector<std::byte>& reply_body, EventBatch& events,
+                            const std::stop_token& st) REQUIRES(mu_);
 
   /// Reads one complete frame. False (and disconnect) on any failure.
   bool read_frame_locked(FrameHeader& header, std::vector<std::byte>& body,

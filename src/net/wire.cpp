@@ -1,12 +1,16 @@
 #include "net/wire.hpp"
 
 #include <cstring>
+#include <stdexcept>
 
 namespace stampede::net {
 namespace {
 
-/// Append-only little-endian byte writer. Encoding is infallible (sizes
-/// were validated when the message was built), so there is no error path.
+/// Append-only little-endian byte writer. Variable-length fields are
+/// validated against the same hard caps the decoders enforce: a message
+/// that would be rejected by every peer (or whose length prefix would
+/// truncate and desynchronize the frame) throws std::length_error at the
+/// sender, where the bug is, instead of causing a silent connect loop.
 class Writer {
  public:
   explicit Writer(std::vector<std::byte>& out) : out_(out) {}
@@ -31,22 +35,26 @@ class Writer {
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
 
   void str(const std::string& s) {
+    check(s.size() <= kMaxNameBytes, "string exceeds kMaxNameBytes");
     u16(static_cast<std::uint16_t>(s.size()));
     const auto* p = reinterpret_cast<const std::byte*>(s.data());
     out_.insert(out_.end(), p, p + s.size());
   }
 
   void bytes(const std::vector<std::byte>& b) {
+    check(b.size() <= kMaxPayloadBytes, "payload exceeds kMaxPayloadBytes");
     u32(static_cast<std::uint32_t>(b.size()));
     out_.insert(out_.end(), b.begin(), b.end());
   }
 
   void stp_vector(const std::vector<Nanos>& v) {
+    check(v.size() <= kMaxStpSlots, "STP vector exceeds kMaxStpSlots");
     u16(static_cast<std::uint16_t>(v.size()));
     for (Nanos n : v) i64(n.count());
   }
 
   void item(const WireItem& it) {
+    check(it.attrs.size() <= kMaxAttrs, "attr count exceeds kMaxAttrs");
     i64(it.ts);
     u64(it.origin_id);
     i64(it.produce_cost_ns);
@@ -59,6 +67,10 @@ class Writer {
   }
 
  private:
+  static void check(bool ok, const char* what) {
+    if (!ok) throw std::length_error(std::string("net encode: ") + what);
+  }
+
   std::vector<std::byte>& out_;
 };
 

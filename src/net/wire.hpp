@@ -157,7 +157,10 @@ struct FrameHeader {
 };
 
 // -- encoding ---------------------------------------------------------------
-// Each returns a complete frame (header + body), ready to send.
+// Each returns a complete frame (header + body), ready to send. Encoders
+// enforce the same hard caps as the decoders: a variable-length field over
+// its cap (name, payload, STP slots, attrs) throws std::length_error at
+// the sender instead of emitting a frame every peer would reject.
 
 std::vector<std::byte> encode(const HelloMsg& m);
 std::vector<std::byte> encode(const HelloAckMsg& m);

@@ -148,6 +148,16 @@ std::size_t Channel::collect_locked(std::int64_t now, EventBatch& events,
 
 Channel::PutResult Channel::put(std::shared_ptr<Item> item, std::stop_token st) {
   if (!item) throw std::invalid_argument("Channel::put: null item");
+  return *put_impl(std::move(item), std::move(st), /*blocking=*/true);
+}
+
+std::optional<Channel::PutResult> Channel::try_put(std::shared_ptr<Item> item) {
+  if (!item) throw std::invalid_argument("Channel::try_put: null item");
+  return put_impl(std::move(item), std::stop_token{}, /*blocking=*/false);
+}
+
+std::optional<Channel::PutResult> Channel::put_impl(std::shared_ptr<Item> item,
+                                                    std::stop_token st, bool blocking) {
   EventBatch& events = tl_event_batch();
   events.clear();
   std::vector<std::shared_ptr<Item>> reclaimed;
@@ -155,16 +165,21 @@ Channel::PutResult Channel::put(std::shared_ptr<Item> item, std::stop_token st) 
   {
     util::UniqueLock lock(mu_);
 
-    // Bounded channel: classic backpressure — block until space frees up.
+    // Bounded channel: classic backpressure — block until space frees up
+    // (or report "would block" to a non-blocking caller).
     if (config_.capacity > 0) {
-      const Nanos wait_start = ctx_.clock->now();
-      ++waiters_;
-      cv_.wait(lock, st, [&] {
-        mu_.assert_held();  // the wait re-acquires mu_ before evaluating
-        return closed_ || entries_.size() < config_.capacity;
-      });
-      --waiters_;
-      result.blocked = ctx_.clock->now() - wait_start;
+      if (blocking) {
+        const Nanos wait_start = ctx_.clock->now();
+        ++waiters_;
+        cv_.wait(lock, st, [&] {
+          mu_.assert_held();  // the wait re-acquires mu_ before evaluating
+          return closed_ || entries_.size() < config_.capacity;
+        });
+        --waiters_;
+        result.blocked = ctx_.clock->now() - wait_start;
+      } else if (!closed_ && entries_.size() >= config_.capacity) {
+        return std::nullopt;
+      }
     }
     if (closed_ || st.stop_requested()) {
       result.channel_summary = feedback_.summary();

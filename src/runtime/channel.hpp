@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <stop_token>
 #include <string>
 #include <vector>
@@ -104,6 +105,13 @@ class Channel {
   /// tagged drop only (no put event), so postmortem waste accounting does
   /// not double-count it.
   PutResult put(std::shared_ptr<Item> item, std::stop_token st);
+
+  /// Non-blocking put: identical to put() except that a full bounded
+  /// channel yields nullopt immediately instead of blocking (the item is
+  /// untouched; callers holding their own reference may simply retry).
+  /// Lets the net server skeleton keep emitting heartbeats while the
+  /// channel exerts backpressure instead of going silent mid-RPC.
+  std::optional<PutResult> try_put(std::shared_ptr<Item> item);
 
   struct GetResult {
     /// The fetched item; nullptr when the channel closed with nothing left
@@ -227,6 +235,11 @@ class Channel {
 
   /// Events composed under mu_ and appended to the shard after release.
   using EventBatch = std::vector<stats::Event>;
+
+  /// Shared body of put()/try_put(). `blocking` selects between waiting
+  /// out a full bounded channel on cv_ and returning nullopt.
+  std::optional<PutResult> put_impl(std::shared_ptr<Item> item, std::stop_token st,
+                                    bool blocking);
 
   /// Reclaims dead entries below the frontier; returns how many were
   /// erased. Incremental: when the frontier has not moved since the last

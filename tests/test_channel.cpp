@@ -232,6 +232,34 @@ TEST(Channel, BoundedChannelExertsBackpressure) {
   EXPECT_GE(blocked.count(), millis(10).count());
 }
 
+TEST(Channel, TryPutNeverBlocksOnFullChannel) {
+  Env env;
+  auto ch = env.make_channel({.name = "bounded", .capacity = 2});
+  const int c = ch->register_consumer(200, 0);
+  ASSERT_TRUE(ch->try_put(env.make_item(0)).has_value());
+  ASSERT_TRUE(ch->try_put(env.make_item(1)).has_value());
+
+  // Full: try_put reports "would block" without storing (or blocking —
+  // this test runs on a manual clock, so an actual block would hang).
+  auto item2 = env.make_item(2);
+  EXPECT_FALSE(ch->try_put(item2).has_value());
+  EXPECT_EQ(ch->size(), 2u);
+
+  // Consuming frees space (entries below the frontier are collected);
+  // retrying with the same item then stores.
+  ch->get_latest(c, aru::kUnknownStp, kNoTimestamp, never_stop());
+  const auto res = ch->try_put(item2);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->stored);
+
+  // A closed channel is not "would block": like put(), try_put returns a
+  // result with stored=false.
+  ch->close();
+  const auto closed = ch->try_put(env.make_item(3));
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_FALSE(closed->stored);
+}
+
 TEST(Channel, TransferDelayForRemoteConsumer) {
   Env env(3);  // 3-node cluster with gigabit links
   auto ch = env.make_channel({.name = "remote", .cluster_node = 0});

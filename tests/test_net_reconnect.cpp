@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fcntl.h>
@@ -231,6 +233,83 @@ TEST(NetReconnect, HelloRejectsUnknownChannelAndBadSlots) {
   EXPECT_TRUE(bad_slot.put(make_item(rt, 0), stop.get_token()).dropped);
 
   server.stop();
+}
+
+TEST(NetReconnect, StopTokenUnparksGetAgainstIdleServer) {
+  // A live-but-idle server heartbeats forever, and every heartbeat resets
+  // the client's per-frame io_timeout — so only the in-RPC stop check lets
+  // a parked get_latest observe shutdown. On regression this test hangs
+  // (caught by the CI test timeout) rather than failing an assertion.
+  Runtime rt;
+  Channel& ch = rt.add_channel({.name = "frames"});
+  ChannelServer server(rt, {{.channel = &ch, .remote_consumers = 1}});
+  server.start();
+
+  RemoteChannel proxy(rt, {.name = "frames",
+                           .transport = fast_transport(server.port()),
+                           .consumer_key = 0});
+  std::stop_source stop;
+
+  RemoteEndpoint::GetResult res;
+  std::thread consumer([&] {
+    res = proxy.get_latest(aru::kUnknownStp, kNoTimestamp, stop.get_token());
+  });
+  rt.clock().sleep_for(millis(300));  // park through several heartbeats
+  stop.request_stop();
+  consumer.join();
+  EXPECT_EQ(res.item, nullptr);
+  EXPECT_GE(res.blocked.count(), millis(200).count())
+      << "the get must actually have parked before stop fired";
+  server.stop();
+}
+
+TEST(NetReconnect, BackpressuredPutHeartbeatsThroughTheWait) {
+  // A put parked on a full bounded channel must not silence the link: the
+  // server polls try_put and keeps heartbeating while it waits, so the
+  // client rides out a wait far longer than io_timeout instead of timing
+  // out into a spurious drop + reconnect for an item the server stores.
+  Runtime rt;
+  Channel& ch = rt.add_channel({.name = "frames", .capacity = 2});
+  ChannelServer server(rt, {{.channel = &ch, .remote_producers = 1,
+                             .remote_consumers = 1}});
+  server.start();
+
+  RemoteChannel proxy(rt, {.name = "frames",
+                           .transport = fast_transport(server.port()),
+                           .producer_key = 0,
+                           .consumer_key = 0});
+  std::stop_source stop;
+
+  ASSERT_TRUE(proxy.put(make_item(rt, 0), stop.get_token()).stored);
+  ASSERT_TRUE(proxy.put(make_item(rt, 1), stop.get_token()).stored);
+
+  RemoteEndpoint::PutResult res;
+  std::thread producer([&] { res = proxy.put(make_item(rt, 2), stop.get_token()); });
+  // Hold the channel full for well over io_timeout (500ms) before freeing
+  // a slot: only server heartbeats can keep the put RPC alive that long.
+  rt.clock().sleep_for(millis(1200));
+  auto got = proxy.get_latest(aru::kUnknownStp, kNoTimestamp, stop.get_token());
+  ASSERT_NE(got.item, nullptr);  // consumes ts=1; collecting ts=0 frees a slot
+  producer.join();
+
+  EXPECT_TRUE(res.stored);
+  EXPECT_FALSE(res.dropped);
+  EXPECT_EQ(proxy.drops(), 0);
+  EXPECT_EQ(proxy.reconnects(), 0);
+  server.stop();
+}
+
+TEST(NetReconnect, OverlongChannelNameIsRejectedAtConstruction) {
+  // A name over kMaxNameBytes would encode into a Hello every peer rejects
+  // as malformed — a connect loop with no diagnostic. Both endpoints
+  // refuse to be built with one instead.
+  Runtime rt;
+  const std::string long_name(kMaxNameBytes + 1, 'n');
+  EXPECT_THROW((RemoteChannel(rt, {.name = long_name, .producer_key = 0})),
+               std::invalid_argument);
+  Channel& ch = rt.add_channel({.name = long_name});
+  EXPECT_THROW((ChannelServer(rt, {{.channel = &ch, .remote_producers = 1}})),
+               std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------

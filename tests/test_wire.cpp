@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -205,6 +206,28 @@ TEST(Wire, OversizedStpVectorIsRejected) {
   std::string err;
   EXPECT_FALSE(decode(std::span(frame).subspan(kHeaderBytes), out, &err));
   EXPECT_NE(err.find("STP"), std::string::npos) << err;
+}
+
+// -- encode-time caps -------------------------------------------------------
+
+TEST(Wire, EncodeEnforcesTheDecodeCaps) {
+  // An over-cap field would be rejected by every peer (and a string over
+  // 65535 bytes would silently truncate its u16 length prefix and
+  // desynchronize the frame), so the encoder throws at the sender.
+  EXPECT_THROW(encode(HelloMsg{.channel = std::string(kMaxNameBytes + 1, 'x')}),
+               std::length_error);
+  EXPECT_THROW(encode(HelloAckMsg{.ok = false,
+                                  .message = std::string(kMaxNameBytes + 1, 'y')}),
+               std::length_error);
+  EXPECT_THROW(
+      encode(PutAckMsg{.stp = std::vector<Nanos>(kMaxStpSlots + 1, millis(1))}),
+      std::length_error);
+  WireItem oversized_attrs;
+  oversized_attrs.attrs.assign(kMaxAttrs + 1, {0U, 0});
+  EXPECT_THROW(encode(PutMsg{.item = oversized_attrs}), std::length_error);
+
+  // At-cap fields still encode (and round-trip, per the tests above).
+  EXPECT_NO_THROW(encode(HelloMsg{.channel = std::string(kMaxNameBytes, 'x')}));
 }
 
 // ---------------------------------------------------------------------------
