@@ -1,0 +1,104 @@
+/// \file micro_pool.cpp
+/// \brief Micro-benchmarks of the payload buffer pool: steady-state
+///        acquire/release on the recycled path vs the heap, and full
+///        Item churn with and without a pool wired into the context.
+///
+/// Run via bench/run_bench.sh to emit BENCH_channel.json at the repo
+/// root — every PR appends to that perf trajectory.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/channel.hpp"
+#include "runtime/pool.hpp"
+#include "vision/records.hpp"
+
+namespace stampede {
+namespace {
+
+/// Acquire + full write + drop each iteration. After the first lap the
+/// slab comes off the free list, so this is the recycled hot path: no
+/// allocator call, no page faults on the touch.
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  PayloadPool pool(PoolConfig{}, nullptr);
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    PayloadBuffer buf = pool.acquire(bytes);
+    std::memset(buf.span().data(), 0x2A, bytes);
+    benchmark::DoNotOptimize(buf.span().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+  const auto st = pool.stats();
+  state.counters["pool_hit_rate"] =
+      st.acquires > 0 ? static_cast<double>(st.hits) / static_cast<double>(st.acquires) : 0.0;
+}
+BENCHMARK(BM_PoolAcquireRelease)
+    ->Arg(4096)
+    ->Arg(static_cast<std::int64_t>(vision::kMaskBytes))
+    ->Arg(static_cast<std::int64_t>(vision::kFrameBytes))
+    ->Arg(8 << 20);
+
+/// The same loop through the heap: fresh `new std::byte[]` + full write +
+/// `delete[]` per iteration. The gap vs BM_PoolAcquireRelease is the
+/// allocator + soft-fault tax the pool removes.
+void BM_HeapAcquireRelease(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    PayloadBuffer buf = PayloadPool::unpooled(bytes);
+    std::memset(buf.span().data(), 0x2A, bytes);
+    benchmark::DoNotOptimize(buf.span().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_HeapAcquireRelease)
+    ->Arg(4096)
+    ->Arg(static_cast<std::int64_t>(vision::kMaskBytes))
+    ->Arg(static_cast<std::int64_t>(vision::kFrameBytes))
+    ->Arg(8 << 20);
+
+struct Fixture {
+  ManualClock clock;
+  MemoryTracker tracker{1};
+  PayloadPool pool{PoolConfig{}, &tracker};
+  stats::Recorder recorder;
+  cluster::Topology topo = cluster::Topology::single_node();
+  RunContext ctx;
+
+  explicit Fixture(bool pooled) {
+    ctx.clock = &clock;
+    ctx.tracker = &tracker;
+    if (pooled) ctx.pool = &pool;
+    ctx.recorder = &recorder;
+    ctx.topology = &topo;
+    ctx.gc = gc::Kind::kDeadTimestamp;
+  }
+};
+
+/// Full Item create + payload write + destroy cycle — what a producer
+/// stage pays per frame before the channel even sees the item. Arg 0/1
+/// selects unpooled/pooled so the two series diff cleanly in the JSON.
+void BM_ItemChurn(benchmark::State& state) {
+  Fixture f(state.range(0) != 0);
+  constexpr auto kBytes = static_cast<std::size_t>(vision::kFrameBytes);
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    auto item = std::make_shared<Item>(f.ctx, ts++, kBytes, 100, 0,
+                                       std::vector<ItemId>{}, Nanos{0});
+    std::memset(item->mutable_data().data(), 0x2A, kBytes);
+    benchmark::DoNotOptimize(item);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(kBytes));
+  const auto st = f.pool.stats();
+  state.counters["pool_hit_rate"] =
+      st.acquires > 0 ? static_cast<double>(st.hits) / static_cast<double>(st.acquires) : 0.0;
+}
+BENCHMARK(BM_ItemChurn)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace stampede
+
+BENCHMARK_MAIN();

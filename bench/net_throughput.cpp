@@ -30,8 +30,13 @@ struct Loop {
   std::stop_source stop;
 
   /// `producers`/`consumers` are the remote slot counts; the proxy claims
-  /// slot 0 on each side that has one.
-  Loop(int producers, int consumers) : rt(RuntimeConfig{}) {
+  /// slot 0 on each side that has one. `pooled = false` zeroes the pool's
+  /// retention cap so every payload acquire on the path (producer alloc,
+  /// server materialize, consumer materialize) falls through to the heap —
+  /// the pre-pool behaviour, measured for the pooled-vs-unpooled series.
+  Loop(int producers, int consumers, bool pooled = true)
+      : rt(RuntimeConfig{.pool = {.max_retained_bytes =
+                                      pooled ? PoolConfig{}.max_retained_bytes : 0}}) {
     channel = &rt.add_channel({.name = "bench"});
     server = std::make_unique<net::ChannelServer>(
         rt, std::vector<net::ServedChannel>{{.channel = channel,
@@ -112,6 +117,27 @@ void BM_NetPutGetPipe(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * 2 * static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_NetPutGetPipe)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+/// The same two-hop relay with pooling disabled: every payload on the path
+/// is a fresh heap allocation, as before the pool existed. Diff against
+/// BM_NetPutGetPipe at the same size to read the pool's share of the net
+/// win separately from the scatter-gather framing.
+void BM_NetPutGetPipeUnpooled(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Loop loop(/*producers=*/1, /*consumers=*/1, /*pooled=*/false);
+  Timestamp ts = 0;
+  (void)loop.proxy->put(loop.item(ts++, bytes), loop.stop.get_token());
+  (void)loop.proxy->get_latest(aru::kUnknownStp, kNoTimestamp, loop.stop.get_token());
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.proxy->put(loop.item(ts++, bytes), loop.stop.get_token()));
+    benchmark::DoNotOptimize(
+        loop.proxy->get_latest(aru::kUnknownStp, kNoTimestamp, loop.stop.get_token()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 2 * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_NetPutGetPipeUnpooled)->Arg(1 << 16)->Arg(1 << 20);
 
 }  // namespace
 }  // namespace stampede

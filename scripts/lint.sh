@@ -15,6 +15,11 @@
 #   raw-socket   no raw `::socket`/`::connect` outside src/net/socket.cpp —
 #                all network I/O goes through net::TcpStream/TcpListener so
 #                it is nonblocking, deadline-bounded and SIGPIPE-safe.
+#   raw-payload  no `std::vector<std::byte>` in src/ outside the pool
+#                implementation — payload storage must be a pooled
+#                runtime::PayloadBuffer (zero-fill-free, recycled); a
+#                vector re-introduces the allocate+memset tax on the hot
+#                path. Scratch buffers in vision file I/O are allowlisted.
 #
 # Also runs clang-tidy over src/ when available and a compile database exists
 # (pass --build-dir, or configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON).
@@ -69,6 +74,10 @@ check endl 'std::endl' \
 check raw-socket '(^|[^[:alnum:]_:])::(socket|connect)[[:space:]]*\(' \
   "raw ::socket/::connect — go through net::TcpStream / net::TcpListener" \
   src tests bench examples
+
+check raw-payload 'std::vector<std::byte>' \
+  "raw std::vector<std::byte> — payloads go through runtime::PayloadBuffer (pooled, no zero-fill)" \
+  src
 
 # -- clang-tidy (best-effort: skipped when the toolchain lacks it) ------------
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -1,6 +1,7 @@
 #include "net/remote_channel.hpp"
 
 #include <algorithm>
+#include <array>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -17,7 +18,9 @@ constexpr Nanos kServeSlice = millis(20);
 /// Accept-loop poll slice.
 constexpr Nanos kAcceptSlice = millis(50);
 
-/// Builds the on-the-wire representation of an item.
+/// Builds the on-the-wire envelope of an item. The payload bytes are not
+/// copied anywhere: the frame announces their size and the caller sends
+/// them scatter-gather straight from the item's pooled slab.
 WireItem to_wire(const Item& item) {
   WireItem wi;
   wi.ts = item.ts();
@@ -25,31 +28,32 @@ WireItem to_wire(const Item& item) {
   wi.produce_cost_ns = item.produce_cost().count();
   wi.attrs = {{kTagProducerNode, item.producer()},
               {kTagClusterNode, item.cluster_node()}};
-  const auto payload = item.data();
-  wi.payload.assign(payload.begin(), payload.end());
+  wi.payload_bytes = static_cast<std::uint32_t>(item.bytes());
   return wi;
 }
 
-/// Materializes a local Item replica from a received WireItem, accounting
+/// Materializes a local Item replica for a received WireItem, accounting
 /// the allocation in the trace exactly like TaskContext::make_item (the
-/// Item constructor itself handles the memory tracker).
+/// Item constructor itself handles the memory tracker). The payload is
+/// NOT filled in here: the caller receives the wire bytes directly into
+/// item->mutable_data() — and if that receive fails, dropping the item
+/// records a matching kFree, so the trace stays balanced either way.
 std::shared_ptr<Item> materialize(RunContext& ctx, const WireItem& wi, NodeId producer,
                                   int cluster_node, stats::Shard* shard) {
-  auto item = std::make_shared<Item>(ctx, wi.ts, wi.payload.size(), producer,
+  auto item = std::make_shared<Item>(ctx, wi.ts, wi.payload_bytes, producer,
                                      cluster_node, std::vector<ItemId>{},
                                      Nanos{wi.produce_cost_ns});
-  std::copy(wi.payload.begin(), wi.payload.end(), item->mutable_data().begin());
   shard->record(stats::Event{.type = stats::EventType::kAlloc,
                              .node = producer,
                              .ts = wi.ts,
                              .item = item->id(),
                              .t = ctx.now_ns(),
-                             .a = static_cast<std::int64_t>(wi.payload.size()),
+                             .a = static_cast<std::int64_t>(wi.payload_bytes),
                              .b = cluster_node});
   shard->record_item(stats::ItemRecord{
       .id = item->id(),
       .ts = wi.ts,
-      .bytes = static_cast<std::int64_t>(wi.payload.size()),
+      .bytes = static_cast<std::int64_t>(wi.payload_bytes),
       .producer = producer,
       .cluster_node = cluster_node,
       .t_alloc = item->t_alloc(),
@@ -58,16 +62,18 @@ std::shared_ptr<Item> materialize(RunContext& ctx, const WireItem& wi, NodeId pr
   return item;
 }
 
-/// Reads one complete frame (server side). False on any failure; a
-/// non-kOk mid-frame leaves the stream desynchronized, so the caller must
-/// drop the connection.
+/// Reads one frame's header + envelope (server side; the payload tail, if
+/// the header announces one, is the caller's to consume). False on any
+/// failure; a non-kOk mid-frame leaves the stream desynchronized, so the
+/// caller must drop the connection.
 bool read_frame(TcpStream& stream, Nanos timeout, FrameHeader& header,
-                std::vector<std::byte>& body) {
-  std::vector<std::byte> raw(kHeaderBytes);
+                EnvelopeBody& body) {
+  std::array<std::byte, kHeaderBytes> raw;
   if (stream.recv_exact(raw, timeout) != IoStatus::kOk) return false;
   if (!decode_header(raw, header, nullptr)) return false;
-  body.resize(header.body_len);
-  return header.body_len == 0 || stream.recv_exact(body, timeout) == IoStatus::kOk;
+  body.len = header.body_len;  // decode_header capped this at kMaxEnvelopeBytes
+  return header.body_len == 0 ||
+         stream.recv_exact(body.storage(header.body_len), timeout) == IoStatus::kOk;
 }
 
 }  // namespace
@@ -127,14 +133,17 @@ RemoteEndpoint::PutResult RemoteChannel::put(std::shared_ptr<Item> item,
   const Nanos held = summary();
   if (aru::known(held)) msg.stp.push_back(held);
 
-  const std::vector<std::byte> frame = encode(msg);
-  std::vector<std::byte> body;
-  const auto status =
-      put_link_->rpc(frame, MsgType::kPutAck, body, /*wait_for_link=*/false, st);
+  // The payload goes out scatter-gather with the envelope, straight from
+  // the item's pooled slab (the shared_ptr keeps it alive for the send).
+  // A PutAck never carries payload, so no sink.
+  const FrameBuf frame = encode(msg);
+  EnvelopeBody body;
+  const auto status = put_link_->rpc(frame, item->data(), MsgType::kPutAck, body,
+                                     /*sink=*/nullptr, /*wait_for_link=*/false, st);
 
   if (status == Transport::RpcStatus::kOk) {
     PutAckMsg ack;
-    if (decode(body, ack, nullptr)) {
+    if (decode(body.span(), ack, nullptr)) {
       if (aru::known(ack.summary)) hold_summary(ack.summary);
       return PutResult{.summary = aru::known(ack.summary) ? ack.summary : held,
                        .stored = ack.stored,
@@ -167,28 +176,48 @@ RemoteEndpoint::GetResult RemoteChannel::get_latest(Nanos consumer_summary,
     throw std::logic_error("RemoteChannel::get_latest: no consumer_key configured");
   }
   const Nanos t0 = ctx_.clock->now();
-  const std::vector<std::byte> frame =
+  const FrameBuf frame =
       encode(GetMsg{.consumer_summary = consumer_summary, .guarantee = guarantee});
-  std::vector<std::byte> body;
+  EnvelopeBody body;
 
   for (;;) {
-    const auto status =
-        get_link_->rpc(frame, MsgType::kGetReply, body, /*wait_for_link=*/true, st);
+    GetReplyMsg reply;
+    std::shared_ptr<Item> item;
+    bool decoded = false;
+    // Payload-bearing replies decode inside the sink so the wire bytes
+    // land directly in a freshly acquired pooled buffer — the transport
+    // receives into the span we return, no intermediate copy.
+    const PayloadSink sink = [&](const FrameHeader& header,
+                                 std::span<const std::byte> env) -> std::span<std::byte> {
+      if (!decode(env, reply, nullptr)) return {};
+      decoded = true;
+      if (!reply.has_item || reply.item.payload_bytes != header.payload_len) return {};
+      item = materialize(ctx_, reply.item, node_, config_.cluster_node, get_shard_);
+      return item->mutable_data();
+    };
+    const auto status = get_link_->rpc(frame, {}, MsgType::kGetReply, body, sink,
+                                       /*wait_for_link=*/true, st);
     if (status == Transport::RpcStatus::kStopped) break;
     if (status == Transport::RpcStatus::kDisconnected) continue;  // re-issue
 
-    GetReplyMsg reply;
-    if (!decode(body, reply, nullptr)) {
-      get_link_->disconnect();
-      continue;
+    if (!decoded) {
+      // No payload tail announced, so the sink never ran: decode the
+      // envelope here. An item envelope claiming payload bytes the frame
+      // did not carry is a protocol violation.
+      if (!decode(body.span(), reply, nullptr) ||
+          (reply.has_item && reply.item.payload_bytes != 0)) {
+        get_link_->disconnect();
+        continue;
+      }
+      if (reply.has_item) {
+        item = materialize(ctx_, reply.item, node_, config_.cluster_node, get_shard_);
+      }
     }
     if (aru::known(reply.summary)) hold_summary(reply.summary);
     if (!reply.has_item) {
       if (reply.closed) break;  // remote channel closed and drained
       continue;
     }
-    auto item =
-        materialize(ctx_, reply.item, node_, config_.cluster_node, get_shard_);
     return GetResult{.item = std::move(item),
                      .blocked = ctx_.clock->now() - t0,
                      .skipped = reply.skipped};
@@ -321,15 +350,15 @@ void ChannelServer::accept_loop(TcpListener listener, std::stop_token st) {
 void ChannelServer::serve_connection(TcpStream stream, ConnState& state,
                                      std::stop_token st) {
   // Attach: first frame must be a Hello naming a served channel and
-  // claiming valid endpoint slots.
+  // claiming valid endpoint slots. A Hello never carries payload.
   FrameHeader header{};
-  std::vector<std::byte> body;
+  EnvelopeBody body;
   if (!read_frame(stream, config_.io_timeout, header, body) ||
-      header.type != MsgType::kHello) {
+      header.type != MsgType::kHello || header.payload_len != 0) {
     return;
   }
   HelloMsg hello;
-  if (!decode(body, hello, nullptr)) return;
+  if (!decode(body.span(), hello, nullptr)) return;
 
   const Served* served = find(hello.channel);
   HelloAckMsg ack;
@@ -344,7 +373,7 @@ void ChannelServer::serve_connection(TcpStream stream, ConnState& state,
   } else {
     ack.ok = true;
   }
-  if (stream.send_all(encode(ack), config_.io_timeout) != IoStatus::kOk) return;
+  if (stream.send_all(encode(ack).span(), config_.io_timeout) != IoStatus::kOk) return;
   if (!ack.ok) {
     STAMPEDE_LOG(kWarn) << "net.server: rejected hello: " << ack.message;
     return;
@@ -362,19 +391,25 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
   const NodeId chan_node = channel.id();
   std::int64_t last_tx = ctx_.now_ns();
 
-  auto send_frame = [&](const std::vector<std::byte>& frame, MsgType type) {
-    if (stream.send_all(frame, config_.io_timeout) != IoStatus::kOk) return false;
+  // All outbound frames go through send_vec: envelope from the stack,
+  // payload (when present) straight from the served item's pooled slab.
+  auto send_frame = [&](const FrameBuf& frame, std::span<const std::byte> payload,
+                        MsgType type) {
+    const std::array<std::span<const std::byte>, 2> bufs = {frame.span(), payload};
+    if (stream.send_vec(bufs, config_.io_timeout) != IoStatus::kOk) return false;
     last_tx = ctx_.now_ns();
-    shard->record(stats::Event{.type = stats::EventType::kNetTx,
-                               .node = chan_node,
-                               .t = last_tx,
-                               .a = static_cast<std::int64_t>(frame.size()),
-                               .b = static_cast<std::int64_t>(type)});
+    shard->record(stats::Event{
+        .type = stats::EventType::kNetTx,
+        .node = chan_node,
+        .t = last_tx,
+        .a = static_cast<std::int64_t>(frame.len + payload.size()),
+        .b = static_cast<std::int64_t>(type)});
     return true;
   };
   auto heartbeat_if_due = [&] {
     if (Nanos{ctx_.now_ns() - last_tx} < config_.heartbeat_interval) return true;
-    return send_frame(encode(HeartbeatMsg{.t_ns = ctx_.now_ns()}), MsgType::kHeartbeat);
+    return send_frame(encode(HeartbeatMsg{.t_ns = ctx_.now_ns()}), {},
+                      MsgType::kHeartbeat);
   };
 
   while (!st.stop_requested()) {
@@ -383,24 +418,36 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
       continue;
     }
     FrameHeader header{};
-    std::vector<std::byte> body;
+    EnvelopeBody body;
     if (!read_frame(stream, config_.io_timeout, header, body)) return;
+    if (header.payload_len != 0 && header.type != MsgType::kPut) {
+      return;  // protocol violation: only puts carry payload client→server
+    }
     shard->record(stats::Event{
         .type = stats::EventType::kNetRx,
         .node = chan_node,
         .t = ctx_.now_ns(),
-        .a = static_cast<std::int64_t>(kHeaderBytes + header.body_len),
+        .a = static_cast<std::int64_t>(kHeaderBytes + header.body_len +
+                                       header.payload_len),
         .b = static_cast<std::int64_t>(header.type)});
 
     switch (header.type) {
       case MsgType::kPut: {
         if (hello.producer_key < 0) return;  // protocol violation
         PutMsg msg;
-        if (!decode(body, msg, nullptr)) return;
+        if (!decode(body.span(), msg, nullptr)) return;
+        if (msg.item.payload_bytes != header.payload_len) return;  // lengths disagree
+        // Materialize first, then receive the payload tail directly into
+        // the pooled slab — the frame-sized staging vector is gone.
         auto item = materialize(
             ctx_, msg.item,
             served.producer_nodes[static_cast<std::size_t>(hello.producer_key)],
             channel.cluster_node(), shard);
+        if (header.payload_len > 0 &&
+            stream.recv_exact(item->mutable_data(), config_.io_timeout) !=
+                IoStatus::kOk) {
+          return;
+        }
         // Wait out a full bounded channel here (not in the channel) for the
         // same reason as the kGet loop below: heartbeats must keep flowing
         // while backpressure holds the ack, or the client times out the RPC
@@ -414,13 +461,13 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
                         .closed = channel.closed(),
                         .summary = res->channel_summary,
                         .stp = channel.backward_stp()};
-        if (!send_frame(encode(reply), MsgType::kPutAck)) return;
+        if (!send_frame(encode(reply), {}, MsgType::kPutAck)) return;
         break;
       }
       case MsgType::kGet: {
         if (hello.consumer_key < 0) return;
         GetMsg msg;
-        if (!decode(body, msg, nullptr)) return;
+        if (!decode(body.span(), msg, nullptr)) return;
         const int idx = served.consumer_idx[static_cast<std::size_t>(hello.consumer_key)];
         // Block here (not in the channel) so heartbeats keep flowing and a
         // vanished peer is noticed while we wait for data.
@@ -435,7 +482,12 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
                           .summary = channel.summary(),
                           .stp = channel.backward_stp()};
         if (res.item) reply.item = to_wire(*res.item);
-        if (!send_frame(encode(reply), MsgType::kGetReply)) return;
+        // The shared_ptr in `res` keeps the payload slab alive (and
+        // un-recycled) for the duration of the scatter-gather send even if
+        // the channel overwrites the slot concurrently.
+        const std::span<const std::byte> payload =
+            res.item ? res.item->data() : std::span<const std::byte>{};
+        if (!send_frame(encode(reply), payload, MsgType::kGetReply)) return;
         break;
       }
       case MsgType::kClose:

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -146,6 +147,73 @@ IoStatus TcpStream::send_all(std::span<const std::byte> data, Nanos timeout) {
     return IoStatus::kError;
   }
   return IoStatus::kOk;
+}
+
+IoStatus TcpStream::send_vec(std::span<const std::span<const std::byte>> bufs,
+                             Nanos timeout) {
+  if (!sock_.valid()) return IoStatus::kError;
+  const Nanos deadline = steady_now() + timeout;
+
+  // Cursor over the logical concatenation: first buffer not fully sent,
+  // and how far into it we are. Rebuilding the iovec array per attempt is
+  // cheap (2-3 entries in practice) and keeps partial-progress handling
+  // trivially correct.
+  std::size_t first = 0;
+  std::size_t offset = 0;
+  constexpr std::size_t kMaxIov = 8;
+  for (;;) {
+    while (first < bufs.size() && offset == bufs[first].size()) {
+      ++first;
+      offset = 0;
+    }
+    if (first == bufs.size()) return IoStatus::kOk;
+
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    for (std::size_t i = first; i < bufs.size() && niov < kMaxIov; ++i) {
+      const std::size_t skip = i == first ? offset : 0;
+      if (bufs[i].size() == skip) continue;  // empty (or fully-sent head)
+      // sendmsg never writes through iov_base; const_cast is the POSIX API
+      // shape, not a mutation.
+      iov[niov].iov_base =
+          const_cast<std::byte*>(bufs[i].data() + skip);  // NOLINT
+      iov[niov].iov_len = bufs[i].size() - skip;
+      ++niov;
+    }
+    if (niov == 0) return IoStatus::kOk;
+
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(sock_.fd(), &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      // Advance the cursor across however many buffers `n` covered.
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        const std::size_t room = bufs[first].size() - offset;
+        if (left < room) {
+          offset += left;
+          left = 0;
+        } else {
+          left -= room;
+          ++first;
+          offset = 0;
+        }
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const Nanos remaining = deadline - steady_now();
+      if (remaining.count() <= 0) return IoStatus::kTimeout;
+      pollfd pfd{sock_.fd(), POLLOUT, 0};
+      const int p = ::poll(&pfd, 1, poll_millis(remaining));
+      if (p < 0 && errno != EINTR) return IoStatus::kError;
+      continue;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
 }
 
 IoStatus TcpStream::recv_exact(std::span<std::byte> out, Nanos timeout) {

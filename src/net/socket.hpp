@@ -89,6 +89,16 @@ class TcpStream {
   /// the deadline is `timeout` from the call, not per chunk.
   IoStatus send_all(std::span<const std::byte> data, Nanos timeout);
 
+  /// Scatter-gather variant: sends the concatenation of `bufs` (in order)
+  /// under one deadline without copying them into a contiguous staging
+  /// buffer. Realized as `sendmsg` with an iovec per buffer — a frame's
+  /// header+envelope and its payload go out in a single syscall in the
+  /// common case, with partial progress advancing the iovec array across
+  /// retries. Same contract as send_all: kOk means every byte of every
+  /// buffer was sent; anything else leaves the stream desynchronized
+  /// mid-frame and the connection must be dropped. Empty spans are fine.
+  IoStatus send_vec(std::span<const std::span<const std::byte>> bufs, Nanos timeout);
+
   /// Receives exactly `out.size()` bytes or fails. A timeout with zero
   /// bytes read is a clean kTimeout; a timeout mid-message is also
   /// kTimeout but leaves the stream desynchronized — callers must treat

@@ -1,6 +1,7 @@
 #include "net/transport.hpp"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 namespace stampede::net {
@@ -66,22 +67,26 @@ bool Transport::ensure_connected_locked(EventBatch& events) {
   if (!stream) return fail();
   stream_ = std::move(*stream);
 
-  // Handshake: Hello → HelloAck(ok).
-  const std::vector<std::byte> hello = encode(hello_);
-  if (stream_.send_all(hello, config_.io_timeout) != IoStatus::kOk) {
+  // Handshake: Hello → HelloAck(ok). The handshake never carries payload.
+  const FrameBuf hello = encode(hello_);
+  if (stream_.send_all(hello.span(), config_.io_timeout) != IoStatus::kOk) {
     disconnect_locked();
     return fail();
   }
-  add_event(events, stats::EventType::kNetTx, static_cast<std::int64_t>(hello.size()),
+  add_event(events, stats::EventType::kNetTx, static_cast<std::int64_t>(hello.len),
             static_cast<std::int64_t>(MsgType::kHello));
   FrameHeader header{};
-  std::vector<std::byte> body;
-  if (!read_frame_locked(header, body, events) || header.type != MsgType::kHelloAck) {
+  EnvelopeBody body;
+  if (!read_frame_locked(header, body) || header.type != MsgType::kHelloAck ||
+      header.payload_len != 0) {
     disconnect_locked();
     return fail();
   }
+  add_event(events, stats::EventType::kNetRx,
+            static_cast<std::int64_t>(kHeaderBytes + header.body_len),
+            static_cast<std::int64_t>(header.type));
   HelloAckMsg ack;
-  if (!decode(body, ack, nullptr) || !ack.ok) {
+  if (!decode(body.span(), ack, nullptr) || !ack.ok) {
     disconnect_locked();
     return fail();
   }
@@ -98,9 +103,8 @@ bool Transport::ensure_connected_locked(EventBatch& events) {
   return true;
 }
 
-bool Transport::read_frame_locked(FrameHeader& header, std::vector<std::byte>& body,
-                                  EventBatch& events) {
-  std::vector<std::byte> raw(kHeaderBytes);
+bool Transport::read_frame_locked(FrameHeader& header, EnvelopeBody& body) {
+  std::array<std::byte, kHeaderBytes> raw;
   if (stream_.recv_exact(raw, config_.io_timeout) != IoStatus::kOk) {
     disconnect_locked();
     return false;
@@ -109,30 +113,31 @@ bool Transport::read_frame_locked(FrameHeader& header, std::vector<std::byte>& b
     disconnect_locked();
     return false;
   }
-  body.resize(header.body_len);
+  body.len = header.body_len;  // decode_header capped this at kMaxEnvelopeBytes
   if (header.body_len > 0 &&
-      stream_.recv_exact(body, config_.io_timeout) != IoStatus::kOk) {
+      stream_.recv_exact(body.storage(header.body_len), config_.io_timeout) !=
+          IoStatus::kOk) {
     disconnect_locked();
     return false;
   }
-  add_event(events, stats::EventType::kNetRx,
-            static_cast<std::int64_t>(kHeaderBytes + header.body_len),
-            static_cast<std::int64_t>(header.type));
   return true;
 }
 
-Transport::RpcStatus Transport::exchange_locked(std::span<const std::byte> frame,
-                                                MsgType expect,
-                                                std::vector<std::byte>& reply_body,
+Transport::RpcStatus Transport::exchange_locked(const FrameBuf& frame,
+                                                std::span<const std::byte> payload,
+                                                MsgType expect, EnvelopeBody& reply_body,
+                                                const PayloadSink& sink,
                                                 EventBatch& events,
                                                 const std::stop_token& st) {
-  if (stream_.send_all(frame, config_.io_timeout) != IoStatus::kOk) {
+  const std::array<std::span<const std::byte>, 2> bufs = {frame.span(), payload};
+  if (stream_.send_vec(bufs, config_.io_timeout) != IoStatus::kOk) {
     disconnect_locked();
     return RpcStatus::kDisconnected;
   }
   FrameHeader req_header{};
-  decode_header(frame, req_header, nullptr);
-  add_event(events, stats::EventType::kNetTx, static_cast<std::int64_t>(frame.size()),
+  decode_header(frame.span(), req_header, nullptr);
+  add_event(events, stats::EventType::kNetTx,
+            static_cast<std::int64_t>(frame.len + payload.size()),
             static_cast<std::int64_t>(req_header.type));
 
   // Heartbeats count as liveness (they reset the per-frame io_timeout) but
@@ -141,8 +146,17 @@ Transport::RpcStatus Transport::exchange_locked(std::span<const std::byte> frame
   // re-checked between frames or a parked get never observes shutdown.
   for (;;) {
     FrameHeader header{};
-    if (!read_frame_locked(header, reply_body, events)) return RpcStatus::kDisconnected;
+    if (!read_frame_locked(header, reply_body)) return RpcStatus::kDisconnected;
     if (header.type == MsgType::kHeartbeat) {
+      if (header.payload_len != 0) {
+        // Protocol violation — and an unconsumed payload tail would
+        // desynchronize every subsequent frame.
+        disconnect_locked();
+        return RpcStatus::kDisconnected;
+      }
+      add_event(events, stats::EventType::kNetRx,
+                static_cast<std::int64_t>(kHeaderBytes + header.body_len),
+                static_cast<std::int64_t>(header.type));
       if (stop_requested(st)) {
         // Abandoning mid-RPC: the real reply may still arrive later and
         // would desynchronize the next exchange, so drop the link.
@@ -155,13 +169,32 @@ Transport::RpcStatus Transport::exchange_locked(std::span<const std::byte> frame
       disconnect_locked();
       return RpcStatus::kDisconnected;
     }
+    if (header.payload_len > 0) {
+      const std::span<std::byte> dest =
+          sink ? sink(header, reply_body.span()) : std::span<std::byte>{};
+      if (dest.size() != header.payload_len) {
+        // No destination (or a mis-sized one): the tail cannot be read
+        // into place, so the stream is unrecoverable — drop it.
+        disconnect_locked();
+        return RpcStatus::kDisconnected;
+      }
+      if (stream_.recv_exact(dest, config_.io_timeout) != IoStatus::kOk) {
+        disconnect_locked();
+        return RpcStatus::kDisconnected;
+      }
+    }
+    add_event(events, stats::EventType::kNetRx,
+              static_cast<std::int64_t>(kHeaderBytes + header.body_len +
+                                        header.payload_len),
+              static_cast<std::int64_t>(header.type));
     return RpcStatus::kOk;
   }
 }
 
-Transport::RpcStatus Transport::rpc(std::span<const std::byte> frame, MsgType expect,
-                                    std::vector<std::byte>& reply_body, bool wait_for_link,
-                                    std::stop_token st) {
+Transport::RpcStatus Transport::rpc(const FrameBuf& frame,
+                                    std::span<const std::byte> payload, MsgType expect,
+                                    EnvelopeBody& reply_body, const PayloadSink& sink,
+                                    bool wait_for_link, std::stop_token st) {
   for (;;) {
     if (stop_requested(st)) return RpcStatus::kStopped;
 
@@ -171,7 +204,7 @@ Transport::RpcStatus Transport::rpc(std::span<const std::byte> frame, MsgType ex
     {
       const util::MutexLock lock(mu_);
       if (ensure_connected_locked(events)) {
-        status = exchange_locked(frame, expect, reply_body, events, st);
+        status = exchange_locked(frame, payload, expect, reply_body, sink, events, st);
       } else if (wait_for_link) {
         sent_or_failfast = false;  // not connected yet — keep waiting
       }

@@ -11,6 +11,15 @@
 /// the lock-order validator and the -Wthread-safety analysis, and means a
 /// stopped runtime has no orphan I/O threads to chase.
 ///
+/// The RPC surface is zero-copy on both directions. A request is a stack
+/// FrameBuf (header + envelope) plus an optional payload span sent
+/// straight from the item's pooled slab via scatter-gather `send_vec` —
+/// no staging vector. A reply's envelope lands in a stack EnvelopeBody;
+/// when the reply carries a payload tail, the caller's PayloadSink is
+/// handed the decoded-envelope bytes and must return the destination
+/// span (typically a freshly acquired pooled buffer's mutable_data()),
+/// into which the payload is received directly.
+///
 /// Reconnect policy: after a failed connect attempt the next attempt is
 /// gated by an exponential backoff doubling from `backoff_initial` to at
 /// most `backoff_max`. `wait_for_link` RPCs (gets) sleep through the gate
@@ -28,6 +37,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <stop_token>
 #include <string>
@@ -56,6 +66,15 @@ struct TransportConfig {
   Nanos backoff_max = millis(500);
 };
 
+/// Supplies the destination buffer for an expected reply's payload tail.
+/// Invoked (under the transport lock) after the reply envelope has been
+/// received, with the decoded frame header and the raw envelope bytes;
+/// must return a span of *exactly* `header.payload_len` bytes for the
+/// payload to be received into, or an empty span to reject the frame
+/// (which drops the connection — mid-frame there is no other recovery).
+using PayloadSink = std::function<std::span<std::byte>(
+    const FrameHeader& header, std::span<const std::byte> body)>;
+
 class Transport {
  public:
   enum class RpcStatus : std::uint8_t {
@@ -74,9 +93,15 @@ class Transport {
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
 
-  /// Executes one request/reply exchange. `frame` must be a complete
-  /// encoded frame; on kOk, `reply_body` holds the body of the first
-  /// non-heartbeat reply frame, whose type matched `expect`.
+  /// Executes one request/reply exchange. `frame` is the encoded header +
+  /// envelope; `payload` (possibly empty) is the request's payload tail,
+  /// sent scatter-gather with the frame in one syscall — its length must
+  /// equal the payload_len encoded in `frame`'s header. On kOk,
+  /// `reply_body` holds the envelope of the first non-heartbeat reply
+  /// frame, whose type matched `expect`; if that reply announced a
+  /// payload tail, it has been received into the span `sink` returned
+  /// (`sink` may be null for replies that never carry payload — a
+  /// payload-bearing reply then drops the link).
   ///
   /// \param wait_for_link  true: block (through backoff/reconnect cycles)
   ///        until a link exists before sending — used by gets. false:
@@ -84,9 +109,9 @@ class Transport {
   ///        Either way, once the request is sent the outcome is final:
   ///        a link death mid-RPC returns kDisconnected and the caller
   ///        decides whether to re-issue the (lost) request.
-  RpcStatus rpc(std::span<const std::byte> frame, MsgType expect,
-                std::vector<std::byte>& reply_body, bool wait_for_link,
-                std::stop_token st) EXCLUDES(mu_, stats_mu_);
+  RpcStatus rpc(const FrameBuf& frame, std::span<const std::byte> payload,
+                MsgType expect, EnvelopeBody& reply_body, const PayloadSink& sink,
+                bool wait_for_link, std::stop_token st) EXCLUDES(mu_, stats_mu_);
 
   /// Drops the link (next rpc reconnects). Safe to call concurrently.
   void disconnect() EXCLUDES(mu_, stats_mu_);
@@ -104,18 +129,21 @@ class Transport {
   /// Establishes the link if absent and due. Returns true when connected.
   bool ensure_connected_locked(EventBatch& events) REQUIRES(mu_);
 
-  /// Sends `frame`, then reads frames (skipping heartbeats) until one of
-  /// type `expect` arrives. Disconnects on any failure. The stop token is
-  /// re-checked after every consumed heartbeat so a reply wait against a
+  /// Sends frame+payload, then reads frames (skipping heartbeats) until
+  /// one of type `expect` arrives; its payload tail (if any) is received
+  /// via `sink`. Disconnects on any failure. The stop token is re-checked
+  /// after every consumed heartbeat so a reply wait against a
   /// live-but-idle server (which heartbeats indefinitely) still honors
   /// shutdown; stop mid-RPC drops the link and returns kStopped.
-  RpcStatus exchange_locked(std::span<const std::byte> frame, MsgType expect,
-                            std::vector<std::byte>& reply_body, EventBatch& events,
+  RpcStatus exchange_locked(const FrameBuf& frame, std::span<const std::byte> payload,
+                            MsgType expect, EnvelopeBody& reply_body,
+                            const PayloadSink& sink, EventBatch& events,
                             const std::stop_token& st) REQUIRES(mu_);
 
-  /// Reads one complete frame. False (and disconnect) on any failure.
-  bool read_frame_locked(FrameHeader& header, std::vector<std::byte>& body,
-                         EventBatch& events) REQUIRES(mu_);
+  /// Reads one frame's header + envelope (NOT its payload tail — that is
+  /// the caller's job, via the header's payload_len). False (and
+  /// disconnect) on any failure.
+  bool read_frame_locked(FrameHeader& header, EnvelopeBody& body) REQUIRES(mu_);
 
   void disconnect_locked() REQUIRES(mu_);
 

@@ -6,16 +6,21 @@
 namespace stampede::net {
 namespace {
 
-/// Append-only little-endian byte writer. Variable-length fields are
-/// validated against the same hard caps the decoders enforce: a message
-/// that would be rejected by every peer (or whose length prefix would
-/// truncate and desynchronize the frame) throws std::length_error at the
-/// sender, where the bug is, instead of causing a silent connect loop.
+/// Bounded little-endian writer over a FrameBuf. Variable-length fields
+/// are validated against the same hard caps the decoders enforce: a
+/// message that would be rejected by every peer (or whose length prefix
+/// would truncate and desynchronize the frame) throws std::length_error
+/// at the sender, where the bug is, instead of causing a silent connect
+/// loop. The caps also guarantee a conforming envelope fits the buffer,
+/// so the capacity check is a backstop, not a working limit.
 class Writer {
  public:
-  explicit Writer(std::vector<std::byte>& out) : out_(out) {}
+  explicit Writer(FrameBuf& out) : out_(out) {}
 
-  void u8(std::uint8_t v) { out_.push_back(std::byte{v}); }
+  void u8(std::uint8_t v) {
+    check(out_.len < out_.data.size(), "envelope exceeds kMaxEnvelopeBytes");
+    out_.data[out_.len++] = std::byte{v};
+  }
 
   void u16(std::uint16_t v) {
     u8(static_cast<std::uint8_t>(v));
@@ -36,15 +41,11 @@ class Writer {
 
   void str(const std::string& s) {
     check(s.size() <= kMaxNameBytes, "string exceeds kMaxNameBytes");
+    check(out_.data.size() - out_.len >= 2 + s.size(),
+          "envelope exceeds kMaxEnvelopeBytes");
     u16(static_cast<std::uint16_t>(s.size()));
-    const auto* p = reinterpret_cast<const std::byte*>(s.data());
-    out_.insert(out_.end(), p, p + s.size());
-  }
-
-  void bytes(const std::vector<std::byte>& b) {
-    check(b.size() <= kMaxPayloadBytes, "payload exceeds kMaxPayloadBytes");
-    u32(static_cast<std::uint32_t>(b.size()));
-    out_.insert(out_.end(), b.begin(), b.end());
+    std::memcpy(out_.data.data() + out_.len, s.data(), s.size());
+    out_.len += s.size();
   }
 
   void stp_vector(const std::vector<Nanos>& v) {
@@ -55,6 +56,7 @@ class Writer {
 
   void item(const WireItem& it) {
     check(it.attrs.size() <= kMaxAttrs, "attr count exceeds kMaxAttrs");
+    check(it.payload_bytes <= kMaxPayloadBytes, "payload exceeds kMaxPayloadBytes");
     i64(it.ts);
     u64(it.origin_id);
     i64(it.produce_cost_ns);
@@ -63,7 +65,7 @@ class Writer {
       u32(key);
       i64(value);
     }
-    bytes(it.payload);
+    u32(it.payload_bytes);
   }
 
  private:
@@ -71,7 +73,7 @@ class Writer {
     if (!ok) throw std::length_error(std::string("net encode: ") + what);
   }
 
-  std::vector<std::byte>& out_;
+  FrameBuf& out_;
 };
 
 /// Bounds-checked little-endian reader. Every accessor returns false once
@@ -133,17 +135,6 @@ class Reader {
     return true;
   }
 
-  bool bytes(std::vector<std::byte>& b) {
-    std::uint32_t len = 0;
-    if (!u32(len)) return false;
-    if (len > kMaxPayloadBytes) return set_err("payload exceeds kMaxPayloadBytes");
-    if (!need(len)) return false;
-    b.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-             buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
-    pos_ += len;
-    return true;
-  }
-
   bool stp_vector(std::vector<Nanos>& v) {
     std::uint16_t count = 0;
     if (!u16(count)) return false;
@@ -173,7 +164,11 @@ class Reader {
       if (!u32(key) || !i64(value)) return false;
       it.attrs.emplace_back(key, value);
     }
-    return bytes(it.payload);
+    if (!u32(it.payload_bytes)) return false;
+    if (it.payload_bytes > kMaxPayloadBytes) {
+      return set_err("payload exceeds kMaxPayloadBytes");
+    }
+    return true;
   }
 
   /// Everything consumed and nothing failed: a complete, exact decode.
@@ -207,22 +202,22 @@ class Reader {
   const char* err_ = nullptr;
 };
 
-std::vector<std::byte> make_frame(MsgType type, const auto& write_body) {
-  std::vector<std::byte> frame;
-  frame.reserve(kHeaderBytes + 64);
+FrameBuf make_frame(MsgType type, std::uint32_t payload_len, const auto& write_body) {
+  FrameBuf frame;
   Writer header(frame);
   header.u32(kWireMagic);
-  header.u32(0);  // body length patched below
+  header.u32(0);  // envelope length patched below
   header.u8(kWireVersion);
   header.u8(static_cast<std::uint8_t>(type));
   header.u16(0);  // reserved
+  header.u32(payload_len);
   Writer body(frame);
   write_body(body);
-  const auto body_len = static_cast<std::uint32_t>(frame.size() - kHeaderBytes);
-  frame[4] = std::byte{static_cast<std::uint8_t>(body_len)};
-  frame[5] = std::byte{static_cast<std::uint8_t>(body_len >> 8)};
-  frame[6] = std::byte{static_cast<std::uint8_t>(body_len >> 16)};
-  frame[7] = std::byte{static_cast<std::uint8_t>(body_len >> 24)};
+  const auto body_len = static_cast<std::uint32_t>(frame.len - kHeaderBytes);
+  frame.data[4] = std::byte{static_cast<std::uint8_t>(body_len)};
+  frame.data[5] = std::byte{static_cast<std::uint8_t>(body_len >> 8)};
+  frame.data[6] = std::byte{static_cast<std::uint8_t>(body_len >> 16)};
+  frame.data[7] = std::byte{static_cast<std::uint8_t>(body_len >> 24)};
   return frame;
 }
 
@@ -248,30 +243,30 @@ const char* to_string(MsgType type) {
   return "unknown";
 }
 
-std::vector<std::byte> encode(const HelloMsg& m) {
-  return make_frame(MsgType::kHello, [&](Writer& w) {
+FrameBuf encode(const HelloMsg& m) {
+  return make_frame(MsgType::kHello, 0, [&](Writer& w) {
     w.str(m.channel);
     w.u32(static_cast<std::uint32_t>(m.producer_key));
     w.u32(static_cast<std::uint32_t>(m.consumer_key));
   });
 }
 
-std::vector<std::byte> encode(const HelloAckMsg& m) {
-  return make_frame(MsgType::kHelloAck, [&](Writer& w) {
+FrameBuf encode(const HelloAckMsg& m) {
+  return make_frame(MsgType::kHelloAck, 0, [&](Writer& w) {
     w.u8(m.ok ? 1 : 0);
     w.str(m.message);
   });
 }
 
-std::vector<std::byte> encode(const PutMsg& m) {
-  return make_frame(MsgType::kPut, [&](Writer& w) {
+FrameBuf encode(const PutMsg& m) {
+  return make_frame(MsgType::kPut, m.item.payload_bytes, [&](Writer& w) {
     w.item(m.item);
     w.stp_vector(m.stp);
   });
 }
 
-std::vector<std::byte> encode(const PutAckMsg& m) {
-  return make_frame(MsgType::kPutAck, [&](Writer& w) {
+FrameBuf encode(const PutAckMsg& m) {
+  return make_frame(MsgType::kPutAck, 0, [&](Writer& w) {
     w.u8(m.stored ? 1 : 0);
     w.u8(m.closed ? 1 : 0);
     w.i64(m.summary.count());
@@ -279,15 +274,16 @@ std::vector<std::byte> encode(const PutAckMsg& m) {
   });
 }
 
-std::vector<std::byte> encode(const GetMsg& m) {
-  return make_frame(MsgType::kGet, [&](Writer& w) {
+FrameBuf encode(const GetMsg& m) {
+  return make_frame(MsgType::kGet, 0, [&](Writer& w) {
     w.i64(m.consumer_summary.count());
     w.i64(m.guarantee);
   });
 }
 
-std::vector<std::byte> encode(const GetReplyMsg& m) {
-  return make_frame(MsgType::kGetReply, [&](Writer& w) {
+FrameBuf encode(const GetReplyMsg& m) {
+  const std::uint32_t payload_len = m.has_item ? m.item.payload_bytes : 0;
+  return make_frame(MsgType::kGetReply, payload_len, [&](Writer& w) {
     w.u8(m.has_item ? 1 : 0);
     w.u8(m.closed ? 1 : 0);
     w.item(m.item);
@@ -297,21 +293,21 @@ std::vector<std::byte> encode(const GetReplyMsg& m) {
   });
 }
 
-std::vector<std::byte> encode(const HeartbeatMsg& m) {
-  return make_frame(MsgType::kHeartbeat, [&](Writer& w) { w.i64(m.t_ns); });
+FrameBuf encode(const HeartbeatMsg& m) {
+  return make_frame(MsgType::kHeartbeat, 0, [&](Writer& w) { w.i64(m.t_ns); });
 }
 
-std::vector<std::byte> encode_close() {
-  return make_frame(MsgType::kClose, [](Writer&) {});
+FrameBuf encode_close() {
+  return make_frame(MsgType::kClose, 0, [](Writer&) {});
 }
 
 bool decode_header(std::span<const std::byte> buf, FrameHeader& out, std::string* err) {
   Reader r(buf.first(buf.size() < kHeaderBytes ? buf.size() : kHeaderBytes));
-  std::uint32_t magic = 0, body_len = 0;
+  std::uint32_t magic = 0, body_len = 0, payload_len = 0;
   std::uint8_t version = 0, type = 0;
   std::uint16_t reserved = 0;
   if (!r.u32(magic) || !r.u32(body_len) || !r.u8(version) || !r.u8(type) ||
-      !r.u16(reserved)) {
+      !r.u16(reserved) || !r.u32(payload_len)) {
     if (err != nullptr) *err = "header truncated";
     return false;
   }
@@ -327,12 +323,17 @@ bool decode_header(std::span<const std::byte> buf, FrameHeader& out, std::string
     if (err != nullptr) *err = "unknown message type";
     return false;
   }
-  if (body_len > kMaxBodyBytes) {
-    if (err != nullptr) *err = "body exceeds kMaxBodyBytes";
+  if (body_len > kMaxEnvelopeBytes) {
+    if (err != nullptr) *err = "envelope exceeds kMaxEnvelopeBytes";
+    return false;
+  }
+  if (payload_len > kMaxPayloadBytes) {
+    if (err != nullptr) *err = "payload exceeds kMaxPayloadBytes";
     return false;
   }
   out.type = static_cast<MsgType>(type);
   out.body_len = body_len;
+  out.payload_len = payload_len;
   return true;
 }
 

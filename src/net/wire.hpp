@@ -1,21 +1,34 @@
 /// \file wire.hpp
 /// \brief Length-prefixed wire protocol for remote channels.
 ///
-/// Every message travels as one *frame*:
+/// Every message travels as one *frame*: a fixed header, a small
+/// *envelope* body (per-type layout below), and — for item-bearing
+/// messages — the raw payload bytes appended verbatim after the
+/// envelope. Splitting payload out of the envelope is what makes the
+/// zero-copy path work: the sender emits header+envelope from a stack
+/// buffer and the payload straight from the item's pooled slab
+/// (scatter-gather `sendmsg`), and the receiver decodes the envelope
+/// first, then reads the payload tail directly into a freshly acquired
+/// pooled buffer. No intermediate frame-sized vector exists on either
+/// side.
 ///
 ///   offset  size  field
 ///   ------  ----  -----------------------------------------------
 ///        0     4  magic 0x5350444E ("SPDN", big-endian constant)
-///        4     4  body length in bytes (little-endian u32)
+///        4     4  envelope length in bytes (little-endian u32)
 ///        8     1  protocol version (kWireVersion)
 ///        9     1  message type (MsgType)
 ///       10     2  reserved (zero)
-///       12     n  body (per-type layout below)
+///       12     4  payload length in bytes (little-endian u32)
+///       16     n  envelope (per-type layout below)
+///     16+n     p  payload bytes (exactly `payload length` of them)
 ///
 /// All multi-byte integers are little-endian. Strings are a u16 length
-/// followed by raw bytes; item payloads a u32 length followed by raw
-/// bytes; the summary-STP vector a u16 slot count followed by one i64
-/// nanosecond value per slot (`aru::kUnknownStp` = 0 marks empty slots).
+/// followed by raw bytes; the summary-STP vector a u16 slot count
+/// followed by one i64 nanosecond value per slot (`aru::kUnknownStp` = 0
+/// marks empty slots). An item's envelope carries its payload size as a
+/// u32 — the bytes themselves ride in the frame's payload tail, and the
+/// two lengths must agree (receivers reject frames where they differ).
 ///
 /// The backward summary-STP vector is piggy-backed on the feedback-bearing
 /// messages, making paper §3.3.2 Fig. 3 literal on the wire:
@@ -30,11 +43,12 @@
 ///
 /// Decoding is defensive: every length is bounds-checked against both the
 /// buffer and a hard cap (kMaxStpSlots, kMaxAttrs, kMaxPayloadBytes,
-/// kMaxNameBytes), and a truncated or corrupt buffer yields `false` plus a
-/// diagnostic — never undefined behaviour. The fuzz-style round-trip and
-/// truncation tests live in tests/test_wire.cpp.
+/// kMaxNameBytes, kMaxEnvelopeBytes), and a truncated or corrupt buffer
+/// yields `false` plus a diagnostic — never undefined behaviour. The
+/// fuzz-style round-trip and truncation tests live in tests/test_wire.cpp.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -48,16 +62,18 @@
 namespace stampede::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x5350444E;  // "SPDN"
-inline constexpr std::uint8_t kWireVersion = 1;
-inline constexpr std::size_t kHeaderBytes = 12;
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::size_t kHeaderBytes = 16;
 
 /// Hard caps a decoder enforces before trusting any on-the-wire length.
 inline constexpr std::size_t kMaxStpSlots = 64;  ///< matches Channel::kMaxConsumers
 inline constexpr std::size_t kMaxAttrs = 64;
 inline constexpr std::size_t kMaxNameBytes = 256;
 inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 26;  // 64 MiB
-/// Upper bound on a whole frame body (payload + generous envelope slack).
-inline constexpr std::size_t kMaxBodyBytes = kMaxPayloadBytes + (std::size_t{1} << 16);
+/// Upper bound on an envelope. Every message's fixed fields plus maxed-out
+/// variable fields (name, attrs, STP slots) total well under 2 KiB, which
+/// is what lets the whole envelope path live in stack buffers.
+inline constexpr std::size_t kMaxEnvelopeBytes = 2048;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,    ///< connection attach: channel name + endpoint keys
@@ -84,13 +100,15 @@ inline constexpr std::uint32_t kTagProducerNode = 1;  ///< origin-process produc
 inline constexpr std::uint32_t kTagClusterNode = 2;   ///< origin-process cluster node
 
 /// A timestamped item in transit: everything a peer needs to materialize
-/// a local `Item` replica plus the attribute tags riding along.
+/// a local `Item` replica plus the attribute tags riding along. The
+/// payload bytes are NOT part of the envelope — `payload_bytes` records
+/// their size and the frame's payload tail carries them.
 struct WireItem {
   Timestamp ts = kNoTimestamp;
   std::uint64_t origin_id = 0;  ///< item id in the *sending* process's id space
   std::int64_t produce_cost_ns = 0;
   std::vector<std::pair<std::uint32_t, std::int64_t>> attrs;
-  std::vector<std::byte> payload;
+  std::uint32_t payload_bytes = 0;  ///< size of the frame's payload tail
 
   bool operator==(const WireItem&) const = default;
 };
@@ -153,30 +171,54 @@ struct HeartbeatMsg {
 /// Decoded frame header.
 struct FrameHeader {
   MsgType type{};
-  std::uint32_t body_len = 0;
+  std::uint32_t body_len = 0;     ///< envelope length (≤ kMaxEnvelopeBytes)
+  std::uint32_t payload_len = 0;  ///< payload tail length (≤ kMaxPayloadBytes)
+};
+
+/// An encoded header + envelope, ready to send. Lives entirely on the
+/// stack (the envelope cap makes that cheap); the payload tail — when the
+/// message has one — is sent separately from the item's own buffer.
+struct FrameBuf {
+  std::array<std::byte, kHeaderBytes + kMaxEnvelopeBytes> data;
+  std::size_t len = 0;
+
+  std::span<const std::byte> span() const { return {data.data(), len}; }
+};
+
+/// A received envelope body (header already consumed). Sized for the
+/// worst-case envelope so the receive path never heap-allocates.
+struct EnvelopeBody {
+  std::array<std::byte, kMaxEnvelopeBytes> data;
+  std::size_t len = 0;
+
+  std::span<const std::byte> span() const { return {data.data(), len}; }
+  std::span<std::byte> storage(std::size_t n) { return {data.data(), n}; }
 };
 
 // -- encoding ---------------------------------------------------------------
-// Each returns a complete frame (header + body), ready to send. Encoders
-// enforce the same hard caps as the decoders: a variable-length field over
-// its cap (name, payload, STP slots, attrs) throws std::length_error at
-// the sender instead of emitting a frame every peer would reject.
+// Each returns the frame's header + envelope; for item-bearing messages
+// the header's payload_len field is item.payload_bytes and the caller is
+// responsible for sending exactly that many payload bytes after the
+// envelope. Encoders enforce the same hard caps as the decoders: a
+// variable-length field over its cap (name, STP slots, attrs) throws
+// std::length_error at the sender instead of emitting a frame every peer
+// would reject.
 
-std::vector<std::byte> encode(const HelloMsg& m);
-std::vector<std::byte> encode(const HelloAckMsg& m);
-std::vector<std::byte> encode(const PutMsg& m);
-std::vector<std::byte> encode(const PutAckMsg& m);
-std::vector<std::byte> encode(const GetMsg& m);
-std::vector<std::byte> encode(const GetReplyMsg& m);
-std::vector<std::byte> encode(const HeartbeatMsg& m);
-std::vector<std::byte> encode_close();
+FrameBuf encode(const HelloMsg& m);
+FrameBuf encode(const HelloAckMsg& m);
+FrameBuf encode(const PutMsg& m);
+FrameBuf encode(const PutAckMsg& m);
+FrameBuf encode(const GetMsg& m);
+FrameBuf encode(const GetReplyMsg& m);
+FrameBuf encode(const HeartbeatMsg& m);
+FrameBuf encode_close();
 
 // -- decoding ---------------------------------------------------------------
 // All decoders return false (and set *err when non-null) on truncated,
 // oversized, or malformed input. They never throw and never read out of
 // bounds.
 
-/// Decodes the 12-byte header; `buf` must hold at least kHeaderBytes.
+/// Decodes the 16-byte header; `buf` must hold at least kHeaderBytes.
 bool decode_header(std::span<const std::byte> buf, FrameHeader& out, std::string* err);
 
 bool decode(std::span<const std::byte> body, HelloMsg& out, std::string* err);

@@ -16,10 +16,15 @@ namespace stampede {
 
 /// Aggregates the services every runtime component needs. Owned by the
 /// Runtime; outlives all channels, tasks and items of that runtime.
+class PayloadPool;
+
 struct RunContext {
   Clock* clock = nullptr;
   MemoryTracker* tracker = nullptr;
   stats::Recorder* recorder = nullptr;
+  /// Payload buffer pool items allocate from (runtime/pool.hpp). May be
+  /// null — items then fall back to plain heap slabs (still no zero-fill).
+  PayloadPool* pool = nullptr;
   const cluster::Topology* topology = nullptr;
   PressureModel pressure;
   SchedulerNoise sched_noise;

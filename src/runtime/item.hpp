@@ -2,10 +2,18 @@
 /// \brief Timestamped data item — the unit of communication, accounting
 ///        and garbage collection.
 ///
-/// An item owns its payload bytes. Channels and consumers share ownership
-/// via shared_ptr; the memory is accounted as *freed* when the last
-/// reference drops (exactly when the bytes become reclaimable), which the
-/// destructor reports to the MemoryTracker and the trace.
+/// An item owns its payload bytes — a pooled `PayloadBuffer` drawn from
+/// the run's `PayloadPool` (plain heap when the context has none).
+/// Channels and consumers share ownership via shared_ptr; the memory is
+/// accounted as *freed* when the last reference drops (exactly when the
+/// bytes become reclaimable), which the destructor reports to the
+/// MemoryTracker and the trace — and that same last-reference drop is
+/// what recycles the payload slab into the pool.
+///
+/// Payloads are NOT zero-filled: every producer overwrites its payload
+/// before putting the item (vision's stride-grid discipline keeps readers
+/// on exactly the bytes writers touched). Debug builds poison fresh
+/// payloads with 0xA5 instead (see PoolConfig::poison).
 #pragma once
 
 #include <cstddef>
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "runtime/context.hpp"
+#include "runtime/pool.hpp"
 #include "runtime/types.hpp"
 
 namespace stampede {
@@ -24,7 +33,7 @@ class Item {
   ///
   /// \param ctx          run services; must outlive the item.
   /// \param ts           virtual timestamp.
-  /// \param bytes        payload size (zero-filled).
+  /// \param bytes        payload size (uninitialized; producer overwrites).
   /// \param producer     producing thread node.
   /// \param cluster_node virtual cluster node charged for the memory.
   /// \param lineage      ids of the input items this one was derived from.
@@ -40,6 +49,7 @@ class Item {
 
   ItemId id() const { return id_; }
   Timestamp ts() const { return ts_; }
+  /// Logical payload size as requested — not the (rounded) slab size.
   std::size_t bytes() const { return data_.size(); }
   NodeId producer() const { return producer_; }
   int cluster_node() const { return cluster_node_; }
@@ -53,8 +63,8 @@ class Item {
 
   /// Payload access. Producers fill the payload before putting the item
   /// into a channel; after that, consumers only use the const view.
-  std::span<std::byte> mutable_data() { return data_; }
-  std::span<const std::byte> data() const { return data_; }
+  std::span<std::byte> mutable_data() { return data_.span(); }
+  std::span<const std::byte> data() const { return data_.span(); }
 
  private:
   RunContext& ctx_;
@@ -65,7 +75,7 @@ class Item {
   Nanos produce_cost_;
   std::int64_t t_alloc_;
   std::vector<ItemId> lineage_;
-  std::vector<std::byte> data_;
+  PayloadBuffer data_;
 };
 
 }  // namespace stampede

@@ -1,0 +1,208 @@
+/// \file pool.hpp
+/// \brief Size-class payload buffer pool — the zero-copy item fast path.
+///
+/// Every `Item` payload at digitizer rate used to be a fresh zero-filled
+/// `std::vector`: at the paper's 738 kB frame size each allocation crosses
+/// glibc's mmap threshold, so the steady state paid an mmap + kernel zero
+/// pages + page faults on fill + munmap *per item*. The pool replaces that
+/// with recycled slabs: a released payload parks on a free list keyed by
+/// its size class and the next acquire of that class reuses the same hot,
+/// already-faulted pages. Nothing is zero-filled — producers overwrite the
+/// payload before publishing (the stride-grid discipline in vision/ keeps
+/// readers on exactly the bytes writers touched); debug builds poison
+/// acquired buffers instead so a read-before-write shows up as 0xA5 noise
+/// rather than flaky zeros.
+///
+/// Size classes: requests ≤ 4 KiB round up to the next power of two (min
+/// 64 B); larger requests round up to a 64 KiB multiple (the 738 kB frame
+/// lands in the 768 KiB class, ~4% slack); requests over 8 MiB bypass the
+/// pool entirely. `PayloadBuffer` remembers the *requested* size, so
+/// `Item::bytes()` and all accounting stay exact.
+///
+/// Ownership: `acquire` hands out a move-only `PayloadBuffer` whose
+/// destructor returns the slab to the pool — so recycling happens exactly
+/// when the last `shared_ptr<Item>` reference drops, wherever that is
+/// (consumer thread, channel GC sweep, or a same-timestamp overwrite under
+/// the channel lock). The free lists therefore sit at rank `kPool`, above
+/// `kBuffer` in the lock hierarchy. The pool must outlive every buffer it
+/// issued; the Runtime owns it ahead of all channels/queues/tasks.
+///
+/// Accounting: live payload bytes are the Item's business (MemoryTracker
+/// on_alloc/on_free, unchanged). The pool reports only the bytes *parked*
+/// in free lists via `MemoryTracker::on_pool_cached`, so diagnostics can
+/// distinguish resident-in-items from retained-for-reuse. Stats counters
+/// are relaxed atomics — monotonic tallies, same contract as the tracker.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace stampede {
+
+class MemoryTracker;
+class PayloadPool;
+
+/// Byte poisoned over acquired payloads when PoolConfig::poison is set.
+inline constexpr std::byte kPoolPoisonByte{0xA5};
+
+/// Poison default: on when assertions are on. The release/RelWithDebInfo
+/// presets define NDEBUG, so the hot path never pays the fill there;
+/// tests that want poisoning deterministically set PoolConfig::poison.
+#ifdef NDEBUG
+inline constexpr bool kPoolPoisonDefault = false;
+#else
+inline constexpr bool kPoolPoisonDefault = true;
+#endif
+
+/// Move-only owning handle to one payload slab. Destruction recycles the
+/// slab into the pool that issued it (or frees it, for bypass/unpooled
+/// buffers). `size()` is the requested payload size; `capacity()` the
+/// size-class slab size actually backing it.
+class PayloadBuffer {
+ public:
+  PayloadBuffer() = default;
+  ~PayloadBuffer();
+
+  PayloadBuffer(PayloadBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_), capacity_(other.capacity_),
+        pool_(other.pool_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    other.pool_ = nullptr;
+  }
+
+  PayloadBuffer& operator=(PayloadBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      pool_ = other.pool_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = 0;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  PayloadBuffer(const PayloadBuffer&) = delete;
+  PayloadBuffer& operator=(const PayloadBuffer&) = delete;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool pooled() const { return pool_ != nullptr; }
+
+  std::span<std::byte> span() { return {data_, size_}; }
+  std::span<const std::byte> span() const { return {data_, size_}; }
+
+ private:
+  friend class PayloadPool;
+  PayloadBuffer(std::byte* data, std::size_t size, std::size_t capacity,
+                PayloadPool* pool)
+      : data_(data), size_(size), capacity_(capacity), pool_(pool) {}
+
+  void reset();
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  PayloadPool* pool_ = nullptr;  ///< null: plain heap slab, destructor frees
+};
+
+struct PoolConfig {
+  /// Ceiling on bytes parked across all free lists; a release that would
+  /// exceed it frees the slab instead of caching it. Bounds the memory a
+  /// burst retains forever (steady-state working sets are far smaller).
+  std::size_t max_retained_bytes = std::size_t{128} << 20;  // 128 MiB
+  /// Fill acquired payloads with kPoolPoisonByte so read-before-write bugs
+  /// surface deterministically instead of reading recycled data.
+  bool poison = kPoolPoisonDefault;
+};
+
+/// Thread-safe free-listed slab pool. See file comment for the design.
+class PayloadPool {
+ public:
+  /// Monotonic counters (relaxed reads; mutually stale by a few ops).
+  struct Stats {
+    std::int64_t acquires = 0;  ///< total acquire() calls (incl. bypass)
+    std::int64_t hits = 0;      ///< acquires served from a free list
+    std::int64_t misses = 0;    ///< acquires that allocated fresh
+    std::int64_t releases = 0;  ///< pooled buffers returned
+    std::int64_t retained_bytes = 0;  ///< bytes parked in free lists now
+    std::int64_t in_use_bytes = 0;    ///< pooled slab bytes out with buffers
+  };
+
+  /// \param tracker when non-null, parked free-list bytes are reported via
+  ///        on_pool_cached so diagnostics see retained-for-reuse memory.
+  explicit PayloadPool(PoolConfig config = {}, MemoryTracker* tracker = nullptr);
+
+  /// Frees every parked slab. All issued buffers must already be gone.
+  ~PayloadPool();
+
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  /// Returns a buffer of exactly `bytes` logical size backed by a
+  /// `class_size(bytes)` slab — recycled when one is parked, freshly
+  /// allocated (not zero-filled) otherwise. Requests over kMaxPooledBytes
+  /// get a plain heap slab that is freed, not recycled, on destruction.
+  PayloadBuffer acquire(std::size_t bytes);
+
+  /// Pool-less fallback (RunContext::pool == nullptr): plain heap slab,
+  /// same no-zero-fill contract, freed on destruction.
+  static PayloadBuffer unpooled(std::size_t bytes);
+
+  /// The slab size backing a request: next power of two (min 64 B) up to
+  /// 4 KiB, then 64 KiB multiples up to kMaxPooledBytes; identity above.
+  static std::size_t class_size(std::size_t bytes);
+
+  Stats stats() const;
+  const PoolConfig& config() const { return config_; }
+
+  /// Largest request the pool recycles; bigger payloads bypass.
+  static constexpr std::size_t kMaxPooledBytes = std::size_t{8} << 20;  // 8 MiB
+
+ private:
+  friend class PayloadBuffer;
+
+  // Small classes: 64, 128, ..., 4096 (powers of two).
+  static constexpr std::size_t kSmallMin = 64;
+  static constexpr std::size_t kSmallMax = 4096;
+  static constexpr std::size_t kSmallClasses = 7;
+  // Large classes: 64 KiB multiples up to kMaxPooledBytes.
+  static constexpr std::size_t kLargeStep = std::size_t{64} << 10;
+  static constexpr std::size_t kLargeClasses = kMaxPooledBytes / kLargeStep;
+  static constexpr std::size_t kNumClasses = kSmallClasses + kLargeClasses;
+
+  /// Free-list index for a *class* size (must be a valid class size).
+  static std::size_t class_index(std::size_t class_bytes);
+
+  /// Recycles a slab from a destructing PayloadBuffer. Runs on whatever
+  /// thread drops the last item reference — including under a channel
+  /// lock, which rank kPool > kBuffer permits.
+  void release(std::byte* data, std::size_t capacity);
+
+  const PoolConfig config_;
+  MemoryTracker* const tracker_;
+
+  mutable util::Mutex mu_{util::LockRank::kPool, "runtime.pool"};
+  std::array<std::vector<std::byte*>, kNumClasses> free_ GUARDED_BY(mu_);
+  std::size_t retained_bytes_ GUARDED_BY(mu_) = 0;
+
+  std::atomic<std::int64_t> acquires_{0};
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> releases_{0};
+  std::atomic<std::int64_t> in_use_bytes_{0};
+};
+
+}  // namespace stampede

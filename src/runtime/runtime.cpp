@@ -7,10 +7,13 @@
 namespace stampede {
 
 Runtime::Runtime(RuntimeConfig config)
-    : config_(std::move(config)), tracker_(config_.topology.nodes()) {
+    : config_(std::move(config)),
+      tracker_(config_.topology.nodes()),
+      pool_(config_.pool, &tracker_) {
   if (config_.clock == nullptr) config_.clock = &RealClock::instance();
   run_.clock = config_.clock;
   run_.tracker = &tracker_;
+  run_.pool = &pool_;
   run_.recorder = &recorder_;
   run_.topology = &config_.topology;
   run_.pressure = config_.pressure;

@@ -25,6 +25,7 @@
 #include "cluster/topology.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/graph.hpp"
+#include "runtime/pool.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/task.hpp"
 #include "util/mutex.hpp"
@@ -42,6 +43,8 @@ struct RuntimeConfig {
   PressureModel pressure;
   /// Preemption-burst injection (heavy-tailed STP noise, paper §3.3.2).
   SchedulerNoise sched_noise;
+  /// Payload buffer pool tuning (retention cap, debug poison).
+  PoolConfig pool;
   /// Master seed; each task derives its own deterministic stream.
   std::uint64_t seed = 1;
   /// When positive, a monitor thread samples every channel's occupancy and
@@ -126,6 +129,7 @@ class Runtime {
 
   const Graph& graph() const { return graph_; }
   MemoryTracker& memory() { return tracker_; }
+  PayloadPool& payload_pool() { return pool_; }
   stats::Recorder& recorder() { return recorder_; }
   Clock& clock() { return *run_.clock; }
   const RunContext& context() const { return run_; }
@@ -146,6 +150,9 @@ class Runtime {
   RuntimeConfig config_;
   stats::Recorder recorder_;
   MemoryTracker tracker_;
+  /// Declared before (so destroyed after) every container that can hold
+  /// items: an Item's destructor recycles its payload into this pool.
+  PayloadPool pool_;
   RunContext run_;
   Graph graph_;
 

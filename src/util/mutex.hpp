@@ -23,7 +23,8 @@
 ///   kLifecycle (Runtime) < kBufferStats (Channel::stats_mu_)
 ///     < kNetStats (net transport stats flush) < kNet (net::Transport /
 ///     server registry) < kBuffer (Channel::mu_ / Queue::mu_)
-///     < kRecorder (stats::Recorder) < kLeaf (log sink, misc. leaves)
+///     < kPool (PayloadPool free lists) < kRecorder (stats::Recorder)
+///     < kLeaf (log sink, misc. leaves)
 ///
 /// `kBufferStats` ranking *below* `kBuffer` encodes the out-of-lock flush
 /// rule: trace batches must be appended to the shard only after the
@@ -49,6 +50,10 @@ enum class LockRank : int {
                       ///< Below kBuffer: the server skeleton performs
                       ///< channel puts/gets while serving a connection.
   kBuffer = 30,       ///< Channel/Queue data plane. Never nested.
+  kPool = 35,         ///< PayloadPool free lists. Above kBuffer: an Item's
+                      ///< destructor (which recycles its payload) may run
+                      ///< under a channel lock on the same-timestamp
+                      ///< overwrite path, exactly like kRecorder.
   kRecorder = 40,     ///< Recorder registry (item frees land here).
   kLeaf = 100,        ///< Leaves: log sink, test-only locks.
 };

@@ -109,7 +109,11 @@ class SceneGenerator {
 
   /// Renders frame `index` into `data` (size >= kFrameBytes). Touches
   /// every `stride`-th pixel of every `stride`-th row; untouched bytes are
-  /// left as-is (zero for fresh payloads).
+  /// left as-is. Item payloads are pooled and NOT zero-filled, so the
+  /// untouched bytes are arbitrary — every kernel downstream must sample
+  /// the same stride grid (or a coarser multiple of it) and never read
+  /// between grid points. Debug builds poison fresh payloads (0xA5) so a
+  /// misaligned reader fails loudly instead of quietly seeing zeros.
   void render(std::int64_t index, std::span<std::byte> data, int stride = kDefaultStride) const;
 
   /// The two color models the target-detection stages search for.

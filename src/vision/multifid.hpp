@@ -34,6 +34,10 @@ struct MultiFidOptions {
   /// Low-fi confidence above which a decision record is issued.
   double interest_threshold = 0.001;
   /// Strides: coarse for low-fi, fine for high-fi.
+  /// The digitizer renders frames at highfi_stride; both trackers sample
+  /// the rendered grid. lowfi_stride must therefore be a multiple of
+  /// highfi_stride — payloads are pooled and not zero-filled, so sampling
+  /// off the rendered grid reads recycled bytes, not benign zeros.
   int lowfi_stride = 16;
   int highfi_stride = 4;
 };

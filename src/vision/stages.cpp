@@ -88,6 +88,11 @@ TaskBody make_background(StageCosts costs, int stride) {
       if (state->has_prev) {
         const ConstFrameView prev(std::span<const std::byte>(state->prev));
         frame_difference(cur, prev, mask->mutable_data(), /*threshold=*/24, stride);
+      } else {
+        // No previous frame yet: emit an explicit no-motion mask. Pooled
+        // payloads are not zero-filled, so the first mask must be written
+        // like any other — frame_difference covers the later ones.
+        std::memset(mask->mutable_data().data(), 0, kMaskBytes);
       }
       std::memcpy(state->prev.data(), frame->data().data(), kFrameBytes);
       state->has_prev = true;

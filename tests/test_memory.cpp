@@ -45,6 +45,44 @@ TEST(MemoryTracker, BadNodeThrows) {
   EXPECT_THROW(m.node_bytes(5), std::out_of_range);
 }
 
+TEST(MemoryTracker, PeakCasSurvivesContention) {
+  // N threads hammer alloc/free: whatever the interleaving, the high-water
+  // mark is at least one thread's live allocation and at most the sum of
+  // all of them, and the peak CAS loop must never publish a stale lower
+  // value or lose an update under contention.
+  MemoryTracker m(1);
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kBytes = 1 << 16;
+  constexpr int kRounds = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m] {
+      for (int i = 0; i < kRounds; ++i) {
+        m.on_alloc(0, kBytes);
+        m.on_free(0, kBytes);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(m.total_bytes(), 0);
+  EXPECT_GE(m.peak_bytes(), kBytes);                 // someone's alloc was live
+  EXPECT_LE(m.peak_bytes(), kThreads * kBytes);      // never above the sum
+}
+
+TEST(MemoryTracker, PoolCachedGaugeIsSeparate) {
+  MemoryTracker m(1);
+  m.on_alloc(0, 100);
+  m.on_pool_cached(768 << 10);
+  EXPECT_EQ(m.pool_cached_bytes(), 768 << 10);
+  // Parked pool slabs are reuse inventory, not pressure: totals and peak
+  // ignore them.
+  EXPECT_EQ(m.total_bytes(), 100);
+  EXPECT_EQ(m.peak_bytes(), 100);
+  m.on_pool_cached(-(768 << 10));
+  EXPECT_EQ(m.pool_cached_bytes(), 0);
+}
+
 TEST(MemoryTracker, ConcurrentAccountingIsExact) {
   MemoryTracker m(2);
   std::vector<std::thread> threads;

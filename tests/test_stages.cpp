@@ -49,7 +49,12 @@ TEST(BackgroundStage, MaskCarriesFrameLineageAndTimestamp) {
   auto gen = std::make_shared<SceneGenerator>(3);
   Channel& frames = rt.add_channel({.name = "frames"});
   Channel& masks = rt.add_channel({.name = "masks"});
-  TaskContext& dig = rt.add_task({.name = "dig", .body = make_digitizer(gen, tiny(), 8)});
+  // Plenty of frames: the background stage reads the *latest* frame, so a
+  // fast digitizer (payload alloc is pooled and fill-free) can outrun it
+  // and most frames are skipped — the emit count depends on the speed
+  // ratio, not the frame count. 64 frames tolerates a bg stage an order
+  // of magnitude slower than the digitizer (TSan makes it so).
+  TaskContext& dig = rt.add_task({.name = "dig", .body = make_digitizer(gen, tiny(), 64)});
   TaskContext& bg = rt.add_task({.name = "bg", .body = make_background(tiny())});
   TaskContext& snk = rt.add_task({.name = "snk", .body = [](TaskContext& ctx) {
                                     auto in = ctx.get(0);

@@ -9,6 +9,7 @@
 #include "runtime/channel.hpp"
 #include "runtime/context.hpp"
 #include "runtime/item.hpp"
+#include "runtime/pool.hpp"
 #include "runtime/queue.hpp"
 #include "stats/recorder.hpp"
 #include "util/clock.hpp"
@@ -20,6 +21,9 @@ namespace stampede::test {
 struct Env {
   explicit Env(int cluster_nodes = 1)
       : tracker(cluster_nodes),
+        // Poison unconditionally (not just in !NDEBUG builds): a test that
+        // reads payload bytes it never wrote should fail in every preset.
+        pool(PoolConfig{.poison = true}, &tracker),
         topology(cluster_nodes == 1
                      ? cluster::Topology::single_node()
                      : cluster::Topology::uniform(cluster_nodes,
@@ -28,6 +32,7 @@ struct Env {
     ctx.tracker = &tracker;
     ctx.recorder = &recorder;
     ctx.topology = &topology;
+    ctx.pool = &pool;
     ctx.gc = gc::Kind::kDeadTimestamp;
     ctx.aru = aru::Config{.mode = aru::Mode::kMin};
   }
@@ -52,6 +57,7 @@ struct Env {
 
   ManualClock clock;
   MemoryTracker tracker;
+  PayloadPool pool;  ///< declared before the channels/items tests create
   stats::Recorder recorder;
   cluster::Topology topology;
   RunContext ctx;

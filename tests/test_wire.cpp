@@ -1,9 +1,10 @@
 /// \file test_wire.cpp
 /// \brief Wire-protocol property tests: randomized encode/decode round
 ///        trips for every message type, boundary-size summary-STP vectors,
-///        and the defensive-decode guarantee — a truncated or corrupt
-///        buffer must return false with a diagnostic, never crash or read
-///        out of bounds.
+///        split header/envelope/payload framing invariants, and the
+///        defensive-decode guarantee — a truncated or corrupt buffer must
+///        return false with a diagnostic, never crash or read out of
+///        bounds.
 #include "net/wire.hpp"
 
 #include <gtest/gtest.h>
@@ -30,7 +31,7 @@ std::string random_name(Xoshiro256& rng, std::size_t max_len) {
   return s;
 }
 
-std::vector<std::byte> random_payload(Xoshiro256& rng, std::size_t max_len) {
+std::vector<std::byte> random_bytes(Xoshiro256& rng, std::size_t max_len) {
   const std::size_t len = rng.below(max_len + 1);
   std::vector<std::byte> p(len);
   for (auto& b : p) b = static_cast<std::byte>(rng.below(256));
@@ -49,7 +50,7 @@ std::vector<Nanos> random_stp(Xoshiro256& rng, std::size_t slots) {
   return v;
 }
 
-WireItem random_item(Xoshiro256& rng, std::size_t max_payload = 4096) {
+WireItem random_item(Xoshiro256& rng, std::size_t max_payload = 1 << 20) {
   WireItem item;
   item.ts = static_cast<Timestamp>(rng.next() >> 8);
   item.origin_id = rng.next();
@@ -59,27 +60,40 @@ WireItem random_item(Xoshiro256& rng, std::size_t max_payload = 4096) {
     item.attrs.emplace_back(static_cast<std::uint32_t>(rng.next()),
                             static_cast<std::int64_t>(rng.next()));
   }
-  item.payload = random_payload(rng, max_payload);
+  item.payload_bytes = static_cast<std::uint32_t>(rng.below(max_payload + 1));
   return item;
 }
 
-/// Splits a full frame into (header, body) and checks the header.
-std::span<const std::byte> body_of(const std::vector<std::byte>& frame, MsgType expect) {
+/// The payload tail a frame's header must announce for a given message.
+std::uint32_t payload_len_of(const PutMsg& m) { return m.item.payload_bytes; }
+std::uint32_t payload_len_of(const GetReplyMsg& m) {
+  return m.has_item ? m.item.payload_bytes : 0;
+}
+template <typename Msg>
+std::uint32_t payload_len_of(const Msg&) {
+  return 0;
+}
+
+/// Splits a frame into (header, envelope) and checks the header —
+/// including that the announced payload tail matches the message.
+std::span<const std::byte> body_of(const FrameBuf& frame, MsgType expect,
+                                   std::uint32_t expect_payload_len) {
   FrameHeader h;
   std::string err;
-  EXPECT_GE(frame.size(), kHeaderBytes);
-  EXPECT_TRUE(decode_header(std::span(frame).first(kHeaderBytes), h, &err)) << err;
+  EXPECT_GE(frame.len, kHeaderBytes);
+  EXPECT_TRUE(decode_header(frame.span().first(kHeaderBytes), h, &err)) << err;
   EXPECT_EQ(h.type, expect);
-  EXPECT_EQ(h.body_len, frame.size() - kHeaderBytes);
-  return std::span(frame).subspan(kHeaderBytes);
+  EXPECT_EQ(h.body_len, frame.len - kHeaderBytes);
+  EXPECT_EQ(h.payload_len, expect_payload_len);
+  return frame.span().subspan(kHeaderBytes);
 }
 
 template <typename Msg>
 void expect_roundtrip(const Msg& in, MsgType type) {
-  const std::vector<std::byte> frame = encode(in);
+  const FrameBuf frame = encode(in);
   Msg out;
   std::string err;
-  ASSERT_TRUE(decode(body_of(frame, type), out, &err)) << err;
+  ASSERT_TRUE(decode(body_of(frame, type, payload_len_of(in)), out, &err)) << err;
   EXPECT_EQ(in, out);
 }
 
@@ -87,8 +101,8 @@ void expect_roundtrip(const Msg& in, MsgType type) {
 /// or succeed (the codec rejects trailing truncation as much as a short
 /// length field).
 template <typename Msg>
-void expect_truncation_safe(const std::vector<std::byte>& frame) {
-  const auto body = std::span(frame).subspan(kHeaderBytes);
+void expect_truncation_safe(const FrameBuf& frame) {
+  const auto body = frame.span().subspan(kHeaderBytes);
   for (std::size_t n = 0; n < body.size(); ++n) {
     Msg out;
     std::string err;
@@ -166,12 +180,47 @@ TEST(Wire, GetReplyRoundTripRandomized) {
 TEST(Wire, HeartbeatAndCloseRoundTrip) {
   expect_roundtrip(HeartbeatMsg{.t_ns = 123456789}, MsgType::kHeartbeat);
 
-  const auto frame = encode_close();
+  const FrameBuf frame = encode_close();
   FrameHeader h;
   std::string err;
-  ASSERT_TRUE(decode_header(std::span(frame).first(kHeaderBytes), h, &err)) << err;
+  ASSERT_TRUE(decode_header(frame.span().first(kHeaderBytes), h, &err)) << err;
   EXPECT_EQ(h.type, MsgType::kClose);
   EXPECT_EQ(h.body_len, 0u);
+  EXPECT_EQ(h.payload_len, 0u);
+}
+
+// -- split framing ----------------------------------------------------------
+
+TEST(Wire, EnvelopesNeverExceedTheStackBufferCap) {
+  // The zero-copy receive path banks on every conforming envelope fitting
+  // kMaxEnvelopeBytes: build the largest envelope each item-bearing
+  // message can produce (max-size attrs + STP vector + a max-size payload
+  // announcement, which costs 4 bytes regardless of payload size).
+  WireItem item;
+  item.attrs.assign(kMaxAttrs, {0xFFFFFFFFu, -1});
+  item.payload_bytes = static_cast<std::uint32_t>(kMaxPayloadBytes);
+  const std::vector<Nanos> stp(kMaxStpSlots, Nanos{-1});
+
+  const FrameBuf put = encode(PutMsg{.item = item, .stp = stp});
+  EXPECT_LE(put.len - kHeaderBytes, kMaxEnvelopeBytes);
+
+  GetReplyMsg reply{.has_item = true, .skipped = -1, .summary = Nanos{-1}, .stp = stp};
+  reply.item = item;
+  const FrameBuf get_reply = encode(reply);
+  EXPECT_LE(get_reply.len - kHeaderBytes, kMaxEnvelopeBytes);
+}
+
+TEST(Wire, PayloadLenRidesTheHeaderNotTheEnvelope) {
+  Xoshiro256 rng(0x9E7);
+  const WireItem item = random_item(rng);
+  const FrameBuf frame = encode(PutMsg{.item = item});
+  FrameHeader h;
+  ASSERT_TRUE(decode_header(frame.span().first(kHeaderBytes), h, nullptr));
+  EXPECT_EQ(h.payload_len, item.payload_bytes);
+  // The frame itself contains only header + envelope: payload travels
+  // separately (scatter-gather on send, sink-directed receive).
+  EXPECT_EQ(frame.len, kHeaderBytes + h.body_len);
+  EXPECT_LT(frame.len, sizeof(frame.data) + 1);
 }
 
 // -- summary-STP vector boundaries ------------------------------------------
@@ -196,15 +245,15 @@ TEST(Wire, OversizedStpVectorIsRejected) {
   // Hand-build a PutAck body whose slot count exceeds the cap: the decoder
   // must reject it before trusting the length.
   PutAckMsg m{.stored = true, .stp = std::vector<Nanos>(kMaxStpSlots, millis(1))};
-  std::vector<std::byte> frame = encode(m);
+  FrameBuf frame = encode(m);
   // Body layout: stored u8, closed u8, summary i64, count u16, slots...
   const std::size_t count_off = kHeaderBytes + 1 + 1 + 8;
   const auto bumped = static_cast<std::uint16_t>(kMaxStpSlots + 1);
-  std::memcpy(frame.data() + count_off, &bumped, sizeof(bumped));
+  std::memcpy(frame.data.data() + count_off, &bumped, sizeof(bumped));
 
   PutAckMsg out;
   std::string err;
-  EXPECT_FALSE(decode(std::span(frame).subspan(kHeaderBytes), out, &err));
+  EXPECT_FALSE(decode(frame.span().subspan(kHeaderBytes), out, &err));
   EXPECT_NE(err.find("STP"), std::string::npos) << err;
 }
 
@@ -225,6 +274,9 @@ TEST(Wire, EncodeEnforcesTheDecodeCaps) {
   WireItem oversized_attrs;
   oversized_attrs.attrs.assign(kMaxAttrs + 1, {0U, 0});
   EXPECT_THROW(encode(PutMsg{.item = oversized_attrs}), std::length_error);
+  WireItem oversized_payload;
+  oversized_payload.payload_bytes = static_cast<std::uint32_t>(kMaxPayloadBytes) + 1;
+  EXPECT_THROW(encode(PutMsg{.item = oversized_payload}), std::length_error);
 
   // At-cap fields still encode (and round-trip, per the tests above).
   EXPECT_NO_THROW(encode(HelloMsg{.channel = std::string(kMaxNameBytes, 'x')}));
@@ -257,7 +309,7 @@ TEST(Wire, TruncatedBodiesNeverCrash) {
 TEST(Wire, RandomGarbageNeverCrashes) {
   Xoshiro256 rng(0x6A5BA6E);
   for (int i = 0; i < 2000; ++i) {
-    const auto body = random_payload(rng, 128);
+    const auto body = random_bytes(rng, 128);
     std::string err;
     PutMsg put;
     GetReplyMsg reply;
@@ -277,11 +329,12 @@ TEST(Wire, RandomGarbageNeverCrashes) {
 }
 
 TEST(Wire, TrailingBytesAreRejected) {
-  std::vector<std::byte> frame = encode(GetMsg{.consumer_summary = millis(1)});
-  frame.push_back(std::byte{0});
+  const FrameBuf frame = encode(GetMsg{.consumer_summary = millis(1)});
+  std::vector<std::byte> body(frame.span().begin() + kHeaderBytes, frame.span().end());
+  body.push_back(std::byte{0});
   GetMsg out;
   std::string err;
-  EXPECT_FALSE(decode(std::span(frame).subspan(kHeaderBytes), out, &err));
+  EXPECT_FALSE(decode(body, out, &err));
   EXPECT_FALSE(err.empty());
 }
 
@@ -289,34 +342,46 @@ TEST(Wire, TrailingBytesAreRejected) {
 // Header validation
 // ---------------------------------------------------------------------------
 
-TEST(Wire, HeaderRejectsBadMagicVersionTypeAndLength) {
-  const std::vector<std::byte> good = encode(HeartbeatMsg{.t_ns = 1});
+TEST(Wire, HeaderRejectsBadMagicVersionTypeAndLengths) {
+  const FrameBuf good = encode(HeartbeatMsg{.t_ns = 1});
   std::string err;
   FrameHeader h;
-  ASSERT_TRUE(decode_header(std::span(good).first(kHeaderBytes), h, &err));
+  ASSERT_TRUE(decode_header(good.span().first(kHeaderBytes), h, &err));
 
   auto corrupt = [&](std::size_t offset, std::uint8_t value) {
-    std::vector<std::byte> bad = good;
-    bad[offset] = std::byte{value};
+    FrameBuf bad = good;
+    bad.data[offset] = std::byte{value};
     FrameHeader out;
     std::string e;
-    EXPECT_FALSE(decode_header(std::span(bad).first(kHeaderBytes), out, &e));
+    EXPECT_FALSE(decode_header(bad.span().first(kHeaderBytes), out, &e));
     EXPECT_FALSE(e.empty());
   };
   corrupt(0, 0xFF);                                      // magic
   corrupt(8, kWireVersion + 1);                          // version
+  corrupt(8, kWireVersion - 1);                          // v1 peers are rejected too
   corrupt(9, 0);                                         // type below range
   corrupt(9, static_cast<std::uint8_t>(MsgType::kClose) + 1);  // type above range
 
-
-  // body_len beyond the hard cap.
-  std::vector<std::byte> bad = good;
-  const auto huge = static_cast<std::uint32_t>(kMaxBodyBytes + 1);
-  std::memcpy(bad.data() + 4, &huge, sizeof(huge));
-  FrameHeader out;
-  std::string e;
-  EXPECT_FALSE(decode_header(std::span(bad).first(kHeaderBytes), out, &e));
-  EXPECT_NE(e.find("body"), std::string::npos) << e;
+  // body_len beyond the envelope cap.
+  {
+    FrameBuf bad = good;
+    const auto huge = static_cast<std::uint32_t>(kMaxEnvelopeBytes + 1);
+    std::memcpy(bad.data.data() + 4, &huge, sizeof(huge));
+    FrameHeader out;
+    std::string e;
+    EXPECT_FALSE(decode_header(bad.span().first(kHeaderBytes), out, &e));
+    EXPECT_NE(e.find("envelope"), std::string::npos) << e;
+  }
+  // payload_len beyond the hard cap.
+  {
+    FrameBuf bad = good;
+    const auto huge = static_cast<std::uint32_t>(kMaxPayloadBytes + 1);
+    std::memcpy(bad.data.data() + 12, &huge, sizeof(huge));
+    FrameHeader out;
+    std::string e;
+    EXPECT_FALSE(decode_header(bad.span().first(kHeaderBytes), out, &e));
+    EXPECT_NE(e.find("payload"), std::string::npos) << e;
+  }
 }
 
 TEST(Wire, TypeNamesAreStable) {
