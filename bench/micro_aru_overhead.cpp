@@ -12,6 +12,7 @@
 #include "core/pacing.hpp"
 #include "core/stp.hpp"
 #include "runtime/channel.hpp"
+#include "runtime/pool.hpp"
 #include "util/clock.hpp"
 
 namespace stampede {
@@ -62,6 +63,7 @@ BENCHMARK(BM_PacingDecision);
 struct ChannelFixtureState {
   ManualClock clock;
   MemoryTracker tracker{1};
+  PayloadPool pool{PoolConfig{}, &tracker};
   stats::Recorder recorder;
   cluster::Topology topo = cluster::Topology::single_node();
   RunContext ctx;
@@ -72,6 +74,7 @@ struct ChannelFixtureState {
   explicit ChannelFixtureState(aru::Mode mode) {
     ctx.clock = &clock;
     ctx.tracker = &tracker;
+    ctx.pool = &pool;
     ctx.recorder = &recorder;
     ctx.topology = &topo;
     ctx.gc = gc::Kind::kDeadTimestamp;

@@ -63,6 +63,10 @@ struct Fixture {
   ManualClock clock;
   MemoryTracker tracker{1};
   PayloadPool pool{PoolConfig{}, &tracker};
+  /// "Unpooled" series: a pool that retains nothing, so every acquire is a
+  /// fresh heap slab and every release a free — the heap baseline, measured
+  /// through the same mandatory-pool item path the runtime uses.
+  PayloadPool no_retain_pool{PoolConfig{.max_retained_bytes = 0}, &tracker};
   stats::Recorder recorder;
   cluster::Topology topo = cluster::Topology::single_node();
   RunContext ctx;
@@ -70,7 +74,7 @@ struct Fixture {
   explicit Fixture(bool pooled) {
     ctx.clock = &clock;
     ctx.tracker = &tracker;
-    if (pooled) ctx.pool = &pool;
+    ctx.pool = pooled ? &pool : &no_retain_pool;
     ctx.recorder = &recorder;
     ctx.topology = &topo;
     ctx.gc = gc::Kind::kDeadTimestamp;

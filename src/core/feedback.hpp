@@ -28,6 +28,7 @@
 
 #include "core/compress.hpp"
 #include "core/policy.hpp"
+#include "util/static_annotations.hpp"
 #include "util/filters.hpp"
 #include "util/time.hpp"
 
@@ -78,11 +79,11 @@ class FeedbackState {
 
   /// Records a summary-STP received from the downstream node on output
   /// connection `slot`, then recomputes this node's summary.
-  void update_backward(int slot, Nanos summary);
+  ARU_HOT_PATH void update_backward(int slot, Nanos summary);
 
   /// Thread nodes: records the locally measured current-STP for this
   /// iteration, then recomputes the summary.
-  void set_current_stp(Nanos stp);
+  ARU_HOT_PATH void set_current_stp(Nanos stp);
 
   /// This node's summary-STP to piggy-back upstream (kUnknownStp if no
   /// information yet or ARU is off).

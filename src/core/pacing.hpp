@@ -10,6 +10,7 @@
 
 #include "core/compress.hpp"
 #include "core/policy.hpp"
+#include "util/static_annotations.hpp"
 #include "util/time.hpp"
 
 namespace stampede::aru {
@@ -21,10 +22,10 @@ namespace stampede::aru {
 /// \param elapsed  wall time already spent in this iteration.
 /// \param gain     fraction of the gap to close (Config::pace_gain).
 /// \return sleep duration, >= 0.
-Nanos pacing_sleep(Nanos target, Nanos elapsed, double gain = 1.0);
+ARU_HOT_PATH Nanos pacing_sleep(Nanos target, Nanos elapsed, double gain = 1.0);
 
 /// Decides whether a thread should pace itself under `cfg`:
 /// sources always pace; non-sources only when throttle_non_source is set.
-bool should_pace(const Config& cfg, bool is_source);
+ARU_HOT_PATH bool should_pace(const Config& cfg, bool is_source);
 
 }  // namespace stampede::aru

@@ -10,6 +10,7 @@
 
 #include <atomic>
 
+#include "util/static_annotations.hpp"
 #include "util/time.hpp"
 
 namespace stampede::aru {
@@ -23,18 +24,18 @@ namespace stampede::aru {
 class StpMeter {
  public:
   /// Marks the start of a loop iteration at instant `now`.
-  void begin_iteration(Nanos now);
+  ARU_HOT_PATH void begin_iteration(Nanos now);
 
   /// Accumulates time spent blocked on an empty input buffer.
-  void add_blocked(Nanos d);
+  ARU_HOT_PATH void add_blocked(Nanos d);
 
   /// Accumulates time spent sleeping under ARU pacing.
-  void add_paced_sleep(Nanos d);
+  ARU_HOT_PATH void add_paced_sleep(Nanos d);
 
   /// Ends the iteration at instant `now` and returns the measured
   /// current-STP: (now − iteration start) − blocked − paced sleep,
   /// clamped at zero.
-  Nanos end_iteration(Nanos now);
+  ARU_HOT_PATH Nanos end_iteration(Nanos now);
 
   /// Most recent current-STP (0 before the first completed iteration).
   Nanos current_stp() const { return Nanos{current_ns_.load(std::memory_order_relaxed)}; }

@@ -38,6 +38,7 @@ WireItem to_wire(const Item& item) {
 /// NOT filled in here: the caller receives the wire bytes directly into
 /// item->mutable_data() — and if that receive fails, dropping the item
 /// records a matching kFree, so the trace stays balanced either way.
+ARU_ALLOCATES ARU_ANALYZE_ESCAPE("constructs the consumer-side Item replica (one shared_ptr control block per received item — the ownership handoff itself); its payload slab comes from the pool")
 std::shared_ptr<Item> materialize(RunContext& ctx, const WireItem& wi, NodeId producer,
                                   int cluster_node, stats::Shard* shard) {
   auto item = std::make_shared<Item>(ctx, wi.ts, wi.payload_bytes, producer,

@@ -39,6 +39,7 @@
 #include "runtime/remote.hpp"
 #include "runtime/runtime.hpp"
 #include "util/mutex.hpp"
+#include "util/static_annotations.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace stampede::net {
@@ -70,9 +71,9 @@ class RemoteChannel final : public RemoteEndpoint {
 
   // -- RemoteEndpoint ---------------------------------------------------------
 
-  PutResult put(std::shared_ptr<Item> item, std::stop_token st) override;
-  GetResult get_latest(Nanos consumer_summary, Timestamp guarantee,
-                       std::stop_token st) override;
+  ARU_HOT_PATH PutResult put(std::shared_ptr<Item> item, std::stop_token st) override;
+  ARU_HOT_PATH GetResult get_latest(Nanos consumer_summary, Timestamp guarantee,
+                                    std::stop_token st) override;
   NodeId id() const override { return node_; }
   const std::string& name() const override { return config_.name; }
 
@@ -199,9 +200,11 @@ class ChannelServer {
   void serve_connection(TcpStream stream, ConnState& state, std::stop_token st);
 
   /// Handles one attached connection after a successful Hello. `shard` is
-  /// owned by this connection's thread.
-  void serve_attached(TcpStream& stream, const Served& served, const HelloMsg& hello,
-                      stats::Shard* shard, std::stop_token st);
+  /// owned by this connection's thread. Hot-path root: this loop serves
+  /// every put ack and get reply, so the STP piggyback must not allocate.
+  ARU_HOT_PATH void serve_attached(TcpStream& stream, const Served& served,
+                                   const HelloMsg& hello, stats::Shard* shard,
+                                   std::stop_token st);
 
   /// Joins and erases finished connection threads, returning their shards
   /// to the free pool. Runs on every accept-loop tick so reconnect churn

@@ -23,6 +23,7 @@
 #include <span>
 #include <string>
 
+#include "util/static_annotations.hpp"
 #include "util/time.hpp"
 
 namespace stampede::net {
@@ -79,14 +80,16 @@ class TcpStream {
   /// Nonblocking connect to host:port bounded by `timeout`. Returns an
   /// empty optional on failure (refused, unreachable, timed out); `*err`
   /// gets a diagnostic when non-null.
-  static std::optional<TcpStream> connect(const std::string& host, std::uint16_t port,
-                                          Nanos timeout, std::string* err = nullptr);
+  ARU_MAY_BLOCK ARU_ALLOCATES static std::optional<TcpStream> connect(
+      const std::string& host, std::uint16_t port, Nanos timeout,
+      std::string* err = nullptr);
 
   bool valid() const { return sock_.valid(); }
   void close() { sock_.reset(); }
 
   /// Sends the whole buffer or fails. kTimeout applies to overall progress:
   /// the deadline is `timeout` from the call, not per chunk.
+  ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded nonblocking socket I/O: poll() with an absolute deadline, never an unbounded wait")
   IoStatus send_all(std::span<const std::byte> data, Nanos timeout);
 
   /// Scatter-gather variant: sends the concatenation of `bufs` (in order)
@@ -97,12 +100,14 @@ class TcpStream {
   /// retries. Same contract as send_all: kOk means every byte of every
   /// buffer was sent; anything else leaves the stream desynchronized
   /// mid-frame and the connection must be dropped. Empty spans are fine.
+  ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded nonblocking socket I/O: sendmsg under one poll() deadline")
   IoStatus send_vec(std::span<const std::span<const std::byte>> bufs, Nanos timeout);
 
   /// Receives exactly `out.size()` bytes or fails. A timeout with zero
   /// bytes read is a clean kTimeout; a timeout mid-message is also
   /// kTimeout but leaves the stream desynchronized — callers must treat
   /// any non-kOk mid-frame result as fatal for the connection.
+  ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded nonblocking socket I/O: recv under one poll() deadline")
   IoStatus recv_exact(std::span<std::byte> out, Nanos timeout);
 
   /// True once the peer has hung up (POLLHUP/POLLERR or pending EOF).
@@ -111,7 +116,8 @@ class TcpStream {
 
   /// Waits up to `timeout` for the stream to become readable (data or
   /// EOF). False on timeout.
-  bool readable(Nanos timeout) const;
+  ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded readiness poll") bool readable(
+      Nanos timeout) const;
 
  private:
   Socket sock_;
@@ -137,7 +143,7 @@ class TcpListener {
 
   /// Waits up to `timeout` for one inbound connection. Empty optional on
   /// timeout, listener close, or error.
-  std::optional<TcpStream> accept(Nanos timeout);
+  ARU_MAY_BLOCK std::optional<TcpStream> accept(Nanos timeout);
 
  private:
   TcpListener(Socket sock, std::uint16_t port) : sock_(std::move(sock)), port_(port) {}

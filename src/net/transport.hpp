@@ -48,6 +48,7 @@
 #include "runtime/context.hpp"
 #include "stats/recorder.hpp"
 #include "util/mutex.hpp"
+#include "util/static_annotations.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace stampede::net {
@@ -109,9 +110,10 @@ class Transport {
   ///        Either way, once the request is sent the outcome is final:
   ///        a link death mid-RPC returns kDisconnected and the caller
   ///        decides whether to re-issue the (lost) request.
-  RpcStatus rpc(const FrameBuf& frame, std::span<const std::byte> payload,
-                MsgType expect, EnvelopeBody& reply_body, const PayloadSink& sink,
-                bool wait_for_link, std::stop_token st) EXCLUDES(mu_, stats_mu_);
+  ARU_HOT_PATH RpcStatus rpc(const FrameBuf& frame, std::span<const std::byte> payload,
+                             MsgType expect, EnvelopeBody& reply_body,
+                             const PayloadSink& sink, bool wait_for_link,
+                             std::stop_token st) EXCLUDES(mu_, stats_mu_);
 
   /// Drops the link (next rpc reconnects). Safe to call concurrently.
   void disconnect() EXCLUDES(mu_, stats_mu_);

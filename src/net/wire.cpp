@@ -125,6 +125,7 @@ class Reader {
     return true;
   }
 
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("attach-time name field, capped at kMaxNameBytes; put/get envelopes carry no strings")
   bool str(std::string& s) {
     std::uint16_t len = 0;
     if (!u16(len)) return false;
@@ -135,6 +136,7 @@ class Reader {
     return true;
   }
 
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("decodes into the caller's reused vector, capped at kMaxStpSlots; capacity amortizes to zero allocations")
   bool stp_vector(std::vector<Nanos>& v) {
     std::uint16_t count = 0;
     if (!u16(count)) return false;
@@ -149,6 +151,7 @@ class Reader {
     return true;
   }
 
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("decodes into the caller's reused WireItem, attrs capped at kMaxAttrs; capacity amortizes to zero allocations")
   bool item(WireItem& it) {
     std::uint16_t attr_count = 0;
     if (!i64(it.ts) || !u64(it.origin_id) || !i64(it.produce_cost_ns) ||

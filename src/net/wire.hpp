@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "runtime/types.hpp"
+#include "util/static_annotations.hpp"
 #include "util/time.hpp"
 
 namespace stampede::net {
@@ -204,14 +205,14 @@ struct EnvelopeBody {
 // std::length_error at the sender instead of emitting a frame every peer
 // would reject.
 
-FrameBuf encode(const HelloMsg& m);
-FrameBuf encode(const HelloAckMsg& m);
-FrameBuf encode(const PutMsg& m);
-FrameBuf encode(const PutAckMsg& m);
-FrameBuf encode(const GetMsg& m);
-FrameBuf encode(const GetReplyMsg& m);
-FrameBuf encode(const HeartbeatMsg& m);
-FrameBuf encode_close();
+ARU_HOT_PATH FrameBuf encode(const HelloMsg& m);
+ARU_HOT_PATH FrameBuf encode(const HelloAckMsg& m);
+ARU_HOT_PATH FrameBuf encode(const PutMsg& m);
+ARU_HOT_PATH FrameBuf encode(const PutAckMsg& m);
+ARU_HOT_PATH FrameBuf encode(const GetMsg& m);
+ARU_HOT_PATH FrameBuf encode(const GetReplyMsg& m);
+ARU_HOT_PATH FrameBuf encode(const HeartbeatMsg& m);
+ARU_HOT_PATH FrameBuf encode_close();
 
 // -- decoding ---------------------------------------------------------------
 // All decoders return false (and set *err when non-null) on truncated,
@@ -219,14 +220,22 @@ FrameBuf encode_close();
 // bounds.
 
 /// Decodes the 16-byte header; `buf` must hold at least kHeaderBytes.
-bool decode_header(std::span<const std::byte> buf, FrameHeader& out, std::string* err);
+ARU_HOT_PATH ARU_NOTHROW_PATH bool decode_header(std::span<const std::byte> buf,
+                                                 FrameHeader& out, std::string* err);
 
-bool decode(std::span<const std::byte> body, HelloMsg& out, std::string* err);
-bool decode(std::span<const std::byte> body, HelloAckMsg& out, std::string* err);
-bool decode(std::span<const std::byte> body, PutMsg& out, std::string* err);
-bool decode(std::span<const std::byte> body, PutAckMsg& out, std::string* err);
-bool decode(std::span<const std::byte> body, GetMsg& out, std::string* err);
-bool decode(std::span<const std::byte> body, GetReplyMsg& out, std::string* err);
-bool decode(std::span<const std::byte> body, HeartbeatMsg& out, std::string* err);
+ARU_HOT_PATH ARU_NOTHROW_PATH bool decode(std::span<const std::byte> body, HelloMsg& out,
+                                          std::string* err);
+ARU_HOT_PATH ARU_NOTHROW_PATH bool decode(std::span<const std::byte> body,
+                                          HelloAckMsg& out, std::string* err);
+ARU_HOT_PATH ARU_NOTHROW_PATH bool decode(std::span<const std::byte> body, PutMsg& out,
+                                          std::string* err);
+ARU_HOT_PATH ARU_NOTHROW_PATH bool decode(std::span<const std::byte> body, PutAckMsg& out,
+                                          std::string* err);
+ARU_HOT_PATH ARU_NOTHROW_PATH bool decode(std::span<const std::byte> body, GetMsg& out,
+                                          std::string* err);
+ARU_HOT_PATH ARU_NOTHROW_PATH bool decode(std::span<const std::byte> body,
+                                          GetReplyMsg& out, std::string* err);
+ARU_HOT_PATH ARU_NOTHROW_PATH bool decode(std::span<const std::byte> body,
+                                          HeartbeatMsg& out, std::string* err);
 
 }  // namespace stampede::net

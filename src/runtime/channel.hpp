@@ -48,6 +48,7 @@
 #include "runtime/item.hpp"
 #include "stats/recorder.hpp"
 #include "util/mutex.hpp"
+#include "util/static_annotations.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace stampede {
@@ -104,14 +105,14 @@ class Channel {
   /// frontier is dead on arrival and dropped immediately — recorded as a
   /// tagged drop only (no put event), so postmortem waste accounting does
   /// not double-count it.
-  PutResult put(std::shared_ptr<Item> item, std::stop_token st);
+  ARU_HOT_PATH PutResult put(std::shared_ptr<Item> item, std::stop_token st);
 
   /// Non-blocking put: identical to put() except that a full bounded
   /// channel yields nullopt immediately instead of blocking (the item is
   /// untouched; callers holding their own reference may simply retry).
   /// Lets the net server skeleton keep emitting heartbeats while the
   /// channel exerts backpressure instead of going silent mid-RPC.
-  std::optional<PutResult> try_put(std::shared_ptr<Item> item);
+  ARU_HOT_PATH std::optional<PutResult> try_put(std::shared_ptr<Item> item);
 
   struct GetResult {
     /// The fetched item; nullptr when the channel closed with nothing left
@@ -137,29 +138,29 @@ class Channel {
   ///        off).
   /// \param extra_guarantee DGC: lowest output timestamp still wanted by
   ///        the consumer's own downstream (kNoTimestamp = none).
-  GetResult get_latest(int consumer_idx, Nanos consumer_summary,
-                       Timestamp extra_guarantee, std::stop_token st);
+  ARU_HOT_PATH GetResult get_latest(int consumer_idx, Nanos consumer_summary,
+                                    Timestamp extra_guarantee, std::stop_token st);
 
   /// Fetches the *oldest* item strictly newer than this consumer's cursor
   /// — in-order access without skipping (Stampede's sequential access
   /// mode). Blocks like get_latest. Skips nothing, so a consumer using
   /// only get_next never wastes items.
-  GetResult get_next(int consumer_idx, Nanos consumer_summary, Timestamp extra_guarantee,
-                     std::stop_token st);
+  ARU_HOT_PATH GetResult get_next(int consumer_idx, Nanos consumer_summary,
+                                  Timestamp extra_guarantee, std::stop_token st);
 
   /// Non-blocking: the item with exactly timestamp `ts`, if present.
   /// Marks it consumed but does not move the cursor (random access —
   /// e.g. fetching the frame matching another stream's timestamp).
   /// Returns a null item when absent; never blocks.
-  GetResult get_at(int consumer_idx, Timestamp ts, Nanos consumer_summary);
+  ARU_HOT_PATH GetResult get_at(int consumer_idx, Timestamp ts, Nanos consumer_summary);
 
   /// Non-blocking: the stored item whose timestamp is closest to `ts`
   /// within ±`tolerance` — the paper's §1 footnote: "corresponding
   /// timestamps could be timestamps with the same value or with values
   /// close enough within a pre-defined threshold". Ties prefer the newer
   /// item. Marks it consumed; does not move the cursor.
-  GetResult get_nearest(int consumer_idx, Timestamp ts, Timestamp tolerance,
-                        Nanos consumer_summary);
+  ARU_HOT_PATH GetResult get_nearest(int consumer_idx, Timestamp ts, Timestamp tolerance,
+                                     Nanos consumer_summary);
 
   /// Sliding-window access (e.g. gesture recognition over recent video):
   /// blocks until an item newer than the cursor exists, then returns the
@@ -174,8 +175,8 @@ class Channel {
     Nanos transfer{0};  ///< transfer for the newest (new) item only
     Nanos overhead{0};
   };
-  WindowResult get_window(int consumer_idx, std::size_t window, Nanos consumer_summary,
-                          std::stop_token st);
+  ARU_HOT_PATH WindowResult get_window(int consumer_idx, std::size_t window,
+                                       Nanos consumer_summary, std::stop_token st);
 
   /// Explicit guarantee: consumer `consumer_idx` declares it will never
   /// again request a timestamp below `g`. Required by consumers that use
@@ -215,7 +216,7 @@ class Channel {
   /// Snapshot of the backwardSTP vector (one slot per registered consumer;
   /// kUnknownStp = nothing received). The net skeleton piggy-backs this on
   /// put acks and get replies (paper §3.3.2 Fig. 3 over the wire).
-  std::vector<Nanos> backward_stp() const;
+  ARU_ALLOCATES std::vector<Nanos> backward_stp() const;
   std::size_t consumers() const;
   std::size_t producers() const;
 
@@ -263,6 +264,7 @@ class Channel {
   /// consumer.
   void check_consumer_locked(int consumer_idx, const char* op) const REQUIRES(mu_);
 
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("amortized append to a reused thread-local event batch; capacity stabilizes after warmup")
   static void add_event(EventBatch& events, stats::EventType type, const Item& item,
                         std::int64_t now, NodeId node, std::int64_t a = 0,
                         std::int64_t b = 0);

@@ -22,8 +22,12 @@ struct RunContext {
   Clock* clock = nullptr;
   MemoryTracker* tracker = nullptr;
   stats::Recorder* recorder = nullptr;
-  /// Payload buffer pool items allocate from (runtime/pool.hpp). May be
-  /// null — items then fall back to plain heap slabs (still no zero-fill).
+  /// Payload buffer pool items allocate from (runtime/pool.hpp). Must be
+  /// set before any Item is constructed: there is deliberately no heap
+  /// fallback (a pool-less context would silently re-introduce a per-item
+  /// allocation on the hot path — aru-analyze's hot-path purity rule).
+  /// Fixtures that want heap behavior use a pool with
+  /// `max_retained_bytes = 0`, which recycles nothing.
   PayloadPool* pool = nullptr;
   const cluster::Topology* topology = nullptr;
   PressureModel pressure;

@@ -21,8 +21,7 @@ Item::Item(RunContext& ctx, Timestamp ts, std::size_t bytes, NodeId producer,
       produce_cost_(produce_cost),
       t_alloc_(ctx.now_ns()),
       lineage_(std::move(lineage)),
-      data_(ctx.pool != nullptr ? ctx.pool->acquire(bytes)
-                                : PayloadPool::unpooled(bytes)) {
+      data_(ctx.pool->acquire(bytes)) {
   ctx_.tracker->on_alloc(cluster_node_, static_cast<std::int64_t>(bytes));
 }
 

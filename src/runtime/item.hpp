@@ -3,7 +3,9 @@
 ///        and garbage collection.
 ///
 /// An item owns its payload bytes — a pooled `PayloadBuffer` drawn from
-/// the run's `PayloadPool` (plain heap when the context has none).
+/// the run's `PayloadPool` (always: the silent plain-heap fallback for a
+/// pool-less context was a per-item allocation on the hot path, flagged
+/// by aru-analyze and removed — contexts must provide a pool).
 /// Channels and consumers share ownership via shared_ptr; the memory is
 /// accounted as *freed* when the last reference drops (exactly when the
 /// bytes become reclaimable), which the destructor reports to the
@@ -24,6 +26,7 @@
 #include "runtime/context.hpp"
 #include "runtime/pool.hpp"
 #include "runtime/types.hpp"
+#include "util/static_annotations.hpp"
 
 namespace stampede {
 
@@ -38,8 +41,8 @@ class Item {
   /// \param cluster_node virtual cluster node charged for the memory.
   /// \param lineage      ids of the input items this one was derived from.
   /// \param produce_cost compute time spent producing it (trace metadata).
-  Item(RunContext& ctx, Timestamp ts, std::size_t bytes, NodeId producer,
-       int cluster_node, std::vector<ItemId> lineage, Nanos produce_cost);
+  ARU_HOT_PATH Item(RunContext& ctx, Timestamp ts, std::size_t bytes, NodeId producer,
+                    int cluster_node, std::vector<ItemId> lineage, Nanos produce_cost);
 
   /// Accounts the release (tracker + trace). May run on any thread.
   ~Item();

@@ -11,7 +11,7 @@ namespace {
 
 /// Fresh slab, explicitly NOT value-initialized: make_unique would zero
 /// the pages, which is exactly the cost the pool exists to avoid.
-std::byte* raw_alloc(std::size_t bytes) { return new std::byte[bytes]; }
+ARU_ALLOCATES std::byte* raw_alloc(std::size_t bytes) { return new std::byte[bytes]; }
 
 }  // namespace
 

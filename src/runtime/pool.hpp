@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "util/mutex.hpp"
+#include "util/static_annotations.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace stampede {
@@ -155,11 +156,12 @@ class PayloadPool {
   /// `class_size(bytes)` slab — recycled when one is parked, freshly
   /// allocated (not zero-filled) otherwise. Requests over kMaxPooledBytes
   /// get a plain heap slab that is freed, not recycled, on destruction.
-  PayloadBuffer acquire(std::size_t bytes);
+  ARU_HOT_PATH PayloadBuffer acquire(std::size_t bytes);
 
-  /// Pool-less fallback (RunContext::pool == nullptr): plain heap slab,
-  /// same no-zero-fill contract, freed on destruction.
-  static PayloadBuffer unpooled(std::size_t bytes);
+  /// Plain heap slab, same no-zero-fill contract, freed (not recycled) on
+  /// destruction. For standalone tooling and benchmarks only: runtime
+  /// items always allocate from their RunContext's pool.
+  ARU_ALLOCATES static PayloadBuffer unpooled(std::size_t bytes);
 
   /// The slab size backing a request: next power of two (min 64 B) up to
   /// 4 KiB, then 64 KiB multiples up to kMaxPooledBytes; identity above.
@@ -189,7 +191,7 @@ class PayloadPool {
   /// Recycles a slab from a destructing PayloadBuffer. Runs on whatever
   /// thread drops the last item reference — including under a channel
   /// lock, which rank kPool > kBuffer permits.
-  void release(std::byte* data, std::size_t capacity);
+  ARU_HOT_PATH void release(std::byte* data, std::size_t capacity);
 
   const PoolConfig config_;
   MemoryTracker* const tracker_;

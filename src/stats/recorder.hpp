@@ -18,6 +18,7 @@
 
 #include "stats/events.hpp"
 #include "util/mutex.hpp"
+#include "util/static_annotations.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace stampede::stats {
@@ -27,7 +28,9 @@ class Recorder;
 /// Append-only event buffer owned by one serialization domain.
 class Shard {
  public:
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("trace plane: appends to a run-long shard whose capacity amortizes; runs outside data-plane locks (kBufferStats/kNetStats rank below kBuffer/kNet)")
   void record(const Event& e) { events_.push_back(e); }
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("trace plane: run-long shard append, capacity amortizes")
   void record_item(ItemRecord rec) { items_.push_back(std::move(rec)); }
 
  private:
@@ -53,6 +56,7 @@ class Recorder {
 
   /// Thread-safe recording path for events that can fire on any thread
   /// (item destructors).
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("trace plane: mutex-protected shard append (rank kRecorder, above every data-plane rank)")
   void record_any_thread(const Event& e);
 
   /// Allocates a fresh globally unique item id (thread-safe).

@@ -10,6 +10,7 @@
 
 #include <atomic>
 
+#include "util/static_annotations.hpp"
 #include "util/time.hpp"
 
 namespace stampede {
@@ -27,10 +28,10 @@ class Clock {
 
   /// Blocks the calling thread for (at least) `d`. Non-positive durations
   /// return immediately.
-  virtual void sleep_for(Nanos d) = 0;
+  ARU_MAY_BLOCK virtual void sleep_for(Nanos d) = 0;
 
   /// Blocks until `now() >= t`.
-  void sleep_until(Nanos t) {
+  ARU_MAY_BLOCK void sleep_until(Nanos t) {
     const Nanos cur = now();
     if (t > cur) sleep_for(t - cur);
   }

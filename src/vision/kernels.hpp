@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "util/static_annotations.hpp"
 #include "vision/frame.hpp"
 #include "vision/records.hpp"
 
@@ -18,23 +19,26 @@ namespace stampede::vision {
 
 /// Motion mask: |luma(cur) − luma(prev)| > threshold → 255, else 0.
 /// Touches every `stride`-th pixel; returns the number of moving pixels.
-int frame_difference(ConstFrameView cur, ConstFrameView prev, std::span<std::byte> mask_out,
-                     int threshold = 24, int stride = kDefaultStride);
+ARU_HOT_PATH int frame_difference(ConstFrameView cur, ConstFrameView prev,
+                                  std::span<std::byte> mask_out, int threshold = 24,
+                                  int stride = kDefaultStride);
 
 /// Builds the normalized 16^3-bin RGB histogram of `frame` and a
 /// per-pixel backprojection byte map (bin frequency scaled to 0-255) into
 /// the histogram payload.
-void color_histogram(ConstFrameView frame, std::span<std::byte> histogram_payload,
-                     int stride = kDefaultStride);
+ARU_HOT_PATH void color_histogram(ConstFrameView frame,
+                                  std::span<std::byte> histogram_payload,
+                                  int stride = kDefaultStride);
 
 /// Locates the target whose color matches `model`: scans `stride`-spaced
 /// pixels where the motion mask is set (or all pixels when the mask is
 /// empty/absent), weighting each by its color-model similarity, and
 /// returns the weighted centroid. The histogram backprojection is used to
 /// discount colors common in the whole frame.
-LocationRecord detect_target(ConstFrameView frame, std::span<const std::byte> mask,
-                             ConstHistogramView histogram, Rgb model, int model_index,
-                             int stride = kDefaultStride);
+ARU_HOT_PATH LocationRecord detect_target(ConstFrameView frame,
+                                          std::span<const std::byte> mask,
+                                          ConstHistogramView histogram, Rgb model,
+                                          int model_index, int stride = kDefaultStride);
 
 /// Mean-shift color tracking (the classic color-histogram tracker family
 /// the CRL tracker belongs to): starting from `start_x/start_y`, iterates
@@ -46,9 +50,11 @@ struct MeanShiftResult {
   double x = 0.0, y = 0.0;
   double mass = 0.0;  ///< total color-similarity mass in the final window
 };
-MeanShiftResult mean_shift_track(ConstFrameView frame, Rgb model, double start_x,
-                                 double start_y, double window_radius = 48.0,
-                                 int max_iters = 12, int stride = kDefaultStride);
+ARU_HOT_PATH MeanShiftResult mean_shift_track(ConstFrameView frame, Rgb model,
+                                              double start_x, double start_y,
+                                              double window_radius = 48.0,
+                                              int max_iters = 12,
+                                              int stride = kDefaultStride);
 
 /// Connected-component labeling of a motion mask on the `stride` grid
 /// (8-connectivity between grid neighbours). Returns components sorted by

@@ -1,0 +1,33 @@
+/// \file fixture.cpp
+/// \brief aru-analyze fixture: allocation reachable from a hot-path root.
+///
+/// Analyzed, never compiled (tests/analyze/run_fixtures.py drives the
+/// analyzer over this directory). Without ARU_FIXTURE_FIXED the hot root
+/// reaches an ARU_ALLOCATES callee and the analyzer must exit 1 with a
+/// hot-alloc finding; with it, the preallocated scratch path is clean.
+
+namespace fixture {
+
+struct Frame {
+  unsigned char* px;
+  int w, h;
+};
+
+/// Heap-allocates a fresh frame — never acceptable per tick.
+ARU_ALLOCATES Frame make_frame(int w, int h);
+
+/// Thread-local scratch frame, grown once and reused.
+Frame& scratch_frame(int w, int h);
+
+void fill(Frame& f);
+
+ARU_HOT_PATH void process_tick(int w, int h) {
+#ifndef ARU_FIXTURE_FIXED
+  Frame f = make_frame(w, h);
+#else
+  Frame& f = scratch_frame(w, h);
+#endif
+  fill(f);
+}
+
+}  // namespace fixture

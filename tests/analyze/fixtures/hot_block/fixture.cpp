@@ -1,0 +1,30 @@
+/// \file fixture.cpp
+/// \brief aru-analyze fixture: blocking call reachable from a hot root
+///        through an unannotated helper (exercises the transitive BFS).
+///
+/// Analyzed, never compiled. Without ARU_FIXTURE_FIXED the helper calls
+/// an ARU_MAY_BLOCK wait and the analyzer must exit 1 with a hot-block
+/// finding; with it, the nonblocking poll path is clean.
+
+namespace fixture {
+
+/// Sleeps in the kernel until the fd is readable or the timeout fires.
+ARU_MAY_BLOCK bool wait_readable(int fd, int timeout_ms);
+
+/// Nonblocking readiness check.
+bool poll_readable(int fd);
+
+bool drain_ready(int fd) {
+#ifndef ARU_FIXTURE_FIXED
+  return wait_readable(fd, 50);
+#else
+  return poll_readable(fd);
+#endif
+}
+
+ARU_HOT_PATH int serve_once(int fd) {
+  if (!drain_ready(fd)) return 0;
+  return 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+/// \file fixture.cpp
+/// \brief aru-analyze fixture: LockRank inversion between two scoped
+///        guards (mirrors util/mutex.hpp's ranked Mutex + MutexLock).
+///
+/// Analyzed, never compiled. Without ARU_FIXTURE_FIXED the body takes
+/// the rank-30 buffer mutex and then the rank-10 lifecycle mutex — a
+/// rank-order violation the analyzer must flag; with it, the guards
+/// nest in ascending rank order and the analyzer is clean.
+
+namespace util {
+enum class LockRank { kLifecycle = 10, kBuffer = 30 };
+}  // namespace util
+
+namespace fixture {
+
+class Pipeline {
+ public:
+  void stop_and_flush() {
+#ifndef ARU_FIXTURE_FIXED
+    util::MutexLock buf(buffer_mu_);      // rank 30
+    util::MutexLock life(lifecycle_mu_);  // rank 10 under 30: inversion
+#else
+    util::MutexLock life(lifecycle_mu_);  // rank 10
+    util::MutexLock buf(buffer_mu_);      // rank 30 under 10: ascending
+#endif
+    drain();
+  }
+
+  void drain();
+
+ private:
+  util::Mutex lifecycle_mu_{util::LockRank::kLifecycle};
+  util::Mutex buffer_mu_{util::LockRank::kBuffer};
+};
+
+}  // namespace fixture

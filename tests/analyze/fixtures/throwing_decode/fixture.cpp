@@ -1,0 +1,36 @@
+/// \file fixture.cpp
+/// \brief aru-analyze fixture: throw statement inside an
+///        ARU_NOTHROW_PATH decode function.
+///
+/// Analyzed, never compiled. Without ARU_FIXTURE_FIXED the short-read
+/// branch throws — a nothrow-throw violation (wire decode must report
+/// malformed input through the Reader's error flag, never by unwinding
+/// the serve loop); with it, the branch sets the error flag and the
+/// analyzer is clean.
+
+namespace fixture {
+
+struct LengthError {};
+
+struct Reader {
+  const unsigned char* p;
+  int len;
+  bool err;
+};
+
+unsigned read_u32(Reader& r);
+
+ARU_NOTHROW_PATH bool decode_header(Reader& r, unsigned& kind) {
+#ifndef ARU_FIXTURE_FIXED
+  if (r.len < 4) throw LengthError{};
+#else
+  if (r.len < 4) {
+    r.err = true;
+    return false;
+  }
+#endif
+  kind = read_u32(r);
+  return true;
+}
+
+}  // namespace fixture

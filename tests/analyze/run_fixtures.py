@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Proves every aru-analyze fixture both ways.
+
+Each directory under tests/analyze/fixtures/ holds one minimal source
+file exercising exactly one analyzer rule. The fixture is run twice:
+
+  1. as-is              -> the analyzer must exit 1 and print a finding
+                           for the expected rule;
+  2. -D ARU_FIXTURE_FIXED -> the violating branch is preprocessed away
+                           (or the escape hatch appears) and the
+                           analyzer must exit 0.
+
+Registered as the `analyze_fixtures` ctest; also runnable directly:
+    python3 tests/analyze/run_fixtures.py
+"""
+import os
+import subprocess
+import sys
+
+# fixture directory -> rule tag that must appear in the violating run
+FIXTURES = [
+    ("hot_alloc", "hot-alloc"),
+    ("hot_block", "hot-block"),
+    ("rank_inversion", "rank-order"),
+    ("throwing_decode", "nothrow-throw"),
+    ("escape_hatch", "hot-alloc"),
+]
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+ANALYZER = os.path.join(ROOT, "scripts", "analyze", "aru_analyze.py")
+FIXDIR = os.path.join(ROOT, "tests", "analyze", "fixtures")
+
+
+def run_analyzer(fixture_dir, defines):
+    cmd = [sys.executable, ANALYZER,
+           "--root", ROOT,
+           "--sources", fixture_dir,
+           "--baseline", "none",
+           "--rules", "hot,ranks,nothrow"]
+    for d in defines:
+        cmd += ["--define", d]
+    p = subprocess.run(cmd, capture_output=True, text=True)
+    return p.returncode, p.stdout + p.stderr
+
+
+def main():
+    failures = []
+    for name, rule in FIXTURES:
+        d = os.path.join(FIXDIR, name)
+        if not os.path.isdir(d):
+            failures.append(f"{name}: fixture directory missing: {d}")
+            continue
+
+        rc, out = run_analyzer(d, [])
+        if rc != 1:
+            failures.append(f"{name}: violating run expected exit 1, "
+                            f"got {rc}\n{out}")
+        elif f"[{rule}]" not in out:
+            failures.append(f"{name}: violating run did not report a "
+                            f"{rule} finding\n{out}")
+
+        rc, out = run_analyzer(d, ["ARU_FIXTURE_FIXED"])
+        if rc != 0:
+            failures.append(f"{name}: fixed run (-D ARU_FIXTURE_FIXED) "
+                            f"expected exit 0, got {rc}\n{out}")
+        elif name == "escape_hatch" and "sanctioned escape" not in out:
+            failures.append(f"{name}: fixed run did not report the "
+                            f"sanctioned escape edge\n{out}")
+
+        status = "FAIL" if any(f.startswith(name + ":") for f in failures) \
+            else "ok"
+        print(f"  {name:<16} [{rule}] ... {status}")
+
+    if failures:
+        print(f"\n{len(failures)} fixture check(s) failed:", file=sys.stderr)
+        for f in failures:
+            print("  " + f.replace("\n", "\n    "), file=sys.stderr)
+        return 1
+    print(f"all {len(FIXTURES)} fixtures proven both ways")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
