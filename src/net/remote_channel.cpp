@@ -18,19 +18,36 @@ constexpr Nanos kServeSlice = millis(20);
 /// Accept-loop poll slice.
 constexpr Nanos kAcceptSlice = millis(50);
 
-/// Builds the on-the-wire envelope of an item. The payload bytes are not
-/// copied anywhere: the frame announces their size and the caller sends
-/// them scatter-gather straight from the item's pooled slab.
-WireItem to_wire(const Item& item) {
-  WireItem wi;
+/// Fills the on-the-wire envelope of an item in place (callers reuse
+/// their WireItem, so the attrs vector's capacity persists across
+/// messages). The payload bytes are not copied anywhere: the frame
+/// announces their size and the caller sends them scatter-gather
+/// straight from the item's pooled slab.
+ARU_ALLOCATES ARU_ANALYZE_ESCAPE("fills the caller's reused WireItem — attrs capacity persists across messages")
+void to_wire(const Item& item, WireItem& wi) {
   wi.ts = item.ts();
   wi.origin_id = item.id();
   wi.produce_cost_ns = item.produce_cost().count();
-  wi.attrs = {{kTagProducerNode, item.producer()},
-              {kTagClusterNode, item.cluster_node()}};
+  wi.attrs.clear();
+  wi.attrs.push_back({kTagProducerNode, item.producer()});
+  wi.attrs.push_back({kTagClusterNode, item.cluster_node()});
   wi.payload_bytes = static_cast<std::uint32_t>(item.bytes());
-  return wi;
 }
+
+/// Resets a reused WireItem to the encoded-when-absent shape without
+/// giving back the attrs vector's capacity.
+void clear_wire_item(WireItem& wi) {
+  wi.ts = kNoTimestamp;
+  wi.origin_id = 0;
+  wi.produce_cost_ns = 0;
+  wi.attrs.clear();
+  wi.payload_bytes = 0;
+}
+
+/// Appends into a reused message vector: after the first message on each
+/// thread the capacity persists, so the append is allocation-free.
+ARU_ALLOCATES ARU_ANALYZE_ESCAPE("amortized append into a reused message vector whose capacity persists across calls")
+void append_nanos(std::vector<Nanos>& v, Nanos n) { v.push_back(n); }
 
 /// Materializes a local Item replica for a received WireItem, accounting
 /// the allocation in the trace exactly like TaskContext::make_item (the
@@ -129,10 +146,14 @@ RemoteEndpoint::PutResult RemoteChannel::put(std::shared_ptr<Item> item,
   }
   if (!item) throw std::invalid_argument("RemoteChannel::put: null item");
 
-  PutMsg msg;
-  msg.item = to_wire(*item);
+  // Reused per-thread message scratch: encode() consumes it synchronously,
+  // so it is free again before the next put on this thread. Keeps the
+  // steady-state put path allocation-free (aru-analyze hot rule).
+  static thread_local PutMsg msg;
+  msg.stp.clear();
+  to_wire(*item, msg.item);
   const Nanos held = summary();
-  if (aru::known(held)) msg.stp.push_back(held);
+  if (aru::known(held)) append_nanos(msg.stp, held);
 
   // The payload goes out scatter-gather with the envelope, straight from
   // the item's pooled slab (the shared_ptr keeps it alive for the send).
@@ -143,7 +164,7 @@ RemoteEndpoint::PutResult RemoteChannel::put(std::shared_ptr<Item> item,
                                      /*sink=*/nullptr, /*wait_for_link=*/false, st);
 
   if (status == Transport::RpcStatus::kOk) {
-    PutAckMsg ack;
+    static thread_local PutAckMsg ack;  // decode() overwrites every field
     if (decode(body.span(), ack, nullptr)) {
       if (aru::known(ack.summary)) hold_summary(ack.summary);
       return PutResult{.summary = aru::known(ack.summary) ? ack.summary : held,
@@ -181,8 +202,11 @@ RemoteEndpoint::GetResult RemoteChannel::get_latest(Nanos consumer_summary,
       encode(GetMsg{.consumer_summary = consumer_summary, .guarantee = guarantee});
   EnvelopeBody body;
 
+  // Reused across retries and calls: decode() overwrites every field and
+  // the stp vector's capacity persists, so the steady-state get path is
+  // allocation-free apart from the materialized item itself.
+  static thread_local GetReplyMsg reply;
   for (;;) {
-    GetReplyMsg reply;
     std::shared_ptr<Item> item;
     bool decoded = false;
     // Payload-bearing replies decode inside the sink so the wire bytes
@@ -413,6 +437,16 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
                       MsgType::kHeartbeat);
   };
 
+  // Reused per-connection message scratch: decode() and the assignments
+  // below overwrite every field, and the stp/attrs vector capacities
+  // persist across frames, so the steady-state serve loop — every put ack
+  // and get reply, STP piggyback included — is allocation-free apart from
+  // materializing received items (aru-analyze hot rule).
+  PutMsg put_msg;
+  PutAckMsg put_ack;
+  GetMsg get_msg;
+  GetReplyMsg get_reply;
+
   while (!st.stop_requested()) {
     if (!stream.readable(kServeSlice)) {
       if (stream.peer_hup() || !heartbeat_if_due()) return;
@@ -435,13 +469,12 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
     switch (header.type) {
       case MsgType::kPut: {
         if (hello.producer_key < 0) return;  // protocol violation
-        PutMsg msg;
-        if (!decode(body.span(), msg, nullptr)) return;
-        if (msg.item.payload_bytes != header.payload_len) return;  // lengths disagree
+        if (!decode(body.span(), put_msg, nullptr)) return;
+        if (put_msg.item.payload_bytes != header.payload_len) return;  // lengths disagree
         // Materialize first, then receive the payload tail directly into
         // the pooled slab — the frame-sized staging vector is gone.
         auto item = materialize(
-            ctx_, msg.item,
+            ctx_, put_msg.item,
             served.producer_nodes[static_cast<std::size_t>(hello.producer_key)],
             channel.cluster_node(), shard);
         if (header.payload_len > 0 &&
@@ -458,17 +491,16 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
           if (st.stop_requested() || stream.peer_hup() || !heartbeat_if_due()) return;
           ctx_.clock->sleep_for(config_.poll_interval);
         }
-        PutAckMsg reply{.stored = res->stored,
-                        .closed = channel.closed(),
-                        .summary = res->channel_summary,
-                        .stp = channel.backward_stp()};
-        if (!send_frame(encode(reply), {}, MsgType::kPutAck)) return;
+        put_ack.stored = res->stored;
+        put_ack.closed = channel.closed();
+        put_ack.summary = res->channel_summary;
+        channel.backward_stp_into(put_ack.stp);
+        if (!send_frame(encode(put_ack), {}, MsgType::kPutAck)) return;
         break;
       }
       case MsgType::kGet: {
         if (hello.consumer_key < 0) return;
-        GetMsg msg;
-        if (!decode(body.span(), msg, nullptr)) return;
+        if (!decode(body.span(), get_msg, nullptr)) return;
         const int idx = served.consumer_idx[static_cast<std::size_t>(hello.consumer_key)];
         // Block here (not in the channel) so heartbeats keep flowing and a
         // vanished peer is noticed while we wait for data.
@@ -476,19 +508,23 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
           if (st.stop_requested() || stream.peer_hup() || !heartbeat_if_due()) return;
           ctx_.clock->sleep_for(config_.poll_interval);
         }
-        auto res = channel.get_latest(idx, msg.consumer_summary, msg.guarantee, st);
-        GetReplyMsg reply{.has_item = res.item != nullptr,
-                          .closed = channel.closed(),
-                          .skipped = res.skipped,
-                          .summary = channel.summary(),
-                          .stp = channel.backward_stp()};
-        if (res.item) reply.item = to_wire(*res.item);
+        auto res = channel.get_latest(idx, get_msg.consumer_summary, get_msg.guarantee, st);
+        get_reply.has_item = res.item != nullptr;
+        get_reply.closed = channel.closed();
+        get_reply.skipped = res.skipped;
+        get_reply.summary = channel.summary();
+        channel.backward_stp_into(get_reply.stp);
+        if (res.item) {
+          to_wire(*res.item, get_reply.item);
+        } else {
+          clear_wire_item(get_reply.item);  // the frame encodes it either way
+        }
         // The shared_ptr in `res` keeps the payload slab alive (and
         // un-recycled) for the duration of the scatter-gather send even if
         // the channel overwrites the slot concurrently.
         const std::span<const std::byte> payload =
             res.item ? res.item->data() : std::span<const std::byte>{};
-        if (!send_frame(encode(reply), payload, MsgType::kGetReply)) return;
+        if (!send_frame(encode(get_reply), payload, MsgType::kGetReply)) return;
         break;
       }
       case MsgType::kClose:

@@ -11,6 +11,14 @@ namespace {
 /// requests are honored promptly.
 constexpr Nanos kRetrySlice = millis(5);
 
+/// Per-thread scratch for the rpc event batch: flush() clears it after
+/// draining into the shard, so capacity persists across attempts and
+/// calls and the steady-state rpc path does not allocate for tracing.
+std::vector<stats::Event>& tl_rpc_events() {
+  static thread_local std::vector<stats::Event> batch;
+  return batch;
+}
+
 }  // namespace
 
 Transport::Transport(RunContext& ctx, NodeId node, TransportConfig config, HelloMsg hello,
@@ -195,10 +203,10 @@ Transport::RpcStatus Transport::rpc(const FrameBuf& frame,
                                     std::span<const std::byte> payload, MsgType expect,
                                     EnvelopeBody& reply_body, const PayloadSink& sink,
                                     bool wait_for_link, std::stop_token st) {
+  EventBatch& events = tl_rpc_events();
   for (;;) {
     if (stop_requested(st)) return RpcStatus::kStopped;
 
-    EventBatch events;
     bool sent_or_failfast = true;
     RpcStatus status = RpcStatus::kDisconnected;
     {

@@ -149,6 +149,9 @@ class Transport {
 
   void disconnect_locked() REQUIRES(mu_);
 
+  /// Composes one trace event into the rpc path's reused per-thread
+  /// batch (flush() clears it after draining, so capacity persists).
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("amortized: appends into the reused thread-local rpc event batch; flush() clears it after draining, so capacity persists")
   void add_event(EventBatch& events, stats::EventType type, std::int64_t a,
                  std::int64_t b) const;
 

@@ -21,6 +21,15 @@ std::vector<stats::Event>& tl_event_batch() {
   static thread_local std::vector<stats::Event> batch;
   return batch;
 }
+
+/// Per-thread scratch for items collected under mu_. Their payload
+/// release (pool lock + accounting) must wait until the channel lock is
+/// dropped, so ops clear() the scratch — destroying the items — after
+/// flush_events(); the vector's capacity persists across operations.
+std::vector<std::shared_ptr<Item>>& tl_reclaimed() {
+  static thread_local std::vector<std::shared_ptr<Item>> v;
+  return v;
+}
 }  // namespace
 
 Channel::Channel(RunContext& ctx, NodeId id, ChannelConfig config, aru::Mode mode,
@@ -160,7 +169,7 @@ std::optional<Channel::PutResult> Channel::put_impl(std::shared_ptr<Item> item,
                                                     std::stop_token st, bool blocking) {
   EventBatch& events = tl_event_batch();
   events.clear();
-  std::vector<std::shared_ptr<Item>> reclaimed;
+  auto& reclaimed = tl_reclaimed();
   PutResult result;
   {
     util::UniqueLock lock(mu_);
@@ -226,6 +235,7 @@ std::optional<Channel::PutResult> Channel::put_impl(std::shared_ptr<Item> item,
     if (result.stored || erased > 0) notify_waiters_locked();
   }
   flush_events(events);
+  reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_
   return result;
 }
 
@@ -233,7 +243,7 @@ Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
                                        Timestamp extra_guarantee, std::stop_token st) {
   EventBatch& events = tl_event_batch();
   events.clear();
-  std::vector<std::shared_ptr<Item>> reclaimed;
+  auto& reclaimed = tl_reclaimed();
   GetResult result;
   {
     util::UniqueLock lock(mu_);
@@ -310,6 +320,7 @@ Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
     if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
   }
   flush_events(events);
+  reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_
   return result;
 }
 
@@ -317,7 +328,7 @@ Channel::GetResult Channel::get_next(int consumer_idx, Nanos consumer_summary,
                                      Timestamp extra_guarantee, std::stop_token st) {
   EventBatch& events = tl_event_batch();
   events.clear();
-  std::vector<std::shared_ptr<Item>> reclaimed;
+  auto& reclaimed = tl_reclaimed();
   GetResult result;
   {
     util::UniqueLock lock(mu_);
@@ -366,6 +377,7 @@ Channel::GetResult Channel::get_next(int consumer_idx, Nanos consumer_summary,
     if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
   }
   flush_events(events);
+  reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_
   return result;
 }
 
@@ -457,7 +469,7 @@ Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
   if (window == 0) throw std::invalid_argument("Channel::get_window: window must be > 0");
   EventBatch& events = tl_event_batch();
   events.clear();
-  std::vector<std::shared_ptr<Item>> reclaimed;
+  auto& reclaimed = tl_reclaimed();
   WindowResult result;
   {
     util::UniqueLock lock(mu_);
@@ -529,13 +541,14 @@ Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
     if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
   }
   flush_events(events);
+  reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_
   return result;
 }
 
 void Channel::raise_guarantee(int consumer_idx, Timestamp g) {
   EventBatch& events = tl_event_batch();
   events.clear();
-  std::vector<std::shared_ptr<Item>> reclaimed;
+  auto& reclaimed = tl_reclaimed();
   {
     const util::MutexLock lock(mu_);
     check_consumer_locked(consumer_idx, "Channel::raise_guarantee");
@@ -559,6 +572,7 @@ void Channel::raise_guarantee(int consumer_idx, Timestamp g) {
     if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
   }
   flush_events(events);
+  reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_
 }
 
 Timestamp Channel::latest_ts() const {
@@ -605,6 +619,12 @@ std::vector<Nanos> Channel::backward_stp() const {
   const util::MutexLock lock(mu_);
   const auto view = feedback_.backward();
   return {view.begin(), view.end()};
+}
+
+void Channel::backward_stp_into(std::vector<Nanos>& out) const {
+  const util::MutexLock lock(mu_);
+  const auto view = feedback_.backward();
+  out.assign(view.begin(), view.end());
 }
 
 std::size_t Channel::consumers() const {

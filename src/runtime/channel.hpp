@@ -217,6 +217,12 @@ class Channel {
   /// kUnknownStp = nothing received). The net skeleton piggy-backs this on
   /// put acks and get replies (paper §3.3.2 Fig. 3 over the wire).
   ARU_ALLOCATES std::vector<Nanos> backward_stp() const;
+  /// Allocation-free variant for per-reply use: fills `out` in place, so
+  /// a caller that reuses its vector pays at most one growth to the
+  /// high-water STP width (the net serve loop piggy-backs this on every
+  /// put ack and get reply).
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("fills the caller's reused vector — capacity persists across replies, so growth is amortized to the high-water STP width")
+  void backward_stp_into(std::vector<Nanos>& out) const;
   std::size_t consumers() const;
   std::size_t producers() const;
 
@@ -248,6 +254,7 @@ class Channel {
   /// constant-time no-op. Otherwise only the prefix with ts < frontier is
   /// visited. Reclaimed items are moved into `reclaimed` so their payloads
   /// are released after mu_ is dropped.
+  ARU_ALLOCATES ARU_ANALYZE_ESCAPE("appends into the per-thread reclaimed scratch whose capacity persists across operations; the deferred payload release runs after mu_ is dropped")
   std::size_t collect_locked(std::int64_t now, EventBatch& events,
                              std::vector<std::shared_ptr<Item>>& reclaimed) REQUIRES(mu_);
 
