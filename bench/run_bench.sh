@@ -14,7 +14,7 @@
 # Usage:
 #   bench/run_bench.sh [--smoke] [build-dir]
 #
-#   --smoke  run every benchmark with --benchmark_min_time=0.01s and no
+#   --smoke  run every benchmark with --benchmark_min_time=0.01 and no
 #            JSON output — a CI-speed smoke that the binaries still run.
 #            The Release gate is skipped since nothing is recorded.
 #
@@ -25,11 +25,15 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SMOKE=0
-if [[ "${1:-}" == "--smoke" ]]; then
-  SMOKE=1
-  shift
-fi
-BUILD="${1:-$ROOT/build}"
+BUILD=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    -*) echo "usage: bench/run_bench.sh [--smoke] [build-dir]" >&2; exit 2 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
+BUILD="${BUILD:-$ROOT/build}"
 
 BINARIES=(micro_channel micro_pool micro_kernels net_throughput)
 
@@ -61,7 +65,9 @@ run() {
   local bin="$1" out="$2"
   if [[ "$SMOKE" -eq 1 ]]; then
     echo "== $bin (smoke)" >&2
-    "$BUILD/bench/$bin" "${common_args[@]}" --benchmark_min_time=0.01s
+    # bare seconds, not "0.01s": the suffixed form only parses on
+    # google/benchmark >= 1.8, the bare double parses everywhere
+    "$BUILD/bench/$bin" "${common_args[@]}" --benchmark_min_time=0.01
   else
     echo "== $bin -> $out" >&2
     "$BUILD/bench/$bin" "${common_args[@]}" \
