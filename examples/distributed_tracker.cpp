@@ -27,12 +27,14 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "net/remote_channel.hpp"
 #include "runtime/runtime.hpp"
 #include "stats/postmortem.hpp"
+#include "telemetry/exporter.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "vision/stages.hpp"
@@ -51,6 +53,27 @@ struct Shared {
   int stride = vision::kDefaultStride;
   double conv = 1.5;  ///< convergence threshold, × digitizer base cost
 };
+
+/// Scrapes this process's own /metrics endpoint and returns the value of
+/// the series line starting with `series_prefix` (e.g.
+/// `aru_task_summary_stp_ns{task="digitizer"}`), or a negative value if
+/// the scrape failed or the series is absent. Exercises the same path an
+/// external collector would use.
+double scrape_metric(std::uint16_t port, const std::string& series_prefix) {
+  const auto body = telemetry::http_get("127.0.0.1", port, "/metrics", seconds(5));
+  if (!body) return -1.0;
+  std::size_t pos = 0;
+  while ((pos = body->find(series_prefix, pos)) != std::string::npos) {
+    // Must be the start of a line, and followed by the value separator.
+    if ((pos == 0 || (*body)[pos - 1] == '\n') &&
+        pos + series_prefix.size() < body->size() &&
+        (*body)[pos + series_prefix.size()] == ' ') {
+      return std::strtod(body->c_str() + pos + series_prefix.size(), nullptr);
+    }
+    pos += series_prefix.size();
+  }
+  return -2.0;
+}
 
 Shared parse_shared(const Options& cli) {
   Shared s;
@@ -71,7 +94,7 @@ int run_front(const Shared& sh, std::uint16_t port) {
   const vision::StageCosts costs = vision::StageCosts{}.scaled(sh.scale);
   auto gen = std::make_shared<vision::SceneGenerator>(sh.seed);
 
-  Runtime rt({.aru = {.mode = sh.aru}, .seed = sh.seed});
+  Runtime rt({.aru = {.mode = sh.aru}, .seed = sh.seed, .metrics_port = 0});
   net::RemoteChannel frames(rt, {.name = "frames",
                                  .transport = {.port = port},
                                  .producer_key = 0});
@@ -81,7 +104,15 @@ int run_front(const Shared& sh, std::uint16_t port) {
   rt.connect(dig, frames);
 
   rt.start();
+  std::printf("front: metrics on 127.0.0.1:%u\n",
+              static_cast<unsigned>(rt.metrics_port()));
   rt.clock().sleep_for(seconds(sh.run_seconds));
+
+  // Live-plane check while the node still serves traffic: the summary-STP
+  // the digitizer paces against must be visible — and non-zero once
+  // feedback crossed the wire — on this process's own /metrics endpoint.
+  const double live_stp_ns = scrape_metric(
+      rt.metrics_port(), "aru_task_summary_stp_ns{task=\"digitizer\"}");
   rt.stop();
 
   const stats::Trace trace = rt.take_trace();
@@ -114,6 +145,8 @@ int run_front(const Shared& sh, std::uint16_t port) {
               static_cast<long long>(frames.drops()),
               static_cast<long long>(frames.reconnects()),
               static_cast<double>(frames.summary().count()) / 1e6);
+  std::printf("front: live /metrics digitizer summary-STP %.2f ms\n",
+              live_stp_ns / 1e6);
 
   // Convergence check: feedback must have crossed the wire (summary known)
   // and the source must have settled onto a period meaningfully above its
@@ -138,7 +171,19 @@ int run_front(const Shared& sh, std::uint16_t port) {
                 "%.2f ms < %.2f ms)\n",
                 known ? "known" : "unknown", last, threshold_ms);
   }
-  return converged ? 0 : 1;
+
+  // With ARU active the live exposition must have carried the same signal:
+  // a missing series or a still-zero gauge means the telemetry plane lost
+  // the feedback the controller demonstrably acted on.
+  const bool live_ok = sh.aru == aru::Mode::kOff || live_stp_ns > 0.0;
+  if (!live_ok) {
+    std::printf("front: FAILED live-metrics check (digitizer summary-STP "
+                "gauge %s)\n",
+                live_stp_ns == -1.0   ? "scrape failed"
+                : live_stp_ns == -2.0 ? "series missing"
+                                      : "zero");
+  }
+  return converged && live_ok ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -170,7 +215,7 @@ int run_back(const char* self, const Shared& sh) {
   auto stats0 = std::make_shared<vision::DetectionStats>();
   auto stats1 = std::make_shared<vision::DetectionStats>();
 
-  Runtime rt({.aru = {.mode = sh.aru}, .seed = sh.seed + 1});
+  Runtime rt({.aru = {.mode = sh.aru}, .seed = sh.seed + 1, .metrics_port = 0});
   Channel& frames = rt.add_channel({.name = "frames"});
   Channel& masks = rt.add_channel({.name = "masks"});
   Channel& hists = rt.add_channel({.name = "hists"});
@@ -210,8 +255,9 @@ int run_back(const char* self, const Shared& sh) {
 
   rt.start();
   server.start();
-  std::printf("back: serving 'frames' on 127.0.0.1:%u\n",
-              static_cast<unsigned>(server.port()));
+  std::printf("back: serving 'frames' on 127.0.0.1:%u, metrics on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned>(rt.metrics_port()));
   std::fflush(stdout);
 
   pid_t child = -1;
@@ -225,6 +271,13 @@ int run_back(const char* self, const Shared& sh) {
   int status = 0;
   while (::waitpid(child, &status, 0) < 0 && errno == EINTR) {
   }
+
+  // The front has exited but this runtime is still live: the channel that
+  // absorbed its frames must expose the summary-STP it propagated back.
+  const double live_stp_ns = scrape_metric(
+      rt.metrics_port(), "aru_channel_summary_stp_ns{channel=\"frames\"}");
+  std::printf("back: live /metrics 'frames' summary-STP %.2f ms\n",
+              live_stp_ns / 1e6);
   server.stop();
   rt.stop();
 
@@ -242,6 +295,11 @@ int run_back(const char* self, const Shared& sh) {
 
   if (!WIFEXITED(status)) {
     std::fprintf(stderr, "back: front terminated abnormally\n");
+    return 1;
+  }
+  if (sh.aru != aru::Mode::kOff && live_stp_ns <= 0.0) {
+    std::fprintf(stderr, "back: FAILED live-metrics check ('frames' "
+                         "summary-STP gauge absent or zero)\n");
     return 1;
   }
   return WEXITSTATUS(status);

@@ -10,9 +10,15 @@
 ///
 /// Run:   spd_node channels=frames:1:1,loc:1:2 [host=127.0.0.1] [port=0]
 ///                 [seconds=30] [capacity=0] [aru=min] [quiet=false]
+///                 [metrics_port=-1]
 ///
 /// `host` is the bind address: loopback-only by default, a concrete
 /// interface address (or 0.0.0.0) to serve off-host peers.
+///
+/// `metrics_port` enables the live telemetry endpoint (negative =
+/// disabled, 0 = ephemeral): `curl localhost:<port>/metrics` for
+/// Prometheus text, `/status` for a JSON snapshot. The bound port is
+/// announced as `spd_node: metrics on <port>`.
 ///
 /// The channel spec is `name:remote_producers:remote_consumers`,
 /// comma-separated. Port 0 binds an ephemeral port; the bound port is
@@ -76,8 +82,9 @@ int main(int argc, char** argv) {
   const auto capacity = static_cast<std::size_t>(cli.get_int("capacity", 0));
   const aru::Mode mode = aru::parse_mode(cli.get_string("aru", "min"));
   const bool quiet = cli.get_bool("quiet", false);
+  const auto metrics_port = static_cast<std::int32_t>(cli.get_int("metrics_port", -1));
 
-  Runtime rt({.aru = {.mode = mode}});
+  Runtime rt({.aru = {.mode = mode}, .metrics_port = metrics_port, .metrics_host = host});
   std::vector<net::ServedChannel> served;
   served.reserve(specs.size());
   for (const auto& s : specs) {
@@ -93,6 +100,9 @@ int main(int argc, char** argv) {
 
   // Parseable announcement: tests and parent processes scrape the port.
   std::printf("spd_node: listening on %u\n", static_cast<unsigned>(server.port()));
+  if (rt.metrics_port() != 0) {
+    std::printf("spd_node: metrics on %u\n", static_cast<unsigned>(rt.metrics_port()));
+  }
   std::fflush(stdout);
   if (!quiet) {
     for (const auto& s : specs) {

@@ -23,9 +23,12 @@ src/util/static_annotations.hpp:
             scope -- allocation on these paths is the hot rule's job.
   lint      AST-level versions of the grep rules that grep cannot do
             soundly: raw-payload (std::vector<std::byte>, including
-            through using/typedef alias chains) and raw-sleep
+            through using/typedef alias chains), raw-sleep
             (std::this_thread::sleep_for/until, including through
-            namespace aliases and using-declarations).
+            namespace aliases and using-declarations), and
+            telemetry-http (the exporter's HTTP parsing —
+            parse_http_request / HttpRequest — referenced outside
+            src/telemetry/; clients use telemetry::http_get).
 
 The analyzer is deliberately pure Python stdlib: the CI image and dev
 containers are not guaranteed a libclang with matching Python bindings,
@@ -312,7 +315,12 @@ def tokenize(text: str) -> list:
         elif c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
             j = i
             while j < n and (text[j] in _ID_CONT or text[j] == "."
-                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")
+                             # C++14 digit separator: 1'000'000. Without
+                             # this the ' opens a phantom char literal
+                             # that can swallow real code past it.
+                             or (text[j] == "'" and j + 1 < n
+                                 and text[j + 1] in _ID_CONT)):
                 j += 1
             toks.append(Tok("num", text[i:j], line))
             i = j
@@ -625,7 +633,13 @@ class Parser:
         head_acq = []
         while j < n:
             t = toks[j]
-            if t.text == "=" and name_idx < 0:
+            if t.text == "=" and name_idx < 0 \
+                    and not (j > start and toks[j - 1].text == "operator"):
+                # the `=` of `operator=` is part of the declarator name,
+                # not a variable initializer — treating it as one made the
+                # parser swallow an inline move-assignment body plus the
+                # next member's, desyncing brace/scope tracking for the
+                # rest of the class (and losing its qname prefix).
                 saw_eq = True
             if t.kind == "id" and t.text in ARU_FLAG_MACROS:
                 head_anns.add(t.text)
@@ -1366,7 +1380,7 @@ def rule_nothrow(m: Model, findings):
 # --------------------------------------------------------------------------
 
 def lint_rules(m: Model, rel_of, allow):
-    """raw-payload and raw-sleep, alias-aware."""
+    """raw-payload and raw-sleep (alias-aware), telemetry-http."""
     findings = []
 
     def allowed(rule, path):
@@ -1421,6 +1435,22 @@ def lint_rules(m: Model, rel_of, allow):
                         "raw-payload", rel_of(path), hit, path, t.line, [],
                         note="payloads go through runtime::PayloadBuffer "
                              "(pooled, no zero-fill)"))
+
+        # telemetry-http: the exporter's HTTP request parsing is an
+        # implementation detail of src/telemetry/ — referencing
+        # parse_http_request or HttpRequest anywhere else would let ad-hoc
+        # HTTP handling creep into other subsystems (http_get is the
+        # public client helper; use that).
+        if "/telemetry/" not in path.replace(os.sep, "/") \
+                and not allowed("telemetry-http", path):
+            for t in toks:
+                if t.kind == "id" and t.text in ("parse_http_request",
+                                                 "HttpRequest"):
+                    findings.append(Finding(
+                        "telemetry-http", rel_of(path), t.text, path, t.line,
+                        [],
+                        note="HTTP parsing lives in src/telemetry/ only; "
+                             "clients use telemetry::http_get"))
 
         # raw-sleep: std::this_thread::sleep_for/until, via namespace
         # aliases and using-declarations too.
@@ -1667,7 +1697,7 @@ def main(argv=None):
     matched = {f.key for f in suppressed}
     ran_rules = {"hot": ("hot-alloc", "hot-block"), "ranks": ("rank-order",),
                  "nothrow": ("nothrow-throw",),
-                 "lint": ("raw-payload", "raw-sleep")}
+                 "lint": ("raw-payload", "raw-sleep", "telemetry-http")}
     active = {r for rule in rules for r in ran_rules[rule]}
     stale = [k for k in baseline
              if k.split(" ", 1)[0] in active and k not in matched]

@@ -17,9 +17,12 @@
 # scripts/analyze/aru_analyze.py (--rules lint): the analyzer resolves
 # namespace aliases and using/typedef chains, so `namespace t =
 # std::this_thread; t::sleep_for(...)` and `using Buf =
-# std::vector<std::byte>` are caught where the greps were blind. This
-# script stays the single driver: it invokes the analyzer's lint rules
-# with the same allowlist.
+# std::vector<std::byte>` are caught where the greps were blind. The
+# analyzer also enforces telemetry-http: the exporter's HTTP request
+# parsing (parse_http_request / HttpRequest) stays inside
+# src/telemetry/ — other subsystems talk to a metrics endpoint only
+# through telemetry::http_get. This script stays the single driver: it
+# invokes the analyzer's lint rules with the same allowlist.
 #
 # Also runs clang-tidy over src/ when available and a compile database
 # exists (pass --build-dir, or configure with

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace stampede::aru {
 
 FeedbackState::FeedbackState(Mode mode, bool is_thread, CompressFn custom,
@@ -26,6 +28,11 @@ FeedbackState::FeedbackState(Mode mode, bool is_thread, CompressFn custom,
   }
 }
 
+void FeedbackState::bind_gauges(telemetry::Gauge* current, telemetry::Gauge* summary) {
+  current_gauge_ = current;
+  summary_gauge_ = summary;
+}
+
 int FeedbackState::add_output() {
   backward_.push_back(kUnknownStp);
   return static_cast<int>(backward_.size()) - 1;
@@ -46,6 +53,9 @@ void FeedbackState::set_current_stp(Nanos stp) {
     throw std::logic_error("FeedbackState: current-STP on a non-thread node");
   }
   current_ns_.store(stp.count(), std::memory_order_relaxed);
+  if (current_gauge_ != nullptr) {
+    current_gauge_->set(known(stp) ? stp.count() : 0);
+  }
   recompute();
 }
 
@@ -66,6 +76,9 @@ void FeedbackState::recompute() {
     raw = Nanos{static_cast<std::int64_t>(filtered)};
   }
   summary_ns_.store(raw.count(), std::memory_order_relaxed);
+  if (summary_gauge_ != nullptr) {
+    summary_gauge_->set(known(raw) ? raw.count() : 0);
+  }
 }
 
 }  // namespace stampede::aru

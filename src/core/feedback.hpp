@@ -32,6 +32,10 @@
 #include "util/filters.hpp"
 #include "util/time.hpp"
 
+namespace stampede::telemetry {
+class Gauge;
+}  // namespace stampede::telemetry
+
 namespace stampede::aru {
 
 class FeedbackState {
@@ -56,7 +60,9 @@ class FeedbackState {
         backward_(std::move(other.backward_)),
         current_ns_(other.current_ns_.load(std::memory_order_relaxed)),
         compressed_ns_(other.compressed_ns_.load(std::memory_order_relaxed)),
-        summary_ns_(other.summary_ns_.load(std::memory_order_relaxed)) {}
+        summary_ns_(other.summary_ns_.load(std::memory_order_relaxed)),
+        current_gauge_(other.current_gauge_),
+        summary_gauge_(other.summary_gauge_) {}
   FeedbackState& operator=(FeedbackState&& other) noexcept {
     mode_ = other.mode_;
     is_thread_ = other.is_thread_;
@@ -69,8 +75,19 @@ class FeedbackState {
                          std::memory_order_relaxed);
     summary_ns_.store(other.summary_ns_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+    current_gauge_ = other.current_gauge_;
+    summary_gauge_ = other.summary_gauge_;
     return *this;
   }
+
+  /// Mirrors the computed STP scalars into live telemetry gauges: every
+  /// recompute stores the new summary (and every set_current_stp the new
+  /// current-STP) into the bound gauge. Unknown STP is published as 0 —
+  /// the exposition plane treats "no signal yet" as zero, not as the
+  /// negative kUnknownStp sentinel. Either pointer may be null; call
+  /// during graph construction, before feedback flows (same discipline
+  /// as add_output).
+  void bind_gauges(telemetry::Gauge* current, telemetry::Gauge* summary);
 
   /// Registers one more output connection; returns its slot index in the
   /// backwardSTP vector. Must be called during graph construction, before
@@ -118,6 +135,8 @@ class FeedbackState {
   std::atomic<std::int64_t> current_ns_{kUnknownStp.count()};
   std::atomic<std::int64_t> compressed_ns_{kUnknownStp.count()};
   std::atomic<std::int64_t> summary_ns_{kUnknownStp.count()};
+  telemetry::Gauge* current_gauge_ = nullptr;
+  telemetry::Gauge* summary_gauge_ = nullptr;
 };
 
 }  // namespace stampede::aru

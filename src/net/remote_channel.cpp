@@ -122,6 +122,30 @@ RemoteChannel::RemoteChannel(Runtime& rt, RemoteChannelConfig config)
         HelloMsg{.channel = config_.name, .consumer_key = config_.consumer_key},
         get_shard_);
   }
+  if (ctx_.metrics != nullptr) {
+    // Everything the callback reads is an atomic (transport flags, the
+    // held summary, the drop counter), so evaluating it under the
+    // registry mutex acquires nothing.
+    status_handle_ = ctx_.metrics->add_status(
+        "link:" + config_.name, [this]() -> std::string {
+          const Nanos held = summary();
+          std::string out = "{\"connected_put\":";
+          out += put_link_ && put_link_->connected() ? "true" : "false";
+          out += ",\"connected_get\":";
+          out += get_link_ && get_link_->connected() ? "true" : "false";
+          out += ",\"reconnects\":" + std::to_string(reconnects());
+          out += ",\"summary_stp_ns\":" +
+                 std::to_string(aru::known(held) ? held.count() : 0);
+          out += ",\"drops\":" + std::to_string(drops()) + "}";
+          return out;
+        });
+  }
+}
+
+RemoteChannel::~RemoteChannel() {
+  if (status_handle_ != 0 && ctx_.metrics != nullptr) {
+    ctx_.metrics->remove_status(status_handle_);
+  }
 }
 
 void RemoteChannel::hold_summary(Nanos summary) {
@@ -267,6 +291,8 @@ ChannelServer::ChannelServer(Runtime& rt, std::vector<ServedChannel> channels,
           std::to_string(kMaxNameBytes) + "): '" + sc.channel->name() + "'");
     }
     Served s{.channel = sc.channel};
+    s.slot_attaches = std::make_unique<std::atomic<std::int64_t>[]>(
+        static_cast<std::size_t>(sc.remote_producers + sc.remote_consumers));
     for (int p = 0; p < sc.remote_producers; ++p) {
       const NodeId n = rt_.add_remote_node(
           sc.channel->name() + ":remote_producer" + std::to_string(p),
@@ -287,6 +313,42 @@ ChannelServer::ChannelServer(Runtime& rt, std::vector<ServedChannel> channels,
           sc.channel->register_consumer(n, sc.channel->cluster_node()));
     }
     served_.push_back(std::move(s));
+  }
+
+  if (ctx_.metrics != nullptr) {
+    // One label per server (joined channel names) so two servers in one
+    // runtime stay distinct series; the client side of the same family
+    // is labelled per link (Transport's {"link", ...}).
+    std::string names;
+    for (const Served& s : served_) {
+      if (!names.empty()) names += ',';
+      names += s.channel->name();
+    }
+    const telemetry::Registry::Labels labels = {{"server", names}};
+    met_connections_ = &ctx_.metrics->counter(
+        "aru_net_server_connections_total",
+        "Connections that attached successfully (Hello acknowledged ok).",
+        labels);
+    met_reconnects_ = &ctx_.metrics->counter(
+        "aru_net_reconnects_total",
+        "Successful re-attaches to an endpoint slot already bound once "
+        "(server-side link recoveries).",
+        labels);
+    // Per-remote-producer summary-STP: the same series task threads
+    // publish locally, labelled with the producer pseudo-node's name, so
+    // a headless spd_node still exposes per-thread feedback values.
+    for (Served& s : served_) {
+      s.producer_stp.reserve(s.producer_nodes.size());
+      for (std::size_t k = 0; k < s.producer_nodes.size(); ++k) {
+        std::string task = s.channel->name();
+        task += ":remote_producer";
+        task += std::to_string(k);
+        s.producer_stp.push_back(&ctx_.metrics->gauge(
+            "aru_task_summary_stp_ns",
+            "Summary-STP this thread node propagates upstream (0 = unknown)",
+            {{"task", std::move(task)}}));
+      }
+    }
   }
 }
 
@@ -404,6 +466,19 @@ void ChannelServer::serve_connection(TcpStream stream, ConnState& state,
     return;
   }
 
+  if (met_connections_ != nullptr) met_connections_->add();
+  if (hello.producer_key >= 0 || hello.consumer_key >= 0) {
+    const std::size_t slot =
+        hello.producer_key >= 0
+            ? static_cast<std::size_t>(hello.producer_key)
+            : served->producer_nodes.size() +
+                  static_cast<std::size_t>(hello.consumer_key);
+    if (served->slot_attaches[slot].fetch_add(1, std::memory_order_relaxed) > 0 &&
+        met_reconnects_ != nullptr) {
+      met_reconnects_->add();
+    }
+  }
+
   stats::Shard* shard = acquire_shard();
   state.shard = shard;  // published to the reaper by the done flag
   serve_attached(stream, *served, hello, shard, st);
@@ -495,6 +570,10 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
         put_ack.closed = channel.closed();
         put_ack.summary = res->channel_summary;
         channel.backward_stp_into(put_ack.stp);
+        if (!served.producer_stp.empty()) {
+          served.producer_stp[static_cast<std::size_t>(hello.producer_key)]->set(
+              put_ack.summary.count());
+        }
         if (!send_frame(encode(put_ack), {}, MsgType::kPutAck)) return;
         break;
       }

@@ -69,6 +69,10 @@ class RemoteChannel final : public RemoteEndpoint {
   /// network, so wiring order and server startup order are independent.
   RemoteChannel(Runtime& rt, RemoteChannelConfig config);
 
+  /// Unregisters the live-telemetry /status section (the registry may
+  /// outlive this proxy).
+  ~RemoteChannel() override;
+
   // -- RemoteEndpoint ---------------------------------------------------------
 
   ARU_HOT_PATH PutResult put(std::shared_ptr<Item> item, std::stop_token st) override;
@@ -109,6 +113,9 @@ class RemoteChannel final : public RemoteEndpoint {
 
   std::atomic<std::int64_t> summary_ns_{aru::kUnknownStp.count()};
   std::atomic<std::int64_t> drops_{0};
+
+  /// Handle of the "link:<name>" /status section (0 = none registered).
+  std::uint64_t status_handle_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -179,6 +186,14 @@ class ChannelServer {
     std::vector<NodeId> producer_nodes;
     /// consumer_key → channel consumer index.
     std::vector<int> consumer_idx;
+    /// Successful attaches per endpoint slot (producer keys first, then
+    /// consumer keys). A second attach to a slot means the peer
+    /// re-dialed — the server-side view of a link recovery.
+    std::unique_ptr<std::atomic<std::int64_t>[]> slot_attaches;
+    /// producer_key → live summary-STP gauge for that remote producer
+    /// thread (the value piggy-backed on its put acks). Null entries when
+    /// the runtime has no registry.
+    std::vector<telemetry::Gauge*> producer_stp;
   };
 
   /// State shared between a connection thread and the accept loop's
@@ -237,6 +252,12 @@ class ChannelServer {
 
   std::atomic<std::uint16_t> port_{0};
   std::atomic<std::int64_t> accepted_{0};
+
+  /// Server-side connection series (null when the runtime has no live
+  /// registry). Registered at construction, incremented on the cold
+  /// attach path only.
+  telemetry::Counter* met_connections_ = nullptr;
+  telemetry::Counter* met_reconnects_ = nullptr;
 };
 
 }  // namespace stampede::net

@@ -242,6 +242,32 @@ IoStatus TcpStream::recv_exact(std::span<std::byte> out, Nanos timeout) {
   return IoStatus::kOk;
 }
 
+IoStatus TcpStream::recv_some(std::span<std::byte> out, std::size_t* n_read,
+                              Nanos timeout) {
+  *n_read = 0;
+  if (!sock_.valid() || out.empty()) return IoStatus::kError;
+  const Nanos deadline = steady_now() + timeout;
+  for (;;) {
+    const ssize_t n = ::recv(sock_.fd(), out.data(), out.size(), 0);
+    if (n > 0) {
+      *n_read = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const Nanos remaining = deadline - steady_now();
+      if (remaining.count() <= 0) return IoStatus::kTimeout;
+      pollfd pfd{sock_.fd(), POLLIN, 0};
+      const int p = ::poll(&pfd, 1, poll_millis(remaining));
+      if (p < 0 && errno != EINTR) return IoStatus::kError;
+      continue;
+    }
+    if (errno == ECONNRESET) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
+}
+
 bool TcpStream::peer_hup() const {
   if (!sock_.valid()) return true;
   pollfd pfd{sock_.fd(), POLLIN, 0};

@@ -80,7 +80,9 @@ class TcpStream {
   /// Nonblocking connect to host:port bounded by `timeout`. Returns an
   /// empty optional on failure (refused, unreachable, timed out); `*err`
   /// gets a diagnostic when non-null.
-  ARU_MAY_BLOCK ARU_ALLOCATES static std::optional<TcpStream> connect(
+  ARU_MAY_BLOCK ARU_ALLOCATES
+  ARU_ANALYZE_ESCAPE("deadline-bounded nonblocking connect: three-step O_NONBLOCK + poll(POLLOUT) + SO_ERROR under one deadline")
+  static std::optional<TcpStream> connect(
       const std::string& host, std::uint16_t port, Nanos timeout,
       std::string* err = nullptr);
 
@@ -110,8 +112,19 @@ class TcpStream {
   ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded nonblocking socket I/O: recv under one poll() deadline")
   IoStatus recv_exact(std::span<std::byte> out, Nanos timeout);
 
+  /// Receives *up to* `out.size()` bytes: waits for readability, then
+  /// performs one recv and returns however many bytes arrived in
+  /// `*n_read` (possibly fewer than requested). For variable-length
+  /// peers — e.g. an HTTP request head whose size is unknown up front —
+  /// where recv_exact's fixed-size contract cannot apply. kOk with
+  /// `*n_read > 0` on data; kClosed on EOF; kTimeout if nothing arrived
+  /// before the deadline.
+  ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded nonblocking socket I/O: single recv after poll() under one deadline")
+  IoStatus recv_some(std::span<std::byte> out, std::size_t* n_read, Nanos timeout);
+
   /// True once the peer has hung up (POLLHUP/POLLERR or pending EOF).
   /// Non-destructive: does not consume buffered data.
+  ARU_ANALYZE_ESCAPE("zero-timeout poll() + MSG_PEEK recv on a nonblocking fd: a readiness probe, never a wait")
   bool peer_hup() const;
 
   /// Waits up to `timeout` for the stream to become readable (data or

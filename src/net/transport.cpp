@@ -4,12 +4,22 @@
 #include <array>
 #include <utility>
 
+#include "telemetry/registry.hpp"
+
 namespace stampede::net {
 namespace {
 
 /// Sleep slice while waiting out a backoff gate: short enough that stop
 /// requests are honored promptly.
 constexpr Nanos kRetrySlice = millis(5);
+
+/// RPC latency buckets: 10µs .. 1s, roughly 1-2-5 per decade. An RPC
+/// spans at least one network round-trip, so sub-10µs resolution is
+/// noise; anything beyond 1s has blown through io_timeout already.
+constexpr std::array<std::int64_t, 16> kRpcLatencyBounds = {
+    10'000,      20'000,      50'000,       100'000,      200'000,    500'000,
+    1'000'000,   2'000'000,   5'000'000,    10'000'000,   20'000'000, 50'000'000,
+    100'000'000, 200'000'000, 500'000'000,  1'000'000'000};
 
 /// Per-thread scratch for the rpc event batch: flush() clears it after
 /// draining into the shard, so capacity persists across attempts and
@@ -27,12 +37,45 @@ Transport::Transport(RunContext& ctx, NodeId node, TransportConfig config, Hello
       node_(node),
       config_(std::move(config)),
       hello_(std::move(hello)),
-      shard_(shard) {}
+      shard_(shard) {
+  if (ctx_.metrics != nullptr) {
+    // One link per transport; puts and gets of the same channel are
+    // distinct links (separate sockets), so the label tells them apart.
+    telemetry::Registry::Labels labels = {
+        {"link", hello_.channel + (hello_.producer_key >= 0 ? "/put" : "/get")}};
+    telemetry::Registry& reg = *ctx_.metrics;
+    met_tx_ = &reg.counter("aru_net_tx_bytes_total",
+                           "Bytes sent on this transport link (frames + payload).",
+                           labels);
+    met_rx_ = &reg.counter("aru_net_rx_bytes_total",
+                           "Bytes received on this transport link.", labels);
+    met_reconnects_ = &reg.counter(
+        "aru_net_reconnects_total",
+        "Successful handshakes after the first (link recoveries).", labels);
+    met_rpc_ = &reg.histogram(
+        "aru_net_rpc_latency_ns",
+        "End-to-end rpc() latency (connect wait + exchange), nanoseconds.",
+        kRpcLatencyBounds, labels);
+  }
+}
 
 void Transport::add_event(EventBatch& events, stats::EventType type, std::int64_t a,
                           std::int64_t b) const {
   events.push_back(stats::Event{
       .type = type, .node = node_, .t = ctx_.now_ns(), .a = a, .b = b});
+  switch (type) {
+    case stats::EventType::kNetTx:
+      if (met_tx_ != nullptr) met_tx_->add(static_cast<std::uint64_t>(a));
+      break;
+    case stats::EventType::kNetRx:
+      if (met_rx_ != nullptr) met_rx_->add(static_cast<std::uint64_t>(a));
+      break;
+    case stats::EventType::kReconnect:
+      if (met_reconnects_ != nullptr) met_reconnects_->add();
+      break;
+    default:
+      break;
+  }
 }
 
 void Transport::flush(EventBatch& events) {
@@ -204,6 +247,7 @@ Transport::RpcStatus Transport::rpc(const FrameBuf& frame,
                                     EnvelopeBody& reply_body, const PayloadSink& sink,
                                     bool wait_for_link, std::stop_token st) {
   EventBatch& events = tl_rpc_events();
+  const std::int64_t t0 = ctx_.now_ns();
   for (;;) {
     if (stop_requested(st)) return RpcStatus::kStopped;
 
@@ -218,7 +262,12 @@ Transport::RpcStatus Transport::rpc(const FrameBuf& frame,
       }
     }
     flush(events);
-    if (sent_or_failfast) return status;
+    if (sent_or_failfast) {
+      if (status == RpcStatus::kOk && met_rpc_ != nullptr) {
+        met_rpc_->observe(ctx_.now_ns() - t0);
+      }
+      return status;
+    }
 
     ctx_.clock->sleep_for(kRetrySlice);
   }

@@ -51,6 +51,11 @@
 #include "util/static_annotations.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace stampede::telemetry {
+class Counter;
+class Histogram;
+}  // namespace stampede::telemetry
+
 namespace stampede::net {
 
 struct TransportConfig {
@@ -183,6 +188,16 @@ class Transport {
 
   std::atomic<bool> connected_{false};
   std::atomic<std::int64_t> reconnects_{0};
+
+  /// Live telemetry series (telemetry/registry.hpp), registered once in
+  /// the constructor when the run carries a registry. Raw pointers into
+  /// registry-owned storage; null when telemetry is absent (bare test
+  /// fixtures). Increments are striped relaxed atomics — legal on the
+  /// ARU_HOT_PATH rpc root.
+  telemetry::Counter* met_tx_ = nullptr;          ///< aru_net_tx_bytes_total
+  telemetry::Counter* met_rx_ = nullptr;          ///< aru_net_rx_bytes_total
+  telemetry::Counter* met_reconnects_ = nullptr;  ///< aru_net_reconnects_total
+  telemetry::Histogram* met_rpc_ = nullptr;       ///< aru_net_rpc_latency_ns
 };
 
 }  // namespace stampede::net

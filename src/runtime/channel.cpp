@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "telemetry/registry.hpp"
+
 namespace stampede {
 
 namespace {
@@ -39,7 +41,26 @@ Channel::Channel(RunContext& ctx, NodeId id, ChannelConfig config, aru::Mode mod
       config_(std::move(config)),
       shard_(shard),
       feedback_(effective_mode(mode, config_.custom_compress), /*is_thread=*/false,
-                config_.custom_compress, std::move(filter)) {}
+                config_.custom_compress, std::move(filter)) {
+  if (ctx_.metrics != nullptr) {
+    telemetry::Registry& reg = *ctx_.metrics;
+    const telemetry::Registry::Labels labels = {{"channel", config_.name}};
+    met_puts_ = &reg.counter("aru_channel_puts_total", "Items stored by put", labels);
+    met_gets_ = &reg.counter("aru_channel_gets_total",
+                             "Items delivered to consumers (all get variants)", labels);
+    met_drops_ = &reg.counter(
+        "aru_channel_drops_total",
+        "Wasted items: dead-on-arrival puts and entries reclaimed unconsumed",
+        labels);
+    met_occupancy_ = &reg.gauge("aru_channel_occupancy", "Stored items", labels);
+    met_frontier_ =
+        &reg.gauge("aru_channel_frontier_ts", "Dead-timestamp GC frontier", labels);
+    feedback_.bind_gauges(
+        nullptr, &reg.gauge("aru_channel_summary_stp_ns",
+                            "Channel summary-STP propagated upstream (0 = unknown)",
+                            labels));
+  }
+}
 
 void Channel::register_producer(NodeId /*thread*/) {
   // Registration happens in the single-threaded construction phase, but
@@ -87,6 +108,12 @@ void Channel::flush_events(EventBatch& events) {
     for (const stats::Event& e : events) shard_->record(e);
   }
   events.clear();
+}
+
+void Channel::update_gauges_locked() {
+  if (met_occupancy_ == nullptr) return;
+  met_occupancy_->set(static_cast<std::int64_t>(entries_.size()));
+  met_frontier_->set(frontiers_.frontier());
 }
 
 void Channel::notify_waiters_locked() {
@@ -144,6 +171,7 @@ std::size_t Channel::collect_locked(std::int64_t now, EventBatch& events,
       // Reclaimed without ever being consumed: this is the wasted item the
       // paper's instrumentation marks.
       add_event(events, stats::EventType::kDrop, *it->item, now, id_);
+      if (met_drops_ != nullptr) met_drops_->add();
     }
     // Defer the payload release (and its accounting) until mu_ is dropped.
     reclaimed.push_back(std::move(it->item));
@@ -206,8 +234,10 @@ std::optional<Channel::PutResult> Channel::put_impl(std::shared_ptr<Item> item,
                       ts < frontier;
     if (dead) {
       add_event(events, stats::EventType::kDrop, *item, now, id_, /*a=*/1);
+      if (met_drops_ != nullptr) met_drops_->add();
     } else {
       add_event(events, stats::EventType::kPut, *item, now, id_);
+      if (met_puts_ != nullptr) met_puts_->add();
       if (entries_.empty() || entries_.back().ts < ts) {
         // Monotonic producer fast path.
         entries_.push_back(Entry{.ts = ts, .item = std::move(item)});
@@ -233,6 +263,7 @@ std::optional<Channel::PutResult> Channel::put_impl(std::shared_ptr<Item> item,
     result.channel_summary = feedback_.summary();
     const std::size_t erased = collect_locked(now, events, reclaimed);
     if (result.stored || erased > 0) notify_waiters_locked();
+    update_gauges_locked();
   }
   flush_events(events);
   reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_
@@ -305,6 +336,7 @@ Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
     chosen.consumed_mask |= my_bit;
     result.item = chosen.item;
     add_event(events, stats::EventType::kConsume, *result.item, now, me.thread);
+    if (met_gets_ != nullptr) met_gets_->add();
     if (chosen.ts < pre_frontier) gc_pending_ = true;
 
     me.cursor = target;
@@ -318,6 +350,7 @@ Channel::GetResult Channel::get_latest(int consumer_idx, Nanos consumer_summary,
     const std::size_t erased = collect_locked(now, events, reclaimed);
     // A bounded channel may have freed space for blocked producers.
     if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
+    update_gauges_locked();
   }
   flush_events(events);
   reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_
@@ -366,6 +399,7 @@ Channel::GetResult Channel::get_next(int consumer_idx, Nanos consumer_summary,
     chosen.consumed_mask |= my_bit;
     result.item = chosen.item;
     add_event(events, stats::EventType::kConsume, *result.item, now, me.thread);
+    if (met_gets_ != nullptr) met_gets_->add();
     if (target < frontiers_.frontier()) gc_pending_ = true;
 
     me.cursor = target;
@@ -375,6 +409,7 @@ Channel::GetResult Channel::get_next(int consumer_idx, Nanos consumer_summary,
     result.overhead = ctx_.pressure.scan_cost(entries_.size());
     const std::size_t erased = collect_locked(now, events, reclaimed);
     if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
+    update_gauges_locked();
   }
   flush_events(events);
   reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_
@@ -402,6 +437,7 @@ Channel::GetResult Channel::get_at(int consumer_idx, Timestamp ts, Nanos consume
     e.consumed_mask |= my_bit;
     result.item = e.item;
     add_event(events, stats::EventType::kConsume, *result.item, now, me.thread);
+    if (met_gets_ != nullptr) met_gets_->add();
     // Random-access consumption can complete an entry below the frontier.
     if (e.ts < frontiers_.frontier()) gc_pending_ = true;
     result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
@@ -455,6 +491,7 @@ Channel::GetResult Channel::get_nearest(int consumer_idx, Timestamp ts, Timestam
     e.consumed_mask |= my_bit;
     result.item = e.item;
     add_event(events, stats::EventType::kConsume, *result.item, now, me.thread);
+    if (met_gets_ != nullptr) met_gets_->add();
     if (e.ts < frontiers_.frontier()) gc_pending_ = true;
     result.transfer = ctx_.topology->transfer_time(config_.cluster_node, me.cluster_node,
                                                    result.item->bytes());
@@ -527,6 +564,7 @@ Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
     Entry& chosen = entries_.back();
     chosen.consumed_mask |= my_bit;
     add_event(events, stats::EventType::kConsume, *chosen.item, now, me.thread);
+    if (met_gets_ != nullptr) met_gets_->add();
     if (chosen.ts < pre_frontier) gc_pending_ = true;
 
     me.cursor = target;
@@ -539,6 +577,7 @@ Channel::WindowResult Channel::get_window(int consumer_idx, std::size_t window,
     result.overhead = ctx_.pressure.scan_cost(entries_.size());
     const std::size_t erased = collect_locked(now, events, reclaimed);
     if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
+    update_gauges_locked();
   }
   flush_events(events);
   reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_
@@ -570,6 +609,7 @@ void Channel::raise_guarantee(int consumer_idx, Timestamp g) {
     }
     const std::size_t erased = collect_locked(now, events, reclaimed);
     if (config_.capacity > 0 && erased > 0) notify_waiters_locked();
+    update_gauges_locked();
   }
   flush_events(events);
   reclaimed.clear();  // releases the payloads (pool + accounting) outside mu_

@@ -51,6 +51,11 @@
 #include "util/static_annotations.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace stampede::telemetry {
+class Counter;
+class Gauge;
+}  // namespace stampede::telemetry
+
 namespace stampede {
 
 /// Construction-time channel settings.
@@ -285,6 +290,11 @@ class Channel {
   /// entirely for the common uncontended case).
   void notify_waiters_locked() REQUIRES(mu_);
 
+  /// Mirrors occupancy and the DGC frontier into the live gauges (two
+  /// relaxed stores); called at the end of every locked section that can
+  /// change them. No-op when telemetry is not wired (ctx_.metrics null).
+  void update_gauges_locked() REQUIRES(mu_);
+
   RunContext& ctx_;
   NodeId id_;
   ChannelConfig config_;
@@ -312,6 +322,14 @@ class Channel {
   bool gc_pending_ GUARDED_BY(mu_) = false;
   /// Serializes shard appends now that they happen outside mu_.
   mutable util::Mutex stats_mu_{util::LockRank::kBufferStats, "channel.stats_mu"};
+
+  /// Live telemetry series, registered once at construction (null when
+  /// ctx_.metrics is). Increments are relaxed atomics — safe under mu_.
+  telemetry::Counter* met_puts_ = nullptr;
+  telemetry::Counter* met_gets_ = nullptr;
+  telemetry::Counter* met_drops_ = nullptr;
+  telemetry::Gauge* met_occupancy_ = nullptr;
+  telemetry::Gauge* met_frontier_ = nullptr;
 };
 
 }  // namespace stampede

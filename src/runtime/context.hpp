@@ -12,6 +12,10 @@
 #include "stats/recorder.hpp"
 #include "util/clock.hpp"
 
+namespace stampede::telemetry {
+class Registry;
+}  // namespace stampede::telemetry
+
 namespace stampede {
 
 /// Aggregates the services every runtime component needs. Owned by the
@@ -22,6 +26,11 @@ struct RunContext {
   Clock* clock = nullptr;
   MemoryTracker* tracker = nullptr;
   stats::Recorder* recorder = nullptr;
+  /// Live metrics registry (telemetry/registry.hpp). Always set by the
+  /// Runtime; components register their series at construction time and
+  /// keep the returned pointers for hot-path increments. Null only in
+  /// hand-rolled test fixtures that bypass Runtime.
+  telemetry::Registry* metrics = nullptr;
   /// Payload buffer pool items allocate from (runtime/pool.hpp). Must be
   /// set before any Item is constructed: there is deliberately no heap
   /// fallback (a pool-less context would silently re-introduce a per-item

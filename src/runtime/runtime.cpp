@@ -21,8 +21,105 @@ Runtime::Runtime(RuntimeConfig config)
   run_.cost_mode = config_.cost_mode;
   run_.gc = config_.gc;
   run_.aru = config_.aru;
+  run_.metrics = &metrics_;
+  register_builtin_metrics();
   const util::MutexLock lock(lifecycle_mu_);
   t_start_ = run_.now_ns();
+}
+
+void Runtime::register_builtin_metrics() {
+  // Polled series: evaluated at scrape time under the registry mutex
+  // (rank kTelemetry, below the pool's kPool and the channels' kBuffer),
+  // reading counters the pool/tracker already maintain — zero hot-path
+  // cost and no double bookkeeping.
+  metrics_.polled_counter("aru_pool_acquires_total", "Payload pool acquire() calls",
+                          {}, [this] {
+                            return static_cast<double>(pool_.stats().acquires);
+                          });
+  metrics_.polled_counter("aru_pool_hits_total",
+                          "Pool acquires served from a free list", {}, [this] {
+                            return static_cast<double>(pool_.stats().hits);
+                          });
+  metrics_.polled_counter("aru_pool_misses_total",
+                          "Pool acquires that allocated a fresh slab", {}, [this] {
+                            return static_cast<double>(pool_.stats().misses);
+                          });
+  metrics_.polled_counter("aru_pool_releases_total",
+                          "Pooled buffers returned to a free list", {}, [this] {
+                            return static_cast<double>(pool_.stats().releases);
+                          });
+  metrics_.polled_gauge("aru_pool_hit_ratio",
+                        "Fraction of acquires served from a free list", {}, [this] {
+                          const PayloadPool::Stats s = pool_.stats();
+                          return s.acquires > 0 ? static_cast<double>(s.hits) /
+                                                      static_cast<double>(s.acquires)
+                                                : 0.0;
+                        });
+  metrics_.polled_gauge("aru_pool_parked_bytes",
+                        "Bytes parked in the pool's free lists", {}, [this] {
+                          return static_cast<double>(pool_.stats().retained_bytes);
+                        });
+  metrics_.polled_gauge("aru_pool_in_use_bytes",
+                        "Pooled slab bytes currently out with buffers", {}, [this] {
+                          return static_cast<double>(pool_.stats().in_use_bytes);
+                        });
+  metrics_.polled_gauge("aru_memory_total_bytes", "Live item bytes (MemoryTracker)",
+                        {}, [this] {
+                          return static_cast<double>(tracker_.total_bytes());
+                        });
+  metrics_.polled_gauge("aru_memory_peak_bytes", "High-water mark of total bytes",
+                        {}, [this] {
+                          return static_cast<double>(tracker_.peak_bytes());
+                        });
+  metrics_.polled_gauge("aru_memory_pool_cached_bytes",
+                        "Parked pool memory outside total_bytes", {}, [this] {
+                          return static_cast<double>(tracker_.pool_cached_bytes());
+                        });
+
+  // /status sections. The channels section reads live channel state
+  // (Channel::mu_, rank kBuffer — legal under the kTelemetry registry
+  // lock) and renders [] once the runtime stopped: take_trace() clears
+  // channels_ after stop, and the exporter is stopped before that, so
+  // the guard only protects direct render_status() callers.
+  metrics_.add_status("channels", [this] {
+    std::string out = "[";
+    if (running_.load(std::memory_order_acquire)) {
+      bool first = true;
+      for (const auto& ch : channels_) {
+        if (!first) out += ',';
+        first = false;
+        const Nanos summary = ch->summary();
+        out += "{\"name\":\"" + telemetry::json_escape(ch->name()) + "\"";
+        out += ",\"occupancy\":" + std::to_string(ch->size());
+        out += ",\"frontier_ts\":" + std::to_string(ch->frontier());
+        out += ",\"summary_stp_ns\":" +
+               std::to_string(aru::known(summary) ? summary.count() : 0);
+        out += "}";
+      }
+    }
+    out += "]";
+    return out;
+  });
+  metrics_.add_status("pool", [this] {
+    const PayloadPool::Stats s = pool_.stats();
+    std::string out = "{";
+    out += "\"acquires\":" + std::to_string(s.acquires);
+    out += ",\"hits\":" + std::to_string(s.hits);
+    out += ",\"misses\":" + std::to_string(s.misses);
+    out += ",\"releases\":" + std::to_string(s.releases);
+    out += ",\"parked_bytes\":" + std::to_string(s.retained_bytes);
+    out += ",\"in_use_bytes\":" + std::to_string(s.in_use_bytes);
+    out += "}";
+    return out;
+  });
+  metrics_.add_status("memory", [this] {
+    std::string out = "{";
+    out += "\"total_bytes\":" + std::to_string(tracker_.total_bytes());
+    out += ",\"peak_bytes\":" + std::to_string(tracker_.peak_bytes());
+    out += ",\"pool_cached_bytes\":" + std::to_string(tracker_.pool_cached_bytes());
+    out += "}";
+    return out;
+  });
 }
 
 Runtime::~Runtime() { stop(); }
@@ -152,6 +249,21 @@ void Runtime::start() {
   }
 
   const util::MutexLock lock(lifecycle_mu_);
+
+  // Bring the exposition endpoint up before any thread spawns: a bind
+  // failure throws out of start() with the runtime still cleanly stopped.
+  if (config_.metrics_port >= 0 && !exporter_) {
+    if (config_.metrics_port > 65535) {
+      throw std::invalid_argument("Runtime: metrics_port out of range");
+    }
+    exporter_ = std::make_unique<telemetry::Exporter>(
+        metrics_,
+        telemetry::ExporterConfig{
+            .host = config_.metrics_host,
+            .port = static_cast<std::uint16_t>(config_.metrics_port)});
+  }
+  if (exporter_) exporter_->start();
+
   t_start_ = run_.now_ns();
   running_.store(true, std::memory_order_release);
   threads_.reserve(tasks_.size() + 1);
@@ -187,6 +299,11 @@ void Runtime::start() {
                                    .t = now,
                                    .a = tracker_.total_bytes(),
                                    .b = tracker_.peak_bytes()});
+        shard->record(stats::Event{.type = stats::EventType::kGauge,
+                                   .node = stats::kPoolGaugeNode,
+                                   .t = now,
+                                   .a = tracker_.pool_cached_bytes(),
+                                   .b = pool_.stats().in_use_bytes});
         run_.clock->sleep_for(config_.monitor_period);
       }
     });
@@ -220,6 +337,9 @@ void Runtime::stop_locked() {
     return;
   }
   run_.stopping.store(true, std::memory_order_relaxed);
+  // Stop serving scrapes before the data plane is torn down; the /status
+  // channel section reads live channel state.
+  if (exporter_) exporter_->stop();
   for (auto& th : threads_) th.request_stop();
   for (auto& ch : channels_) ch->close();
   for (auto& q : queues_) q->close();

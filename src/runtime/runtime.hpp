@@ -28,6 +28,8 @@
 #include "runtime/pool.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/task.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/registry.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -50,6 +52,14 @@ struct RuntimeConfig {
   /// When positive, a monitor thread samples every channel's occupancy and
   /// the per-node footprints into the trace (kGauge events) at this period.
   Nanos monitor_period{0};
+  /// Live telemetry exposition (telemetry/exporter.hpp). Negative =
+  /// disabled (the registry still collects; nothing is served). 0 = bind
+  /// an ephemeral port, read back via Runtime::metrics_port(). start()
+  /// throws if the bind fails.
+  std::int32_t metrics_port = -1;
+  /// Bind address for the metrics endpoint (loopback by default; set
+  /// "0.0.0.0" to expose it off-host).
+  std::string metrics_host = "127.0.0.1";
 };
 
 class Runtime {
@@ -130,6 +140,14 @@ class Runtime {
   const Graph& graph() const { return graph_; }
   MemoryTracker& memory() { return tracker_; }
   PayloadPool& payload_pool() { return pool_; }
+  /// Live metrics registry (always collecting; served when metrics_port
+  /// is enabled). Register run-specific series before start().
+  telemetry::Registry& metrics() { return metrics_; }
+  /// The bound metrics port: the configured one, or the ephemeral pick
+  /// when metrics_port was 0. Zero before start() or when disabled.
+  std::uint16_t metrics_port() const {
+    return exporter_ ? exporter_->port() : 0;
+  }
   stats::Recorder& recorder() { return recorder_; }
   Clock& clock() { return *run_.clock; }
   const RunContext& context() const { return run_; }
@@ -146,6 +164,10 @@ class Runtime {
   std::unique_ptr<Filter> filter_for(const std::string& override_spec) const;
   void check_mutable(const char* op) const;
   void stop_locked() REQUIRES(lifecycle_mu_);
+  /// Registers the runtime-owned polled series (pool, memory) and the
+  /// /status sections (channels, pool, memory). Called once from the
+  /// constructor.
+  void register_builtin_metrics();
 
   RuntimeConfig config_;
   stats::Recorder recorder_;
@@ -153,6 +175,11 @@ class Runtime {
   /// Declared before (so destroyed after) every container that can hold
   /// items: an Item's destructor recycles its payload into this pool.
   PayloadPool pool_;
+  /// Declared before channels_/tasks_ (destroyed after them): they hold
+  /// raw pointers to series registered here. The exporter is declared
+  /// after the registry so it stops serving before the registry dies.
+  telemetry::Registry metrics_;
+  std::unique_ptr<telemetry::Exporter> exporter_;
   RunContext run_;
   Graph graph_;
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/pacing.hpp"
+#include "telemetry/registry.hpp"
 #include "util/log.hpp"
 #include "util/spin.hpp"
 
@@ -26,7 +27,19 @@ TaskContext::TaskContext(RunContext& run, NodeId id, TaskConfig config, aru::Mod
       shard_(shard),
       rng_(seed),
       feedback_(effective_task_mode(mode, config_.custom_compress), /*is_thread=*/true,
-                config_.custom_compress, std::move(filter)) {}
+                config_.custom_compress, std::move(filter)) {
+  if (run_.metrics != nullptr) {
+    const telemetry::Registry::Labels labels = {{"task", config_.name}};
+    feedback_.bind_gauges(
+        &run_.metrics->gauge("aru_task_current_stp_ns",
+                             "Measured current-STP of this thread node (0 = unknown)",
+                             labels),
+        &run_.metrics->gauge(
+            "aru_task_summary_stp_ns",
+            "Summary-STP this thread node propagates upstream (0 = unknown)",
+            labels));
+  }
+}
 
 void TaskContext::add_input(Channel& ch) {
   const int idx = ch.register_consumer(id_, config_.cluster_node);

@@ -1,0 +1,282 @@
+#include "telemetry/registry.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stampede::telemetry {
+namespace detail {
+
+std::size_t stripe_index() {
+  static std::atomic<std::size_t> next{0};
+  static thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return idx;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Formats a polled double: integral values print without a fraction so
+/// byte/count gauges read naturally; everything else gets %.10g.
+void append_number(std::string& out, double v) {
+  char buf[48];
+  if (std::nearbyint(v) == v && std::fabs(v) < 9.2e18) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+const char* type_string(bool counter_like) {
+  return counter_like ? "counter" : "gauge";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Histogram::Histogram(std::span<const std::int64_t> bounds) {
+  n_bounds_ = bounds.size() < kMaxBuckets ? bounds.size() : kMaxBuckets;
+  for (std::size_t i = 0; i < n_bounds_; ++i) bounds_[i] = bounds[i];
+  for (std::size_t i = 1; i < n_bounds_; ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::logic_error("telemetry: histogram bounds must be strictly increasing");
+    }
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  std::int64_t sum = 0;
+  std::array<std::uint64_t, kMaxBuckets + 1> per_bucket{};
+  for (const Row& row : rows_) {
+    for (std::size_t b = 0; b <= n_bounds_; ++b) {
+      per_bucket[b] += row.buckets[b].load(std::memory_order_relaxed);
+    }
+    sum += row.sum.load(std::memory_order_relaxed);
+  }
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b <= n_bounds_; ++b) {
+    running += per_bucket[b];
+    snap.cumulative[b] = running;
+  }
+  snap.sum = sum;
+  snap.count = running;
+  return snap;
+}
+
+Registry::Series& Registry::find_or_insert(Kind kind, std::string_view name,
+                                           std::string_view help,
+                                           const Labels& labels) {
+  std::string body;
+  for (const auto& [k, v] : labels) {
+    if (!body.empty()) body += ',';
+    body += k;
+    body += "=\"";
+    body += json_escape(v);
+    body += '"';
+  }
+  for (const auto& s : series_) {
+    if (s->name == name && s->labels_body == body) {
+      if (s->kind != kind) {
+        throw std::logic_error("telemetry: series '" + std::string(name) +
+                               "' re-registered with a different kind");
+      }
+      return *s;
+    }
+  }
+  auto s = std::make_unique<Series>();
+  s->kind = kind;
+  s->name = std::string(name);
+  s->help = std::string(help);
+  s->labels_body = std::move(body);
+  series_.push_back(std::move(s));
+  return *series_.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           Labels labels) {
+  util::MutexLock lock(mu_);
+  Series& s = find_or_insert(Kind::kCounter, name, help, labels);
+  if (!s.counter) s.counter.reset(new Counter());
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help, Labels labels) {
+  util::MutexLock lock(mu_);
+  Series& s = find_or_insert(Kind::kGauge, name, help, labels);
+  if (!s.gauge) s.gauge.reset(new Gauge());
+  return *s.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::span<const std::int64_t> bounds, Labels labels) {
+  util::MutexLock lock(mu_);
+  Series& s = find_or_insert(Kind::kHistogram, name, help, labels);
+  if (!s.hist) s.hist.reset(new Histogram(bounds));
+  return *s.hist;
+}
+
+void Registry::polled_counter(std::string_view name, std::string_view help,
+                              Labels labels, std::function<double()> fn) {
+  util::MutexLock lock(mu_);
+  Series& s = find_or_insert(Kind::kPolledCounter, name, help, labels);
+  s.poll = std::move(fn);
+}
+
+void Registry::polled_gauge(std::string_view name, std::string_view help,
+                            Labels labels, std::function<double()> fn) {
+  util::MutexLock lock(mu_);
+  Series& s = find_or_insert(Kind::kPolledGauge, name, help, labels);
+  s.poll = std::move(fn);
+}
+
+std::uint64_t Registry::add_status(std::string key, std::function<std::string()> fn) {
+  util::MutexLock lock(mu_);
+  const std::uint64_t handle = next_handle_++;
+  status_.push_back({handle, std::move(key), std::move(fn)});
+  return handle;
+}
+
+void Registry::remove_status(std::uint64_t handle) {
+  util::MutexLock lock(mu_);
+  for (auto it = status_.begin(); it != status_.end(); ++it) {
+    if (it->handle == handle) {
+      status_.erase(it);
+      return;
+    }
+  }
+}
+
+std::string Registry::render_prometheus() const {
+  util::MutexLock lock(mu_);
+  std::string out;
+  out.reserve(series_.size() * 96);
+  // Series with the same name must share one HELP/TYPE header and render
+  // contiguously: walk in registration order and, at each first sighting
+  // of a name, emit the header plus every series of that name.
+  std::vector<const std::string*> emitted;
+  emitted.reserve(series_.size());
+  for (const auto& first : series_) {
+    bool seen = false;
+    for (const std::string* e : emitted) seen = seen || *e == first->name;
+    if (seen) continue;
+    emitted.push_back(&first->name);
+
+    out += "# HELP " + first->name + " " + first->help + "\n";
+    out += "# TYPE " + first->name + " ";
+    switch (first->kind) {
+      case Kind::kCounter:
+      case Kind::kPolledCounter: out += type_string(true); break;
+      case Kind::kGauge:
+      case Kind::kPolledGauge: out += type_string(false); break;
+      case Kind::kHistogram: out += "histogram"; break;
+    }
+    out += '\n';
+
+    for (const auto& s : series_) {
+      if (s->name != first->name) continue;
+      const std::string braced =
+          s->labels_body.empty() ? "" : "{" + s->labels_body + "}";
+      switch (s->kind) {
+        case Kind::kCounter:
+          out += s->name + braced + " ";
+          append_u64(out, s->counter->value());
+          out += '\n';
+          break;
+        case Kind::kGauge:
+          out += s->name + braced + " ";
+          append_i64(out, s->gauge->value());
+          out += '\n';
+          break;
+        case Kind::kPolledCounter:
+        case Kind::kPolledGauge:
+          out += s->name + braced + " ";
+          append_number(out, s->poll ? s->poll() : 0.0);
+          out += '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = s->hist->snapshot();
+          const auto bounds = s->hist->bounds();
+          const std::string sep = s->labels_body.empty() ? "" : ",";
+          for (std::size_t b = 0; b < bounds.size(); ++b) {
+            out += s->name + "_bucket{" + s->labels_body + sep + "le=\"";
+            append_i64(out, bounds[b]);
+            out += "\"} ";
+            append_u64(out, snap.cumulative[b]);
+            out += '\n';
+          }
+          out += s->name + "_bucket{" + s->labels_body + sep + "le=\"+Inf\"} ";
+          append_u64(out, snap.count);
+          out += '\n';
+          out += s->name + "_sum" + braced + " ";
+          append_i64(out, snap.sum);
+          out += '\n';
+          out += s->name + "_count" + braced + " ";
+          append_u64(out, snap.count);
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::render_status() const {
+  util::MutexLock lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const StatusSection& sec : status_) {
+    if (!first) out += ',';
+    first = false;
+    // Sequential appends, not `"\"" + key + "\":"`: the temporary-chain
+    // form trips GCC 12's bogus -Wrestrict at -O2 (PR105329) under
+    // -Werror.
+    out += '"';
+    out += json_escape(sec.key);
+    out += "\":";
+    out += sec.fn ? sec.fn() : "null";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace stampede::telemetry

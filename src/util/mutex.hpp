@@ -21,7 +21,8 @@
 /// The hierarchy (see docs/ARCHITECTURE.md "Concurrency & validation"):
 ///
 ///   kLifecycle (Runtime) < kBufferStats (Channel::stats_mu_)
-///     < kNetStats (net transport stats flush) < kNet (net::Transport /
+///     < kNetStats (net transport stats flush) < kTelemetry
+///     (telemetry::Registry / Exporter) < kNet (net::Transport /
 ///     server registry) < kBuffer (Channel::mu_ / Queue::mu_)
 ///     < kPool (PayloadPool free lists) < kRecorder (stats::Recorder)
 ///     < kLeaf (log sink, misc. leaves)
@@ -46,6 +47,10 @@ enum class LockRank : int {
   kLifecycle = 10,    ///< Runtime start/stop/join state.
   kBufferStats = 20,  ///< Channel stats flush — never under kBuffer.
   kNetStats = 22,     ///< Net transport stats flush — never under kNet.
+  kTelemetry = 24,    ///< telemetry::Registry / Exporter. Below kBuffer:
+                      ///< /status snapshot callbacks read channel
+                      ///< occupancy (Channel::mu_) under the registry
+                      ///< lock. Never nested with kNet on one thread.
   kNet = 25,          ///< net::Transport connection / server registry.
                       ///< Below kBuffer: the server skeleton performs
                       ///< channel puts/gets while serving a connection.

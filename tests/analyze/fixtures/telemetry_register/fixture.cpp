@@ -1,0 +1,41 @@
+/// \file fixture.cpp
+/// \brief aru-analyze fixture: metric registration from a hot-path root.
+///
+/// Analyzed, never compiled. telemetry::Registry::counter() allocates
+/// and takes the registry mutex — registration is a startup-time
+/// operation (registry.hpp design constraint 2). Without
+/// ARU_FIXTURE_FIXED the per-item hook re-registers the series on every
+/// call and the analyzer must exit 1 with a hot-alloc finding; with it,
+/// the series pointer was resolved once at wiring time and the hot path
+/// is one relaxed stripe increment.
+
+namespace telemetry {
+
+class Counter {
+ public:
+  ARU_HOT_PATH void add(unsigned long n);
+};
+
+class Registry {
+ public:
+  ARU_ALLOCATES Counter& counter(const char* name, const char* help);
+};
+
+}  // namespace telemetry
+
+namespace fixture {
+
+struct Stage {
+  telemetry::Registry* registry;
+  telemetry::Counter* items;  ///< resolved once when the stage is wired
+};
+
+ARU_HOT_PATH void on_item(Stage& s) {
+#ifndef ARU_FIXTURE_FIXED
+  s.registry->counter("stage_items_total", "items through this stage").add(1);
+#else
+  s.items->add(1);
+#endif
+}
+
+}  // namespace fixture

@@ -24,6 +24,7 @@ FIXTURES = [
     ("rank_inversion", "rank-order"),
     ("throwing_decode", "nothrow-throw"),
     ("escape_hatch", "hot-alloc"),
+    ("telemetry_register", "hot-alloc"),
 ]
 
 ROOT = os.path.dirname(os.path.dirname(os.path.dirname(

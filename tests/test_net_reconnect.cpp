@@ -160,6 +160,73 @@ TEST(NetReconnect, OutageDropsLocallyThenResumes) {
   EXPECT_FALSE(events_of(trace, stats::EventType::kNetRx).empty());
 }
 
+TEST(NetReconnect, ServerSideTelemetryCountsReattachAndTracksSummaryStp) {
+  Runtime rt(RuntimeConfig{.aru = {.mode = aru::Mode::kMin}});
+  Channel& ch = rt.add_channel({.name = "frames"});
+  ChannelServer server(rt, std::vector<ServedChannel>{{.channel = &ch,
+                                                       .remote_producers = 1,
+                                                       .remote_consumers = 1}});
+  server.start();
+
+  // Fetching with the same (name, labels) yields the series the server
+  // registered at construction.
+  const telemetry::Registry::Labels labels = {{"server", "frames"}};
+  const telemetry::Counter& connections = rt.metrics().counter(
+      "aru_net_server_connections_total", "", labels);
+  const telemetry::Counter& reconnects =
+      rt.metrics().counter("aru_net_reconnects_total", "", labels);
+  const telemetry::Gauge& producer_stp = rt.metrics().gauge(
+      "aru_task_summary_stp_ns", "", {{"task", "frames:remote_producer0"}});
+
+  // The server increments on its connection threads; an RPC round-trip
+  // means the increment was made, but reads here race the relaxed stores,
+  // so assertions on freshly-bumped counters poll up to a deadline.
+  auto reaches = [&](const telemetry::Counter& c, std::uint64_t want) {
+    const Nanos deadline = rt.clock().now() + seconds(5);
+    while (c.value() < want && rt.clock().now() < deadline) {
+      rt.clock().sleep_for(millis(1));
+    }
+    return c.value() >= want;
+  };
+
+  std::stop_source stop;
+  {
+    RemoteChannel proxy(rt, {.name = "frames",
+                             .transport = fast_transport(server.port()),
+                             .producer_key = 0,
+                             .consumer_key = 0});
+    EXPECT_TRUE(proxy.put(make_item(rt, 0), stop.get_token()).stored);
+    // No consumer summary folded yet: the per-producer gauge holds the
+    // 0 = unknown sentinel.
+    EXPECT_EQ(producer_stp.value(), 0);
+    // Fold a consumer summary, then put again so the ack (and the gauge)
+    // carry a known summary-STP back to this producer slot.
+    auto got = proxy.get_latest(/*consumer_summary=*/millis(7), kNoTimestamp,
+                                stop.get_token());
+    ASSERT_NE(got.item, nullptr);
+    EXPECT_TRUE(proxy.put(make_item(rt, 1), stop.get_token()).stored);
+    EXPECT_GT(producer_stp.value(), 0);
+    // First bind of each slot (one put link, one get link): connections,
+    // not recoveries.
+    EXPECT_TRUE(reaches(connections, 2));
+    EXPECT_EQ(reconnects.value(), 0u);
+  }
+
+  // A fresh proxy claiming the same producer slot is the server-side view
+  // of a link recovery: the slot was bound once already.
+  {
+    RemoteChannel proxy2(rt, {.name = "frames",
+                              .transport = fast_transport(server.port()),
+                              .producer_key = 0});
+    EXPECT_TRUE(proxy2.put(make_item(rt, 2), stop.get_token()).stored);
+    EXPECT_TRUE(reaches(connections, 3));
+    EXPECT_TRUE(reaches(reconnects, 1));
+  }
+
+  server.stop();
+  rt.stop();
+}
+
 TEST(NetReconnect, BackoffIsBoundedUnderPersistentOutage) {
   // No server at all: every put must fail fast (bounded by io/connect
   // timeouts, not hanging), and the proxy stays in the dropped state.
