@@ -1,0 +1,286 @@
+/// \file spd_ctl.cpp
+/// \brief Control plane entry point: deploy a pipeline manifest across
+///        spd_node worker processes, supervise them, and serve the
+///        aggregated fleet telemetry.
+///
+///   spd_ctl manifest=examples/tracker.manifest [seconds=10]
+///           [metrics_port=0] [worker=/path/to/spd_node]
+///           [kill=NODE@SEC] [check_task_stp=NODE:TASK]
+///           [check_channel_stp=NODE:CHANNEL] [probe_ms=250]
+///           [quiet=false] [key=value ...]
+///
+/// spd_ctl parses and validates the manifest, spawns one spd_node per
+/// manifest node through control::Supervisor, and exposes its own
+/// telemetry endpoint whose /metrics merges every worker's series
+/// (relabeled with node="<name>") and whose /status carries the fleet
+/// table (pid, state, restarts, probe latency). Any option not consumed
+/// here is forwarded verbatim to every worker, so deployment overrides
+/// like `scale=0.25` need only be said once.
+///
+/// Fault-injection and verification hooks (used by the ctest smoke):
+///
+///   kill=mid@2              SIGKILL node "mid"'s worker 2 s into the
+///                           run; the supervisor must restart it.
+///   check_task_stp=front:digitizer
+///   check_channel_stp=mid:frames
+///                           after the run (and any restart), scrape
+///                           spd_ctl's OWN aggregated /metrics and
+///                           require the summary-STP gauge of that task /
+///                           channel to be non-zero — proof the feedback
+///                           path re-converged across the new process.
+///
+/// Exit status: 0 only if the fleet came up, every requested check
+/// passed, a requested kill was answered by a restart, and every worker
+/// exited cleanly (exit 0) on the final SIGTERM.
+#include <signal.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "control/manifest.hpp"
+#include "control/pipelines.hpp"
+#include "control/supervisor.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/registry.hpp"
+#include "util/clock.hpp"
+#include "util/options.hpp"
+
+using namespace stampede;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// The spd_node sitting next to this binary (workers ship together).
+std::string default_worker_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  const std::string self = n > 0 ? std::string(buf, static_cast<std::size_t>(n))
+                                 : std::string(argv0);
+  const std::size_t slash = self.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  return dir + "/spd_node";
+}
+
+/// Value of the first series whose line starts with `prefix`, or -1.
+double scrape_metric(const std::string& body, const std::string& prefix) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t end = body.find('\n', pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(pos, end - pos);
+    if (line.rfind(prefix, 0) == 0) {
+      const std::size_t space = line.rfind(' ');
+      if (space != std::string::npos) {
+        return std::strtod(line.c_str() + space + 1, nullptr);
+      }
+    }
+    pos = end + 1;
+  }
+  return -1.0;
+}
+
+/// Splits "a:b" / "a@b"; throws on a missing separator.
+std::pair<std::string, std::string> split2(const std::string& text, char sep,
+                                           const std::string& what) {
+  const std::size_t at = text.find(sep);
+  if (at == std::string::npos || at == 0 || at + 1 >= text.size()) {
+    throw std::invalid_argument("spd_ctl: bad " + what + " '" + text +
+                                "' (want <x>" + std::string(1, sep) + "<y>)");
+  }
+  return {text.substr(0, at), text.substr(at + 1)};
+}
+
+struct StpCheck {
+  std::string series;  ///< full relabeled series prefix to scrape
+  std::string label;   ///< human description for the report line
+};
+
+int run(const Options& cli, const char* argv0) {
+  const std::string manifest_path = cli.get_string("manifest", "");
+  if (manifest_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: spd_ctl manifest=<file> [seconds=10] [metrics_port=0]\n"
+                 "              [worker=<spd_node>] [kill=NODE@SEC]\n"
+                 "              [check_task_stp=NODE:TASK] "
+                 "[check_channel_stp=NODE:CHANNEL]\n");
+    return 2;
+  }
+  control::Manifest manifest = control::Manifest::load(manifest_path);
+  const control::PipelineSpec* spec = control::find_pipeline(manifest.pipeline);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "spd_ctl: unknown pipeline '%s'\n", manifest.pipeline.c_str());
+    return 2;
+  }
+  control::validate(manifest, *spec);
+
+  const auto run_seconds = cli.get_int("seconds", 10);
+  const bool quiet = cli.get_bool("quiet", false);
+
+  // Fault injection / verification hooks.
+  std::string kill_node;
+  std::int64_t kill_at_s = -1;
+  if (cli.has("kill")) {
+    const auto [node, at] = split2(cli.get_string("kill", ""), '@', "kill=");
+    if (manifest.find(node) == nullptr) {
+      std::fprintf(stderr, "spd_ctl: kill= names unknown node '%s'\n", node.c_str());
+      return 2;
+    }
+    kill_node = node;
+    kill_at_s = std::strtoll(at.c_str(), nullptr, 10);
+  }
+  std::vector<StpCheck> checks;
+  if (cli.has("check_task_stp")) {
+    const auto [node, task] =
+        split2(cli.get_string("check_task_stp", ""), ':', "check_task_stp=");
+    checks.push_back({"aru_task_summary_stp_ns{node=\"" + node + "\",task=\"" + task +
+                          "\"}",
+                      "task '" + task + "' on node '" + node + "'"});
+  }
+  if (cli.has("check_channel_stp")) {
+    const auto [node, channel] =
+        split2(cli.get_string("check_channel_stp", ""), ':', "check_channel_stp=");
+    checks.push_back({"aru_channel_summary_stp_ns{node=\"" + node + "\",channel=\"" +
+                          channel + "\"}",
+                      "channel '" + channel + "' on node '" + node + "'"});
+  }
+
+  // Own telemetry plane: fleet series + merged worker exposition.
+  telemetry::Registry registry;
+  telemetry::Exporter exporter(
+      registry, {.port = static_cast<std::uint16_t>(cli.get_int("metrics_port", 0))});
+  exporter.start();
+  std::printf("spd_ctl: metrics on %u\n", static_cast<unsigned>(exporter.port()));
+  std::fflush(stdout);
+
+  control::SupervisorConfig cfg;
+  cfg.worker_path = cli.get_string("worker", default_worker_path(argv0));
+  cfg.manifest_path = manifest_path;
+  cfg.probe_interval = from_millis(cli.get_double("probe_ms", 250.0));
+  cfg.registry = &registry;
+  cfg.forward_output = !quiet;
+  // Everything we did not consume is a deployment override for the fleet.
+  for (const std::string& key : cli.keys()) {
+    static const char* kOwn[] = {"manifest", "seconds",        "metrics_port",
+                                 "worker",   "kill",           "check_task_stp",
+                                 "check_channel_stp", "probe_ms", "quiet"};
+    bool own = false;
+    for (const char* k : kOwn) own = own || key == k;
+    if (!own) cfg.extra_args.push_back(key + "=" + cli.get_string(key, ""));
+  }
+
+  control::Supervisor sup(manifest, std::move(cfg));
+  sup.start();
+  Clock& clock = RealClock::instance();
+  if (!sup.wait_all_up(seconds(20))) {
+    std::fprintf(stderr, "spd_ctl: fleet failed to come up:\n%s\n",
+                 sup.fleet_status_json().c_str());
+    sup.stop();
+    return 1;
+  }
+  std::printf("spd_ctl: fleet up (%zu workers)\n", manifest.nodes.size());
+  std::fflush(stdout);
+
+  // Main run: sleep in slices; fire the kill when its time arrives.
+  const Nanos t0 = clock.now();
+  const Nanos deadline = t0 + seconds(run_seconds);
+  bool killed = false;
+  while (g_stop == 0 && (run_seconds <= 0 || clock.now() < deadline)) {
+    if (!killed && kill_at_s >= 0 && clock.now() - t0 >= seconds(kill_at_s)) {
+      const pid_t victim = sup.pid(kill_node);
+      if (victim > 0) {
+        std::printf("spd_ctl: SIGKILL node '%s' (pid %d)\n", kill_node.c_str(),
+                    static_cast<int>(victim));
+        std::fflush(stdout);
+        ::kill(victim, SIGKILL);
+      }
+      killed = true;
+    }
+    clock.sleep_for(millis(50));
+  }
+
+  bool ok = true;
+
+  // A requested kill must have been answered: restart counted and the
+  // replacement probing healthy again.
+  if (killed) {
+    const Nanos recover_by = clock.now() + seconds(15);
+    while (clock.now() < recover_by) {
+      const control::WorkerStatus st = sup.status(kill_node);
+      if (st.restarts >= 1 && st.state == control::WorkerState::kUp) break;
+      clock.sleep_for(millis(100));
+    }
+    const control::WorkerStatus st = sup.status(kill_node);
+    const bool recovered =
+        st.restarts >= 1 && st.state == control::WorkerState::kUp;
+    std::printf("spd_ctl: node '%s' restarts=%lld state=%s -> %s\n",
+                kill_node.c_str(), static_cast<long long>(st.restarts),
+                control::to_string(st.state), recovered ? "recovered" : "NOT RECOVERED");
+    ok = ok && recovered;
+  }
+
+  // Convergence checks against our OWN aggregated /metrics — the value
+  // must flow worker -> probe -> exposition block -> exporter.
+  if (!checks.empty()) {
+    const Nanos check_by = clock.now() + seconds(15);
+    std::vector<double> values(checks.size(), -1.0);
+    while (clock.now() < check_by) {
+      const auto body =
+          telemetry::http_get("127.0.0.1", exporter.port(), "/metrics", seconds(5));
+      bool all = static_cast<bool>(body);
+      if (body) {
+        for (std::size_t i = 0; i < checks.size(); ++i) {
+          values[i] = scrape_metric(*body, checks[i].series);
+          all = all && values[i] > 0.0;
+        }
+      }
+      if (all) break;
+      clock.sleep_for(millis(200));
+    }
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      const bool pass = values[i] > 0.0;
+      std::printf("spd_ctl: summary-STP of %s = %.0f ns -> %s\n",
+                  checks[i].label.c_str(), values[i], pass ? "ok" : "FAILED");
+      ok = ok && pass;
+    }
+  }
+
+  sup.stop();
+
+  // Final fleet report; the last exit of every worker must be the clean
+  // SIGTERM path (spd_node exits 0 on signal).
+  for (const control::WorkerStatus& st : sup.fleet()) {
+    std::printf("spd_ctl: node %-8s state=%-8s restarts=%lld probe_ms=%.2f exit=%d\n",
+                st.node.c_str(), control::to_string(st.state),
+                static_cast<long long>(st.restarts), st.probe_ms, st.last_exit);
+    if (st.last_exit != 0) {
+      std::fprintf(stderr, "spd_ctl: node '%s' did not exit cleanly (exit=%d)\n",
+                   st.node.c_str(), st.last_exit);
+      ok = false;
+    }
+  }
+  std::printf("spd_ctl: %s\n", ok ? "deployment ok" : "deployment FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    return run(Options::parse(argc, argv), argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spd_ctl: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,35 +1,46 @@
 /// \file spd_node.cpp
-/// \brief Standalone channel-server node: hosts Stampede channels and
-///        exports them over TCP so pipelines in other processes can attach
-///        RemoteChannel proxies (ISSUE 3 tentpole launcher).
+/// \brief Worker node: hosts channels and/or tasks of a distributed
+///        pipeline, either from an explicit channel list or as one node
+///        of a pipeline manifest.
 ///
-/// The node owns a Runtime with only channels (no tasks); remote peers
-/// drive the channels through net::ChannelServer connection threads, so
-/// the summary-STP fold, DGC guarantees and trace events happen here
-/// exactly as for local peers.
+/// Modes:
 ///
-/// Run:   spd_node channels=frames:1:1,loc:1:2 [host=127.0.0.1] [port=0]
-///                 [seconds=30] [capacity=0] [aru=min] [quiet=false]
-///                 [metrics_port=-1]
+///   spd_node channels=frames:1:1,loc:1:2 [host=127.0.0.1] [port=0]
+///            [capacity=0]
+///       Channel-server only (ISSUE 3 launcher): hosts the listed
+///       channels (`name:remote_producers:remote_consumers`) and serves
+///       them over TCP. Remote peers drive the channels through
+///       net::ChannelServer connection threads, so summary-STP folds,
+///       DGC guarantees and trace events happen here as for local peers.
 ///
-/// `host` is the bind address: loopback-only by default, a concrete
-/// interface address (or 0.0.0.0) to serve off-host peers.
+///   spd_node manifest=tracker.manifest node=front [key=value ...]
+///       One worker of a manifest deployment (control plane, ISSUE 9):
+///       parses the full manifest, validates it, and builds this node's
+///       fragment — local channels + server on the node's fixed
+///       endpoint, RemoteChannel proxies to every remote channel, local
+///       task bodies from the pipeline registry. Extra key=value
+///       arguments override manifest values (scale=0.25, aru=off, ...).
+///
+/// Common options: [seconds=30|0] [aru=min] [quiet=false]
+/// [metrics_port=-1]. `seconds=0` runs until SIGTERM/SIGINT; both
+/// signals stop the node gracefully (server stopped, Runtime stopped,
+/// exit 0), so a supervisor can do clean rolling stops.
 ///
 /// `metrics_port` enables the live telemetry endpoint (negative =
-/// disabled, 0 = ephemeral): `curl localhost:<port>/metrics` for
-/// Prometheus text, `/status` for a JSON snapshot. The bound port is
-/// announced as `spd_node: metrics on <port>`.
-///
-/// The channel spec is `name:remote_producers:remote_consumers`,
-/// comma-separated. Port 0 binds an ephemeral port; the bound port is
-/// announced on stdout as `spd_node: listening on <port>` (and flushed)
-/// so parent processes / tests can scrape it.
+/// disabled, 0 = ephemeral). Bound ports are announced on stdout —
+/// `spd_node: listening on <port>` / `spd_node: metrics on <port>` — and
+/// flushed so parent processes can scrape them.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <exception>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "control/fragment.hpp"
+#include "control/manifest.hpp"
+#include "control/pipelines.hpp"
 #include "net/remote_channel.hpp"
 #include "runtime/runtime.hpp"
 #include "util/options.hpp"
@@ -37,6 +48,19 @@
 using namespace stampede;
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// Sleeps in short slices until `run_seconds` elapsed (<= 0: forever) or
+/// a termination signal arrived.
+void run_until(Runtime& rt, std::int64_t run_seconds) {
+  const Nanos deadline = rt.clock().now() + seconds(run_seconds);
+  while (g_stop == 0 && (run_seconds <= 0 || rt.clock().now() < deadline)) {
+    rt.clock().sleep_for(millis(50));
+  }
+}
 
 struct ChannelSpec {
   std::string name;
@@ -71,10 +95,11 @@ std::vector<ChannelSpec> parse_channels(const std::string& spec) {
   return out;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// channels= mode: standalone channel server
+// ---------------------------------------------------------------------------
 
-int main(int argc, char** argv) {
-  const Options cli = Options::parse(argc, argv);
+int run_channel_server(const Options& cli) {
   const auto specs = parse_channels(cli.get_string("channels", "frames:1:1"));
   const auto host = cli.get_string("host", "127.0.0.1");
   const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
@@ -112,13 +137,99 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
-  rt.clock().sleep_for(seconds(run_seconds));
+  run_until(rt, run_seconds);
 
   server.stop();
   rt.stop();
   if (!quiet) {
-    std::printf("spd_node: served %lld connection(s), exiting\n",
-                static_cast<long long>(server.accepted()));
+    std::printf("spd_node: served %lld connection(s), exiting%s\n",
+                static_cast<long long>(server.accepted()),
+                g_stop != 0 ? " on signal" : "");
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// manifest= mode: one node of a deployment
+// ---------------------------------------------------------------------------
+
+int run_manifest_node(const Options& cli) {
+  const std::string path = cli.get_string("manifest", "");
+  const std::string node = cli.get_string("node", "");
+  if (node.empty()) {
+    std::fprintf(stderr, "spd_node: manifest mode requires node=<name>\n");
+    return 2;
+  }
+  Options opts = Options::parse_file(path);
+  opts.merge(cli);  // command line (supervisor overrides) wins
+  control::Manifest manifest = control::Manifest::parse(opts);
+  const control::PipelineSpec* spec = control::find_pipeline(manifest.pipeline);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "spd_node: unknown pipeline '%s'\n",
+                 manifest.pipeline.c_str());
+    return 2;
+  }
+  control::validate(manifest, *spec);
+  const control::ManifestNode* self = manifest.find(node);
+  if (self == nullptr) {
+    std::fprintf(stderr, "spd_node: manifest has no node '%s'\n", node.c_str());
+    return 2;
+  }
+
+  const auto run_seconds = opts.get_int("seconds", 0);
+  const bool quiet = opts.get_bool("quiet", false);
+  const auto metrics_port = static_cast<std::int32_t>(opts.get_int("metrics_port", -1));
+
+  // Distinct per-node runtime seed (task RNG streams must not collide),
+  // derived deterministically so reruns reproduce.
+  Runtime rt({.aru = {.mode = manifest.params.aru},
+              .seed = manifest.params.seed + static_cast<std::uint64_t>(self->index),
+              .metrics_port = metrics_port});
+  control::Fragment frag = control::build_fragment(rt, manifest, *spec, node);
+
+  rt.start();
+  if (frag.server) {
+    frag.server->start();
+    std::printf("spd_node: listening on %u\n",
+                static_cast<unsigned>(frag.server->port()));
+  }
+  if (rt.metrics_port() != 0) {
+    std::printf("spd_node: metrics on %u\n", static_cast<unsigned>(rt.metrics_port()));
+  }
+  std::fflush(stdout);
+  if (!quiet) {
+    std::printf("spd_node: node '%s' of pipeline '%s': %zu task(s), %zu channel(s), "
+                "%zu remote link(s)\n",
+                node.c_str(), manifest.pipeline.c_str(), frag.tasks.size(),
+                frag.channels.size(), frag.proxies.size());
+    std::fflush(stdout);
+  }
+
+  run_until(rt, run_seconds);
+
+  if (frag.server) frag.server->stop();
+  rt.stop();
+  if (!quiet) {
+    std::printf("spd_node: node '%s' exiting%s\n", node.c_str(),
+                g_stop != 0 ? " on signal" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  // Workers write through supervisor pipes; a reader that dies first must
+  // not take the worker down with SIGPIPE mid-shutdown.
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    const Options cli = Options::parse(argc, argv);
+    if (cli.has("manifest")) return run_manifest_node(cli);
+    return run_channel_server(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spd_node: %s\n", e.what());
+    return 1;
+  }
 }

@@ -103,6 +103,9 @@ GENERIC_METHOD_NAMES = {
     "size", "empty", "clear", "begin", "end", "data", "reset", "get",
     "count", "find", "front", "back", "swap", "name", "stop", "start",
     "value", "id", "type", "bytes", "close",
+    # std::atomic's accessors: x.load() must not resolve to an unrelated
+    # load() method elsewhere in the codebase (e.g. Manifest::load).
+    "load", "store", "exchange",
 }
 
 CPP_KEYWORDS = {

@@ -1,0 +1,58 @@
+/// \file fragment.hpp
+/// \brief Builds one node's slice of a manifest-deployed pipeline into a
+///        local Runtime.
+///
+/// Every worker parses the *full* manifest and derives its own fragment:
+/// local channels become real `Channel`s (exported through one
+/// `ChannelServer` on the node's fixed endpoint when any peer is
+/// remote), remote channels become `RemoteChannel` proxies dialing the
+/// hosting node's endpoint. Endpoint slots are agreed without any
+/// runtime handshake: both sides walk the spec's task list in
+/// declaration order, so the k-th remote producer of a channel computes
+/// the same k everywhere (see remote_slots()).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/manifest.hpp"
+#include "net/remote_channel.hpp"
+#include "runtime/runtime.hpp"
+
+namespace stampede::control {
+
+/// Deterministic endpoint-slot assignment for one channel: element i of
+/// `producers` is the task claiming producer_key=i (tasks placed off the
+/// channel's node, in spec declaration order); likewise `consumers`.
+struct ChannelSlots {
+  std::vector<std::string> producers;
+  std::vector<std::string> consumers;
+};
+
+ChannelSlots remote_slots(const Manifest& m, const PipelineSpec& spec,
+                          const std::string& channel);
+
+/// One node's slice of a deployment. Proxies and the server are owned
+/// here (the Runtime holds non-owning graph references); keep the
+/// fragment alive until after Runtime::stop().
+struct Fragment {
+  /// Names of the channels hosted locally (in spec order).
+  std::vector<std::string> channels;
+  /// Names of the tasks running locally (in spec order).
+  std::vector<std::string> tasks;
+  std::vector<std::unique_ptr<net::RemoteChannel>> proxies;
+  /// Non-null when any local channel has a remote producer or consumer.
+  /// Constructed but not started: call server->start() after rt.start().
+  std::unique_ptr<net::ChannelServer> server;
+  std::shared_ptr<void> state;
+};
+
+/// Builds `node`'s fragment into `rt`. The manifest must have passed
+/// validate(). Throws std::invalid_argument for an unknown node name.
+/// Call before rt.start(); the node's server (if any) binds on
+/// server->start().
+Fragment build_fragment(Runtime& rt, const Manifest& m, const PipelineSpec& spec,
+                        const std::string& node);
+
+}  // namespace stampede::control

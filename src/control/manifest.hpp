@@ -1,0 +1,94 @@
+/// \file manifest.hpp
+/// \brief Pipeline deployment manifests: which pipeline, on which nodes,
+///        with what placement.
+///
+/// A manifest is a util::Options file (key=value lines, `#` comments,
+/// quoted values):
+///
+///   # Fig. 5 tracker on three nodes
+///   pipeline=tracker            # a registered PipelineSpec name
+///   aru=min seed=42 scale=1.0   # PipelineParams (any on its own line)
+///
+///   node.front=127.0.0.1:17641  # node name -> channel-server endpoint
+///   node.mid=127.0.0.1:17642
+///   node.back=127.0.0.1:17643
+///
+///   place.digitizer=front       # every task and channel -> a node name
+///   place.frames=mid
+///   ...
+///
+/// Endpoints are *fixed* (port 0 is rejected): a restarted worker must
+/// rebind the same port so surviving peers' Transport reconnect finds it
+/// again — that is what makes supervisor restarts self-healing.
+///
+/// `validate()` checks a parsed manifest against the pipeline's
+/// structure (every task and channel placed exactly once, nodes known,
+/// no two nodes sharing an endpoint) and against a cluster::Topology
+/// built from the node list, so placement indices are valid cluster
+/// node indices.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "control/pipelines.hpp"
+#include "util/options.hpp"
+
+namespace stampede::control {
+
+/// A `host:port` channel-server endpoint.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  /// Parses "host:port"; throws std::invalid_argument on malformed input
+  /// or port 0 (manifest endpoints must be rebindable after a restart).
+  static Endpoint parse(const std::string& text, const std::string& what);
+};
+
+/// One named node of a deployment.
+struct ManifestNode {
+  std::string name;
+  Endpoint endpoint;
+  /// Index into the manifest's topology (declaration order).
+  cluster::NodeIndex index = 0;
+};
+
+/// A parsed deployment manifest.
+struct Manifest {
+  std::string pipeline;
+  PipelineParams params;
+  /// Nodes in declaration order (index i has NodeIndex i).
+  std::vector<ManifestNode> nodes;
+  /// task name -> node name.
+  std::map<std::string, std::string> task_node;
+  /// channel name -> node name.
+  std::map<std::string, std::string> channel_node;
+  /// The raw option set (params + placement + anything extra), kept so
+  /// callers can read deployment-specific keys (seconds=, conv=, ...).
+  Options raw;
+
+  /// Parses an option set into a manifest (no structural validation —
+  /// call validate()). Throws std::invalid_argument on grammar errors.
+  static Manifest parse(const Options& opts);
+
+  /// parse_file + parse in one step.
+  static Manifest load(const std::string& path);
+
+  const ManifestNode* find(const std::string& node) const;
+
+  /// Node hosting `channel` (must be validated).
+  const ManifestNode& channel_host(const std::string& channel) const;
+};
+
+/// Structural validation against the pipeline spec and a uniform
+/// topology built from the manifest's node list (gigabit links, matching
+/// the paper's testbed). Resolves the raw placements into task_node /
+/// channel_node, throws std::invalid_argument naming the first problem,
+/// and returns the topology for runtime configuration.
+cluster::Topology validate(Manifest& m, const PipelineSpec& spec);
+
+}  // namespace stampede::control

@@ -1,0 +1,228 @@
+/// \file supervisor.hpp
+/// \brief Multi-node supervision: spawn one spd_node worker per manifest
+///        node, probe health, restart on death, aggregate telemetry.
+///
+/// The supervisor is the deployment's control loop (a management
+/// counterpart to the paper's data-plane feedback loop):
+///
+///   spawn ──▶ kStarting ──healthy probes──▶ kUp
+///                ▲                            │ probe failure
+///                │ backoff elapsed            ▼
+///            kBackoff ◀──────death──────  kDegraded ──death──▶ kBackoff
+///                                             │ probe ok
+///                                             ▼
+///                                            kUp         stop() ─▶ kStopped
+///
+/// Workers are full OS processes (fork/exec of `spd_node manifest=...
+/// node=<name> seconds=0`); each announces its ephemeral metrics port on
+/// stdout, which the supervisor scrapes through a per-worker pipe. Death
+/// is detected with waitpid(WNOHANG) and answered with a respawn after a
+/// bounded exponential backoff (doubled per consecutive death, reset
+/// once the worker probes healthy). Link recovery needs no help from
+/// here: manifest endpoints are fixed ports, so a restarted worker
+/// rebinds and the surviving peers' Transport reconnect plus
+/// ChannelServer slot re-attach restore the summary-STP feedback path.
+///
+/// Aggregation: each probe stores the worker's /metrics body relabeled
+/// with node="<name>"; the supervisor registers an exposition block so
+/// the controller's own /metrics serves the whole fleet, and a "fleet"
+/// /status section with pid/state/restarts/probe latency per worker.
+///
+/// Locking: all fleet state sits behind one mutex of rank kControl —
+/// above kTelemetry so the render callbacks may take it under the
+/// registry lock. The supervision thread does its bookkeeping under the
+/// lock but performs probe I/O and fork/exec outside it (both are
+/// sanctioned aru-analyze escape edges).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/manifest.hpp"
+#include "telemetry/registry.hpp"
+#include "util/clock.hpp"
+#include "util/mutex.hpp"
+#include "util/static_annotations.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace stampede::control {
+
+enum class WorkerState : std::uint8_t {
+  kStarting,   ///< spawned, not yet seen healthy_probes good probes
+  kUp,         ///< alive and probing healthy
+  kDegraded,   ///< alive but the last probe failed
+  kBackoff,    ///< dead; respawn scheduled at next_spawn
+  kStopped,    ///< terminated by stop()
+};
+
+const char* to_string(WorkerState s);
+
+struct SupervisorConfig {
+  /// Path of the spd_node binary to exec.
+  std::string worker_path;
+  /// Manifest file path passed to every worker (workers re-parse it and
+  /// build their own fragment).
+  std::string manifest_path;
+  /// Extra key=value arguments forwarded verbatim to every worker
+  /// (deployment overrides such as scale=0.25).
+  std::vector<std::string> extra_args;
+  /// Supervision tick period (drain pipes, reap, respawn, probe).
+  Nanos probe_interval = millis(250);
+  /// Per-probe HTTP deadline.
+  Nanos probe_timeout = millis(500);
+  /// Restart backoff bounds: doubled per consecutive death, reset when
+  /// the worker reaches kUp.
+  Nanos backoff_initial = millis(100);
+  Nanos backoff_max = seconds(2);
+  /// Consecutive successful probes promoting kStarting -> kUp.
+  int healthy_probes = 2;
+  /// stop(): SIGTERM, wait this long for clean exits, then SIGKILL.
+  Nanos stop_grace = seconds(5);
+  /// Clock for sleeps/backoff (defaults to the real clock).
+  Clock* clock = nullptr;
+  /// When set, fleet series, the "fleet" /status section, and the merged
+  /// per-worker exposition block are registered here.
+  telemetry::Registry* registry = nullptr;
+  /// Forward worker stdout/stderr lines to this process's stdout with a
+  /// `[node]` prefix (off for quiet embedding in tests).
+  bool forward_output = true;
+};
+
+/// Point-in-time view of one worker (for /status, tests, spd_ctl).
+struct WorkerStatus {
+  std::string node;
+  WorkerState state = WorkerState::kStarting;
+  pid_t pid = -1;
+  std::int64_t restarts = 0;
+  std::uint16_t metrics_port = 0;
+  /// Last successful probe's latency; < 0 before the first success.
+  double probe_ms = -1.0;
+  std::int64_t probe_failures = 0;
+  /// Exit code of the worker's last terminated process (-1 while the
+  /// first process is still running; 128+signo for signal deaths).
+  int last_exit = -1;
+};
+
+class Supervisor {
+ public:
+  /// `manifest` must have passed validate().
+  Supervisor(Manifest manifest, SupervisorConfig config);
+
+  /// stop()s if still running.
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns every worker and the supervision thread. Throws
+  /// std::runtime_error if a spawn fails outright.
+  void start() EXCLUDES(mu_);
+
+  /// Graceful fleet shutdown: SIGTERM all workers, wait stop_grace for
+  /// clean exits, SIGKILL stragglers, join the supervision thread.
+  /// Idempotent.
+  void stop() EXCLUDES(mu_);
+
+  // -- introspection -----------------------------------------------------------
+
+  WorkerStatus status(const std::string& node) const EXCLUDES(mu_);
+  std::vector<WorkerStatus> fleet() const EXCLUDES(mu_);
+  pid_t pid(const std::string& node) const { return status(node).pid; }
+  std::int64_t restarts(const std::string& node) const { return status(node).restarts; }
+
+  /// True when every worker is kUp.
+  bool all_up() const EXCLUDES(mu_);
+
+  /// Polls until all_up() or `timeout`; returns whether it got there.
+  bool wait_all_up(Nanos timeout) EXCLUDES(mu_);
+
+  /// The merged fleet exposition: every worker's last scraped /metrics
+  /// body with a node="<name>" label injected into each series.
+  std::string aggregated_metrics() const EXCLUDES(mu_);
+
+  /// The "fleet" /status JSON array.
+  std::string fleet_status_json() const EXCLUDES(mu_);
+
+ private:
+  struct Worker {
+    std::string node;
+    pid_t pid = -1;
+    int out_fd = -1;             ///< nonblocking read end of the stdout pipe
+    std::string partial_line;    ///< carry-over between drains
+    WorkerState state = WorkerState::kStarting;
+    std::uint16_t metrics_port = 0;
+    std::int64_t restarts = 0;
+    std::int64_t probe_failures = 0;
+    int good_probes = 0;
+    double probe_ms = -1.0;
+    int last_exit = -1;
+    Nanos backoff{0};
+    std::int64_t next_spawn_ns = 0;  ///< clock time gating the respawn
+    std::string metrics;             ///< last scraped body, relabeled
+    telemetry::Gauge* up_gauge = nullptr;
+    telemetry::Counter* restart_counter = nullptr;
+    telemetry::Gauge* probe_gauge = nullptr;
+  };
+
+  /// A probe target snapshotted out of the lock.
+  struct ProbeTarget {
+    std::size_t index = 0;
+    std::uint16_t port = 0;
+  };
+
+  void supervise(const std::stop_token& st);
+
+  /// One supervision pass. Hot-path root: the loop that keeps a
+  /// deployment alive must never pick up hidden allocation or blocking —
+  /// everything that must block (pipe drain, fork/exec, probe I/O) is a
+  /// named escape edge below.
+  ARU_HOT_PATH void tick();
+
+  /// Drains the worker's stdout pipe (nonblocking reads), forwarding
+  /// complete lines and scraping the metrics-port announcement.
+  ARU_MAY_BLOCK ARU_ALLOCATES
+  ARU_ANALYZE_ESCAPE("nonblocking pipe drain: O_NONBLOCK reads until EAGAIN; line assembly reuses the worker's carry-over buffer")
+  void drain_output_locked(Worker& w) REQUIRES(mu_);
+
+  /// fork/execs the worker process and wires its stdout pipe.
+  ARU_MAY_BLOCK ARU_ALLOCATES
+  ARU_ANALYZE_ESCAPE("supervision fork/exec: posix_spawn of a dead worker is the restart action itself, gated by bounded backoff")
+  void spawn_locked(Worker& w) REQUIRES(mu_);
+
+  /// Probes every live worker's /healthz + /metrics over HTTP and folds
+  /// the results back into the fleet state.
+  ARU_MAY_BLOCK ARU_ALLOCATES
+  ARU_ANALYZE_ESCAPE("supervision probe I/O: deadline-bounded http_get of worker /healthz + /metrics, performed outside the fleet lock")
+  void probe_fleet(const std::vector<ProbeTarget>& targets) EXCLUDES(mu_);
+
+  /// Appends one probe target to the per-tick snapshot.
+  ARU_ALLOCATES
+  ARU_ANALYZE_ESCAPE("control-plane cadence: one small probe-snapshot append per worker per 250 ms tick, far off the data path")
+  static void add_probe_target(std::vector<ProbeTarget>& targets, std::size_t index,
+                               std::uint16_t port);
+
+  void handle_line_locked(Worker& w, const std::string& line) REQUIRES(mu_);
+  void schedule_respawn_locked(Worker& w) REQUIRES(mu_);
+  void reap_locked(Worker& w) REQUIRES(mu_);
+  const Worker* find(const std::string& node) const REQUIRES(mu_);
+  WorkerStatus snapshot(const Worker& w) const REQUIRES(mu_);
+
+  const Manifest manifest_;
+  const SupervisorConfig config_;
+  Clock* clock_;
+
+  mutable util::Mutex mu_{util::LockRank::kControl, "control.supervisor"};
+  std::vector<Worker> workers_ GUARDED_BY(mu_);
+  bool started_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
+  std::jthread thread_ GUARDED_BY(mu_);
+
+  std::uint64_t exposition_handle_ = 0;
+  std::uint64_t status_handle_ = 0;
+};
+
+}  // namespace stampede::control

@@ -185,6 +185,23 @@ void Registry::remove_status(std::uint64_t handle) {
   }
 }
 
+std::uint64_t Registry::add_exposition(std::function<std::string()> fn) {
+  util::MutexLock lock(mu_);
+  const std::uint64_t handle = next_handle_++;
+  expositions_.push_back({handle, std::move(fn)});
+  return handle;
+}
+
+void Registry::remove_exposition(std::uint64_t handle) {
+  util::MutexLock lock(mu_);
+  for (auto it = expositions_.begin(); it != expositions_.end(); ++it) {
+    if (it->handle == handle) {
+      expositions_.erase(it);
+      return;
+    }
+  }
+}
+
 std::string Registry::render_prometheus() const {
   util::MutexLock lock(mu_);
   std::string out;
@@ -256,6 +273,12 @@ std::string Registry::render_prometheus() const {
         }
       }
     }
+  }
+  for (const ExpositionBlock& block : expositions_) {
+    if (!block.fn) continue;
+    const std::string text = block.fn();
+    out += text;
+    if (!text.empty() && text.back() != '\n') out += '\n';
   }
   return out;
 }

@@ -195,6 +195,15 @@ class Registry {
                                          std::function<std::string()> fn);
   void remove_status(std::uint64_t handle);
 
+  /// Extra exposition blocks: `fn` returns raw Prometheus text appended
+  /// verbatim (newline-terminated) after this registry's own series in
+  /// render_prometheus(). Evaluated under the registry mutex, so `fn`
+  /// must not acquire any rank <= kTelemetry. Used by the control plane
+  /// to merge scraped per-worker metrics into one fleet endpoint.
+  /// Returns a handle for remove_exposition.
+  ARU_ALLOCATES std::uint64_t add_exposition(std::function<std::string()> fn);
+  void remove_exposition(std::uint64_t handle);
+
   /// Prometheus text exposition format 0.0.4.
   ARU_ALLOCATES std::string render_prometheus() const;
   /// JSON object with one member per registered status section.
@@ -226,12 +235,18 @@ class Registry {
     std::function<std::string()> fn;
   };
 
+  struct ExpositionBlock {
+    std::uint64_t handle;
+    std::function<std::string()> fn;
+  };
+
   Series& find_or_insert(Kind kind, std::string_view name, std::string_view help,
                          const Labels& labels) REQUIRES(mu_);
 
   mutable util::Mutex mu_{util::LockRank::kTelemetry, "telemetry::Registry"};
   std::vector<std::unique_ptr<Series>> series_ GUARDED_BY(mu_);
   std::vector<StatusSection> status_ GUARDED_BY(mu_);
+  std::vector<ExpositionBlock> expositions_ GUARDED_BY(mu_);
   std::uint64_t next_handle_ GUARDED_BY(mu_) = 1;
 };
 

@@ -23,7 +23,8 @@
 ///   kLifecycle (Runtime) < kBufferStats (Channel::stats_mu_)
 ///     < kNetStats (net transport stats flush) < kTelemetry
 ///     (telemetry::Registry / Exporter) < kNet (net::Transport /
-///     server registry) < kBuffer (Channel::mu_ / Queue::mu_)
+///     server registry) < kControl (control::Supervisor fleet state)
+///     < kBuffer (Channel::mu_ / Queue::mu_)
 ///     < kPool (PayloadPool free lists) < kRecorder (stats::Recorder)
 ///     < kLeaf (log sink, misc. leaves)
 ///
@@ -54,6 +55,11 @@ enum class LockRank : int {
   kNet = 25,          ///< net::Transport connection / server registry.
                       ///< Below kBuffer: the server skeleton performs
                       ///< channel puts/gets while serving a connection.
+  kControl = 26,      ///< control::Supervisor fleet state. Above
+                      ///< kTelemetry: the aggregated /metrics and fleet
+                      ///< /status callbacks read worker state under the
+                      ///< registry lock. Probe I/O and fork/exec happen
+                      ///< outside it.
   kBuffer = 30,       ///< Channel/Queue data plane. Never nested.
   kPool = 35,         ///< PayloadPool free lists. Above kBuffer: an Item's
                       ///< destructor (which recycles its payload) may run

@@ -1,8 +1,57 @@
 #include "util/options.hpp"
 
+#include <cctype>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace stampede {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& origin, std::size_t line_no,
+                            const std::string& what) {
+  std::string where = origin.empty() ? "" : origin + ":" + std::to_string(line_no) + ": ";
+  throw std::invalid_argument("Options: " + where + what);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parses a double-quoted value starting at s[pos] == '"'. Returns the
+/// unescaped contents and advances pos past the closing quote.
+std::string parse_quoted(const std::string& s, std::size_t& pos,
+                         const std::string& origin, std::size_t line_no) {
+  std::string out;
+  ++pos;  // opening quote
+  while (pos < s.size() && s[pos] != '"') {
+    char c = s[pos++];
+    if (c == '\\') {
+      if (pos >= s.size()) malformed(origin, line_no, "dangling escape in quoted value");
+      const char esc = s[pos++];
+      switch (esc) {
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        default:
+          malformed(origin, line_no,
+                    std::string("unknown escape '\\") + esc + "' in quoted value");
+      }
+    }
+    out += c;
+  }
+  if (pos >= s.size()) malformed(origin, line_no, "unterminated quoted value");
+  ++pos;  // closing quote
+  return out;
+}
+
+}  // namespace
 
 Options Options::parse(int argc, const char* const* argv) {
   Options opts;
@@ -18,6 +67,65 @@ Options Options::parse(int argc, const char* const* argv) {
     }
   }
   return opts;
+}
+
+Options Options::parse_text(const std::string& text, const std::string& origin) {
+  Options opts;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // A comment outside quotes runs to end of line. Quotes only matter in
+    // the value position, so scanning for an unquoted '#' is enough.
+    std::string meat;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '"') in_quotes = !in_quotes;
+      if (c == '\\' && in_quotes && i + 1 < line.size()) {
+        meat += c;
+        meat += line[++i];
+        continue;
+      }
+      if (c == '#' && !in_quotes) break;
+      meat += c;
+    }
+    const std::string stripped = trim(meat);
+    if (stripped.empty()) continue;
+
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      opts.kv_[stripped] = "true";
+      continue;
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    if (key.empty()) malformed(origin, line_no, "malformed line '" + trim(line) + "'");
+    std::string rest = trim(stripped.substr(eq + 1));
+    if (!rest.empty() && rest.front() == '"') {
+      std::size_t pos = 0;
+      const std::string value = parse_quoted(rest, pos, origin, line_no);
+      if (!trim(rest.substr(pos)).empty()) {
+        malformed(origin, line_no, "trailing junk after quoted value");
+      }
+      opts.kv_[key] = value;
+    } else {
+      opts.kv_[key] = rest;
+    }
+  }
+  return opts;
+}
+
+Options Options::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Options: cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_text(text.str(), path);
+}
+
+void Options::merge(const Options& over) {
+  for (const auto& [k, v] : over.kv_) kv_[k] = v;
 }
 
 std::string Options::get_string(const std::string& key, const std::string& def) const {

@@ -1,8 +1,13 @@
 /// \file options.hpp
-/// \brief Tiny `key=value` command-line option parser for bench/example
-///        binaries (no external dependency).
+/// \brief Tiny `key=value` option parser for bench/example binaries and
+///        option files (no external dependency).
 ///
 /// Usage:   table_fig6 frames=600 seed=7 csv=out.csv
+///
+/// The same syntax works line-by-line in option files (pipeline
+/// manifests, saved bench configs) via parse_file/parse_text, which
+/// additionally accept blank lines, `#` comments, and double-quoted
+/// values (`motd="paced # not dropped"`) with `\"` / `\\` escapes.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,23 @@ class Options {
   /// is treated as `token=true`). Throws std::invalid_argument on
   /// malformed input.
   static Options parse(int argc, const char* const* argv);
+
+  /// Parses option-file text: one `key=value` per line. Blank lines are
+  /// skipped; `#` starts a comment (full-line or trailing, unless inside
+  /// a quoted value); a value may be double-quoted to carry spaces, `#`,
+  /// or escapes (`\"`, `\\`, `\n`, `\t`). Unquoted values end at the
+  /// first `#` and are trimmed of surrounding whitespace. Throws
+  /// std::invalid_argument on malformed lines (naming `origin` and the
+  /// line number when origin is non-empty).
+  static Options parse_text(const std::string& text, const std::string& origin = "");
+
+  /// Reads `path` and delegates to parse_text. Throws std::runtime_error
+  /// if the file cannot be read.
+  static Options parse_file(const std::string& path);
+
+  /// Overlays every entry of `over` onto this set (over wins). Used to
+  /// apply command-line overrides on top of a manifest file.
+  void merge(const Options& over);
 
   bool has(const std::string& key) const { return kv_.count(key) != 0; }
 

@@ -1,0 +1,28 @@
+/// \file fixture.cpp
+/// \brief aru-analyze fixture: the control plane's fork/exec escape
+///        edge. The supervision tick is a hot root (it must never grow
+///        hidden blocking), yet restarting a dead worker IS a blocking
+///        posix_spawn — allowed only as a named, justified escape.
+///
+/// Analyzed, never compiled. Without ARU_FIXTURE_FIXED the spawn helper
+/// is plain ARU_MAY_BLOCK and the tick's call to it must be flagged as
+/// hot-block; with it, the same helper carries the ARU_ANALYZE_ESCAPE
+/// justification (as control/supervisor.hpp's spawn_locked does) and the
+/// analyzer must honor the hatch and report a sanctioned escape edge.
+
+namespace fixture {
+
+#ifdef ARU_FIXTURE_FIXED
+ARU_MAY_BLOCK
+ARU_ANALYZE_ESCAPE("supervision fork/exec: respawning a dead worker is the restart action itself, gated by bounded backoff")
+void spawn_worker(int node);
+#else
+ARU_MAY_BLOCK
+void spawn_worker(int node);
+#endif
+
+ARU_HOT_PATH void supervision_tick(int dead_node) {
+  if (dead_node >= 0) spawn_worker(dead_node);
+}
+
+}  // namespace fixture

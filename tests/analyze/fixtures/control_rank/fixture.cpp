@@ -1,0 +1,46 @@
+/// \file fixture.cpp
+/// \brief aru-analyze fixture: the kControl rank rule. The supervisor's
+///        fleet mutex (rank 26) sits ABOVE the telemetry registry mutex
+///        (rank 24) so registry render callbacks may take fleet state
+///        under the registry lock — which makes the reverse nesting,
+///        registering series while holding the fleet lock, an inversion.
+///
+/// Analyzed, never compiled. Without ARU_FIXTURE_FIXED the constructor
+/// path takes the rank-26 control mutex and then the rank-24 telemetry
+/// mutex (registration under the fleet lock) — the analyzer must flag
+/// the rank-order violation. With it, the nesting is the sanctioned one:
+/// telemetry first (registration done before fleet state exists), then
+/// control — ascending, clean.
+
+namespace util {
+enum class LockRank { kTelemetry = 24, kControl = 26 };
+}  // namespace util
+
+namespace fixture {
+
+class Supervisor {
+ public:
+  void install_fleet() {
+#ifndef ARU_FIXTURE_FIXED
+    util::MutexLock fleet(control_mu_);       // rank 26
+    util::MutexLock reg(telemetry_mu_);       // rank 24 under 26: inversion
+    register_series();
+#else
+    {
+      util::MutexLock reg(telemetry_mu_);     // rank 24
+      register_series();
+    }
+    util::MutexLock fleet(control_mu_);       // rank 26 alone: ascending
+#endif
+    publish();
+  }
+
+  void register_series();
+  void publish();
+
+ private:
+  util::Mutex telemetry_mu_{util::LockRank::kTelemetry};
+  util::Mutex control_mu_{util::LockRank::kControl};
+};
+
+}  // namespace fixture

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+
 namespace stampede {
 namespace {
 
@@ -59,6 +65,141 @@ TEST(Options, KeysAndSet) {
   const auto keys = o.keys();
   EXPECT_EQ(keys.size(), 3u);
   EXPECT_EQ(o.get_int("c", 0), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Option files (manifest grammar): comments, blank lines, quoting
+// ---------------------------------------------------------------------------
+
+TEST(OptionsText, CommentsBlankLinesAndWhitespace) {
+  const Options o = Options::parse_text(
+      "# a full-line comment\n"
+      "\n"
+      "   \t  \n"
+      "pipeline=tracker   # trailing comment\n"
+      "  seed = 42  \n"
+      "verbose\n",
+      "test");
+  EXPECT_EQ(o.get_string("pipeline", ""), "tracker");
+  EXPECT_EQ(o.get_int("seed", 0), 42);
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_EQ(o.keys().size(), 3u);
+}
+
+TEST(OptionsText, QuotedValues) {
+  const Options o = Options::parse_text(
+      "a=\"hello world\"\n"
+      "b=\"with # hash\"   # real comment\n"
+      "c=\"esc \\\" quote, \\\\ backslash, \\n newline, \\t tab\"\n"
+      "d=\"\"\n",
+      "test");
+  EXPECT_EQ(o.get_string("a", ""), "hello world");
+  EXPECT_EQ(o.get_string("b", ""), "with # hash");
+  EXPECT_EQ(o.get_string("c", ""), "esc \" quote, \\ backslash, \n newline, \t tab");
+  EXPECT_EQ(o.get_string("d", "x"), "");
+}
+
+TEST(OptionsText, MalformedLinesThrowWithOrigin) {
+  const auto expect_throw_mentions = [](const std::string& text, const std::string& needle) {
+    try {
+      Options::parse_text(text, "file.manifest");
+      FAIL() << "no exception for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("file.manifest"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_throw_mentions("=value\n", "malformed");
+  expect_throw_mentions("k=\"unterminated\n", "unterminated");
+  expect_throw_mentions("k=\"bad \\q escape\"\n", "unknown escape");
+  expect_throw_mentions("k=\"dangling\\", "escape");
+  expect_throw_mentions("k=\"ok\" junk\n", "trailing junk");
+}
+
+TEST(OptionsText, LaterLineWinsAndMergeOverlays) {
+  Options base = Options::parse_text("k=1\nk=2\nonly_base=yes\n", "test");
+  EXPECT_EQ(base.get_int("k", 0), 2);
+  const Options over = Options::parse_text("k=3\nonly_over=yes\n", "test");
+  base.merge(over);
+  EXPECT_EQ(base.get_int("k", 0), 3);
+  EXPECT_EQ(base.get_string("only_base", ""), "yes");
+  EXPECT_EQ(base.get_string("only_over", ""), "yes");
+}
+
+TEST(OptionsFile, RoundTripAndMissingFile) {
+  const std::string path = testing::TempDir() + "/options_roundtrip.manifest";
+  {
+    std::ofstream out(path);
+    out << "# header\npipeline=tracker\nnode.front=127.0.0.1:17641\n";
+  }
+  const Options o = Options::parse_file(path);
+  EXPECT_EQ(o.get_string("pipeline", ""), "tracker");
+  EXPECT_EQ(o.get_string("node.front", ""), "127.0.0.1:17641");
+  std::remove(path.c_str());
+  EXPECT_THROW(Options::parse_file("/nonexistent/no.manifest"), std::runtime_error);
+}
+
+/// Renders `value` as a quoted option-file literal.
+std::string quote(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out + "\"";
+}
+
+std::string trim_copy(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  const std::size_t e = s.find_last_not_of(" \t");
+  return b == std::string::npos ? "" : s.substr(b, e - b + 1);
+}
+
+/// Property: any key/value map survives render -> parse_text, whatever
+/// mix of comments, blank lines, spacing, and quoting the renderer picks.
+TEST(OptionsText, PropertyRenderParseRoundTrip) {
+  const std::string value_chars =
+      "abcdefghijklmnopqrstuvwxyz0123456789 #=\"\\\n\t:./-_";
+  for (std::uint32_t round = 0; round < 50; ++round) {
+    std::mt19937 rng(0xC0FFEE + round);
+    const auto pick = [&rng](std::size_t n) {
+      return static_cast<std::size_t>(rng() % n);
+    };
+
+    std::map<std::string, std::string> expected;
+    std::string text = "# generated round " + std::to_string(round) + "\n";
+    const std::size_t entries = 1 + pick(12);
+    for (std::size_t i = 0; i < entries; ++i) {
+      const std::string key = "key_" + std::to_string(pick(8));  // collisions on purpose
+      std::string value;
+      const std::size_t len = pick(16);
+      for (std::size_t j = 0; j < len; ++j) value += value_chars[pick(value_chars.size())];
+
+      if (pick(4) == 0) text += "\n";                     // blank line
+      if (pick(4) == 0) text += "  # interleaved comment\n";
+      const std::string pad(pick(3), ' ');
+      // Values that unquoted parsing would mangle (spaces trimmed, '#'
+      // starts a comment, control chars) must be quoted; others randomly.
+      const bool needs_quotes =
+          value != trim_copy(value) || value.find_first_of("#\"\\\n\t") != std::string::npos;
+      const bool quoted = needs_quotes || pick(2) == 0;
+      text += pad + key + "=" + (quoted ? quote(value) : value);
+      if (pick(3) == 0) text += "   # trailing";
+      text += "\n";
+      expected[key] = value;  // later line wins, same as the parser
+    }
+
+    const Options parsed = Options::parse_text(text, "prop");
+    ASSERT_EQ(parsed.keys().size(), expected.size()) << text;
+    for (const auto& [k, v] : expected) {
+      EXPECT_EQ(parsed.get_string(k, "<missing>"), v) << "key " << k << " in:\n" << text;
+    }
+  }
 }
 
 }  // namespace

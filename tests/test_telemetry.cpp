@@ -107,6 +107,25 @@ TEST(Registry, StatusSectionsRenderAndUnregister) {
   EXPECT_EQ(out.find("pipeline"), std::string::npos);
 }
 
+TEST(Registry, ExpositionBlocksAppendAndUnregister) {
+  Registry reg;
+  reg.counter("own_total", "local series").add(1);
+  const std::uint64_t h = reg.add_exposition(
+      [] { return std::string("fleet_up{node=\"mid\"} 1"); });
+  std::string out = reg.render_prometheus();
+  // Appended after the registry's own series, newline-terminated even
+  // though the callback did not end with one.
+  const std::size_t own = out.find("own_total 1\n");
+  const std::size_t block = out.find("fleet_up{node=\"mid\"} 1\n");
+  EXPECT_NE(own, std::string::npos) << out;
+  EXPECT_NE(block, std::string::npos) << out;
+  EXPECT_LT(own, block);
+  EXPECT_EQ(out.back(), '\n');
+  reg.remove_exposition(h);
+  out = reg.render_prometheus();
+  EXPECT_EQ(out.find("fleet_up"), std::string::npos);
+}
+
 TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
   EXPECT_EQ(json_escape("plain"), "plain");
   EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
