@@ -34,7 +34,9 @@ struct Loop {
   /// retention cap so every payload acquire on the path (producer alloc,
   /// server materialize, consumer materialize) falls through to the heap —
   /// the pre-pool behaviour, measured for the pooled-vs-unpooled series.
-  Loop(int producers, int consumers, bool pooled = true)
+  /// `put_window = 0` pins the classic synchronous one-ack-per-put RPC
+  /// (the round-trip baselines); BM_NetPutPipelined opens the window.
+  Loop(int producers, int consumers, bool pooled = true, std::size_t put_window = 0)
       : rt(RuntimeConfig{.pool = {.max_retained_bytes =
                                       pooled ? PoolConfig{}.max_retained_bytes : 0}}) {
     channel = &rt.add_channel({.name = "bench"});
@@ -46,7 +48,7 @@ struct Loop {
     proxy = std::make_unique<net::RemoteChannel>(
         rt, net::RemoteChannelConfig{
                 .name = "bench",
-                .transport = {.port = server->port()},
+                .transport = {.port = server->port(), .put_window = put_window},
                 .producer_key = producers > 0 ? 0 : -1,
                 .consumer_key = consumers > 0 ? 0 : -1,
             });
@@ -77,6 +79,29 @@ void BM_NetPutRtt(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_NetPutRtt)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+/// Pipelined put throughput (wire v3): puts return once queued in the
+/// bounded in-flight window, envelopes batch into scatter/gather flushes,
+/// and the server settles bursts with coalesced cumulative acks. Compare
+/// items/s against BM_NetPutRtt at the same size to read the win over the
+/// one-ack-per-put RPC.
+void BM_NetPutPipelined(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Loop loop(/*producers=*/1, /*consumers=*/0, /*pooled=*/true, /*put_window=*/64);
+  Timestamp ts = 0;
+  // Warm up: first put pays the connect + Hello handshake.
+  (void)loop.proxy->put(loop.item(ts++, bytes), loop.stop.get_token());
+  loop.proxy->drain_puts(loop.stop.get_token());
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.proxy->put(loop.item(ts++, bytes), loop.stop.get_token()));
+  }
+  // Settle the in-flight tail so every counted item was actually acked.
+  loop.proxy->drain_puts(loop.stop.get_token());
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_NetPutPipelined)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
 /// Get round trip: a local put makes the channel ready, then the proxy
 /// pulls the item over the wire (server-side get + item payload + backward

@@ -28,7 +28,10 @@ src/util/static_annotations.hpp:
             namespace aliases and using-declarations), and
             telemetry-http (the exporter's HTTP parsing —
             parse_http_request / HttpRequest — referenced outside
-            src/telemetry/; clients use telemetry::http_get).
+            src/telemetry/; clients use telemetry::http_get), and
+            send-vec (TcpStream::send_vec named outside the socket
+            layer; frames leave through net::SendBuffer so they can
+            never interleave mid-stream).
 
 The analyzer is deliberately pure Python stdlib: the CI image and dev
 containers are not guaranteed a libclang with matching Python bindings,
@@ -1383,7 +1386,7 @@ def rule_nothrow(m: Model, findings):
 # --------------------------------------------------------------------------
 
 def lint_rules(m: Model, rel_of, allow):
-    """raw-payload and raw-sleep (alias-aware), telemetry-http."""
+    """raw-payload and raw-sleep (alias-aware), telemetry-http, send-vec."""
     findings = []
 
     def allowed(rule, path):
@@ -1454,6 +1457,23 @@ def lint_rules(m: Model, rel_of, allow):
                         [],
                         note="HTTP parsing lives in src/telemetry/ only; "
                              "clients use telemetry::http_get"))
+
+        # send-vec: TcpStream::send_vec is the raw scatter/gather
+        # primitive; only net::SendBuffer (socket.{hpp,cpp}) may call it.
+        # Routing every frame through one buffered writer is what
+        # guarantees frames can never interleave mid-stream — a direct
+        # send_vec elsewhere could slip between a staged batch and its
+        # flush and desynchronize the connection.
+        if not path.replace(os.sep, "/").endswith(("/net/socket.hpp",
+                                                   "/net/socket.cpp")) \
+                and not allowed("send-vec", path):
+            for t in toks:
+                if t.kind == "id" and t.text == "send_vec":
+                    findings.append(Finding(
+                        "send-vec", rel_of(path), t.text, path, t.line, [],
+                        note="frames leave through net::SendBuffer "
+                             "(flush/flush_with), the only legal "
+                             "send_vec caller"))
 
         # raw-sleep: std::this_thread::sleep_for/until, via namespace
         # aliases and using-declarations too.
@@ -1700,7 +1720,8 @@ def main(argv=None):
     matched = {f.key for f in suppressed}
     ran_rules = {"hot": ("hot-alloc", "hot-block"), "ranks": ("rank-order",),
                  "nothrow": ("nothrow-throw",),
-                 "lint": ("raw-payload", "raw-sleep", "telemetry-http")}
+                 "lint": ("raw-payload", "raw-sleep", "telemetry-http",
+                          "send-vec")}
     active = {r for rule in rules for r in ran_rules[rule]}
     stale = [k for k in baseline
              if k.split(" ", 1)[0] in active and k not in matched]

@@ -21,8 +21,11 @@
 # analyzer also enforces telemetry-http: the exporter's HTTP request
 # parsing (parse_http_request / HttpRequest) stays inside
 # src/telemetry/ — other subsystems talk to a metrics endpoint only
-# through telemetry::http_get. This script stays the single driver: it
-# invokes the analyzer's lint rules with the same allowlist.
+# through telemetry::http_get — and send-vec: TcpStream::send_vec stays
+# inside src/net/socket.{hpp,cpp}, so every frame leaves through the
+# net::SendBuffer buffered writer and can never interleave mid-stream.
+# This script stays the single driver: it invokes the analyzer's lint
+# rules with the same allowlist.
 #
 # Also runs clang-tidy over src/ when available and a compile database
 # exists (pass --build-dir, or configure with

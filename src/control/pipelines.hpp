@@ -14,6 +14,10 @@
 ///              hists/loc1/loc2)
 ///   "relay"    a minimal source -> stream -> sink pipe for tests and
 ///              smoke runs
+///   "stereo"   the §1 stereo correspondence scenario (camera-left,
+///              camera-right, stereo-matcher, depth-sink over
+///              left/right/depths; the matcher must be co-located with
+///              the frame channels it random-accesses via get_at)
 #pragma once
 
 #include <cstdint>

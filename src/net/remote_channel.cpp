@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -17,6 +18,23 @@ namespace {
 constexpr Nanos kServeSlice = millis(20);
 /// Accept-loop poll slice.
 constexpr Nanos kAcceptSlice = millis(50);
+
+/// Credits advertised for an unbounded channel: effectively "send at
+/// will" (the client clamps to its own window size anyway).
+constexpr std::uint32_t kUnboundedCredits = 1u << 16;
+
+/// Ack-coalescing cap: even mid-burst, a cumulative ack goes out at
+/// least every this many puts so the producer's window and credit view
+/// keep advancing.
+constexpr std::int64_t kMaxCoalescedPuts = 32;
+
+/// Byte companion to kMaxCoalescedPuts: settle the pending ack once this
+/// much payload has been consumed since the last one, even mid-burst. At
+/// frame-scale payloads the count bound alone acks far too lazily — the
+/// producer's byte-capped window fills and drains in lockstep with a
+/// ~window-sized ack cycle instead of streaming; acking every ~1 MiB lets
+/// the client top the window up while earlier frames are still in flight.
+constexpr std::int64_t kAckCoalescedBytes = 1 << 20;
 
 /// Fills the on-the-wire envelope of an item in place (callers reuse
 /// their WireItem, so the attrs vector's capacity persists across
@@ -174,14 +192,42 @@ RemoteEndpoint::PutResult RemoteChannel::put(std::shared_ptr<Item> item,
   // so it is free again before the next put on this thread. Keeps the
   // steady-state put path allocation-free (aru-analyze hot rule).
   static thread_local PutMsg msg;
+  msg.seq = 0;  // the transport assigns it on the pipelined path
   msg.stp.clear();
   to_wire(*item, msg.item);
   const Nanos held = summary();
   if (aru::known(held)) append_nanos(msg.stp, held);
 
-  // The payload goes out scatter-gather with the envelope, straight from
-  // the item's pooled slab (the shared_ptr keeps it alive for the send).
-  // A PutAck never carries payload, so no sink.
+  if (config_.transport.put_window > 0) {
+    // Pipelined path: queue into the transport's in-flight window and
+    // return. "Stored" means queued — the window resends across
+    // reconnects and the server dup-filters, so a queued item reaches the
+    // channel at most once. Pacing feedback comes from the latest
+    // coalesced ack instead of a per-item round trip.
+    const auto out = put_link_->put_pipelined(msg, item->data(), item, st);
+    if (out.status == Transport::RpcStatus::kOk) {
+      if (aru::known(out.summary)) hold_summary(out.summary);
+      return PutResult{.summary = aru::known(out.summary) ? out.summary : held,
+                       .stored = true,
+                       .closed = out.closed};
+    }
+    if (out.status == Transport::RpcStatus::kStopped) {
+      return PutResult{.summary = held};
+    }
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    put_shard_->record(stats::Event{.type = stats::EventType::kDrop,
+                                    .node = node_,
+                                    .ts = item->ts(),
+                                    .item = item->id(),
+                                    .t = ctx_.now_ns(),
+                                    .a = 1});
+    return PutResult{.summary = held, .dropped = true, .closed = out.closed};
+  }
+
+  // Synchronous path (put_window == 0): one RPC per put. The payload goes
+  // out scatter-gather with the envelope, straight from the item's pooled
+  // slab (the shared_ptr keeps it alive for the send). A PutAck never
+  // carries payload, so no sink.
   const FrameBuf frame = encode(msg);
   EnvelopeBody body;
   const auto status = put_link_->rpc(frame, item->data(), MsgType::kPutAck, body,
@@ -213,6 +259,11 @@ RemoteEndpoint::PutResult RemoteChannel::put(std::shared_ptr<Item> item,
                                   .t = ctx_.now_ns(),
                                   .a = 1});
   return PutResult{.summary = held, .dropped = true};
+}
+
+bool RemoteChannel::drain_puts(std::stop_token st) {
+  if (!put_link_ || config_.transport.put_window == 0) return true;
+  return put_link_->flush_puts(std::move(st));
 }
 
 RemoteEndpoint::GetResult RemoteChannel::get_latest(Nanos consumer_summary,
@@ -293,6 +344,8 @@ ChannelServer::ChannelServer(Runtime& rt, std::vector<ServedChannel> channels,
     Served s{.channel = sc.channel};
     s.slot_attaches = std::make_unique<std::atomic<std::int64_t>[]>(
         static_cast<std::size_t>(sc.remote_producers + sc.remote_consumers));
+    s.producer_seq = std::make_unique<ProducerSeq[]>(
+        static_cast<std::size_t>(sc.remote_producers));
     for (int p = 0; p < sc.remote_producers; ++p) {
       const NodeId n = rt_.add_remote_node(
           sc.channel->name() + ":remote_producer" + std::to_string(p),
@@ -334,6 +387,12 @@ ChannelServer::ChannelServer(Runtime& rt, std::vector<ServedChannel> channels,
         "Successful re-attaches to an endpoint slot already bound once "
         "(server-side link recoveries).",
         labels);
+    static constexpr std::array<std::int64_t, 7> kCoalesceBounds = {1, 2, 4,  8,
+                                                                    16, 32, 64};
+    met_ack_coalesced_ = &ctx_.metrics->histogram(
+        "aru_net_ack_coalesced_puts",
+        "Puts settled by one coalesced put ack (1 = per-put acking).",
+        kCoalesceBounds, labels);
     // Per-remote-producer summary-STP: the same series task threads
     // publish locally, labelled with the producer pseudo-node's name, so
     // a headless spd_node still exposes per-thread feedback values.
@@ -459,6 +518,14 @@ void ChannelServer::serve_connection(TcpStream stream, ConnState& state,
     ack.message = "consumer_key out of range";
   } else {
     ack.ok = true;
+    // Advertise the channel's current slack so a pipelined producer can
+    // open its window immediately instead of trickling until the first
+    // coalesced ack refreshes the credit view.
+    const std::size_t cap = served->channel->capacity();
+    const std::size_t size = served->channel->size();
+    ack.credits = cap == 0              ? kUnboundedCredits
+                  : cap > size          ? static_cast<std::uint32_t>(cap - size)
+                                        : 0;
   }
   if (stream.send_all(encode(ack).span(), config_.io_timeout) != IoStatus::kOk) return;
   if (!ack.ok) {
@@ -491,12 +558,21 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
   const NodeId chan_node = channel.id();
   std::int64_t last_tx = ctx_.now_ns();
 
-  // All outbound frames go through send_vec: envelope from the stack,
-  // payload (when present) straight from the served item's pooled slab.
+  // Buffered I/O (wire v3): inbound bursts are decoded straight out of
+  // `in` — one recv refills it with however many frames the kernel has
+  // queued, so a pipelined producer costs nowhere near a syscall per
+  // message. Outbound frames leave through `out.flush_with`: envelope from
+  // the stack, payload (when present) zero-copy from the served item's
+  // pooled slab, one sendmsg per reply.
+  SendBuffer out;
+  RecvBuffer in;
+
   auto send_frame = [&](const FrameBuf& frame, std::span<const std::byte> payload,
                         MsgType type) {
-    const std::array<std::span<const std::byte>, 2> bufs = {frame.span(), payload};
-    if (stream.send_vec(bufs, config_.io_timeout) != IoStatus::kOk) return false;
+    if (out.flush_with(stream, frame.span(), payload, config_.io_timeout) !=
+        IoStatus::kOk) {
+      return false;
+    }
     last_tx = ctx_.now_ns();
     shard->record(stats::Event{
         .type = stats::EventType::kNetTx,
@@ -512,6 +588,52 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
                       MsgType::kHeartbeat);
   };
 
+  // Receives a put's payload tail: buffered bytes first, then readv with
+  // the decode buffer's free tail as the second iovec — the payload read
+  // prefetches the frames behind it instead of leaving them for another
+  // syscall.
+  auto read_payload = [&](std::span<std::byte> dest) -> bool {
+    const std::size_t take = std::min(in.buffered(), dest.size());
+    if (take > 0) {
+      std::memcpy(dest.data(), in.view().data(), take);
+      in.consume(take);
+    }
+    std::size_t got = take;
+    while (got < dest.size()) {
+      const std::array<std::span<std::byte>, 2> bufs = {dest.subspan(got), in.tail()};
+      std::size_t n = 0;
+      if (stream.recv_vec(bufs, &n, config_.io_timeout) != IoStatus::kOk) return false;
+      const std::size_t to_dest = std::min(n, dest.size() - got);
+      got += to_dest;
+      if (n > to_dest) in.commit(n - to_dest);
+    }
+    return true;
+  };
+
+  // Duplicate-suppression watermark for this producer slot. A fresh
+  // session (new transport instance) resets it to start_seq - 1; a
+  // reconnect of the same session keeps it, so replayed window tails are
+  // settled-but-skipped.
+  ProducerSeq* pseq =
+      hello.producer_key >= 0
+          ? &served.producer_seq[static_cast<std::size_t>(hello.producer_key)]
+          : nullptr;
+  if (pseq != nullptr && pseq->session.load(std::memory_order_relaxed) != hello.session) {
+    pseq->session.store(hello.session, std::memory_order_relaxed);
+    pseq->last_seq.store(hello.start_seq == 0 ? 0 : hello.start_seq - 1,
+                         std::memory_order_relaxed);
+  }
+
+  // Coalesced-ack state: one PutAckMsg settles every put processed since
+  // the last ack (cumulative seq + credits + summary-STP). Emitted when a
+  // burst drains, before blocking on backpressure, and at least every
+  // kMaxCoalescedPuts so the client's window keeps advancing mid-burst.
+  bool ack_pending = false;
+  std::int64_t puts_since_ack = 0;
+  std::int64_t bytes_since_ack = 0;
+  bool last_stored = false;
+  Nanos last_summary = channel.summary();
+
   // Reused per-connection message scratch: decode() and the assignments
   // below overwrite every field, and the stp/attrs vector capacities
   // persist across frames, so the steady-state serve loop — every put ack
@@ -522,14 +644,52 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
   GetMsg get_msg;
   GetReplyMsg get_reply;
 
+  auto credits_of = [&]() -> std::uint32_t {
+    const std::size_t cap = channel.capacity();
+    if (cap == 0) return kUnboundedCredits;
+    const std::size_t size = channel.size();
+    return cap > size ? static_cast<std::uint32_t>(cap - size) : 0;
+  };
+
+  auto emit_put_ack = [&]() -> bool {
+    if (!ack_pending) return true;
+    put_ack.stored = last_stored;
+    put_ack.closed = channel.closed();
+    put_ack.summary = last_summary;
+    put_ack.cum_seq = pseq != nullptr ? pseq->last_seq.load(std::memory_order_relaxed) : 0;
+    put_ack.credits = credits_of();
+    channel.backward_stp_into(put_ack.stp);
+    if (!served.producer_stp.empty()) {
+      served.producer_stp[static_cast<std::size_t>(hello.producer_key)]->set(
+          put_ack.summary.count());
+    }
+    if (met_ack_coalesced_ != nullptr) met_ack_coalesced_->observe(puts_since_ack);
+    ack_pending = false;
+    puts_since_ack = 0;
+    bytes_since_ack = 0;
+    return send_frame(encode(put_ack), {}, MsgType::kPutAck);
+  };
+
   while (!st.stop_requested()) {
-    if (!stream.readable(kServeSlice)) {
-      if (stream.peer_hup() || !heartbeat_if_due()) return;
+    if (in.buffered() < kHeaderBytes) {
+      // Between frames. If nothing more is in the kernel buffer the burst
+      // is over: settle it with one coalesced ack, then wait for data.
+      if (!stream.readable(Nanos{0})) {
+        if (!emit_put_ack()) return;
+        if (!stream.readable(kServeSlice)) {
+          if (stream.peer_hup() || !heartbeat_if_due()) return;
+          continue;
+        }
+      }
+      if (in.fill(stream, config_.io_timeout) != IoStatus::kOk) return;
       continue;
     }
     FrameHeader header{};
-    EnvelopeBody body;
-    if (!read_frame(stream, config_.io_timeout, header, body)) return;
+    if (!decode_header(in.view().first(kHeaderBytes), header, nullptr)) return;
+    const std::size_t frame_bytes = kHeaderBytes + header.body_len;
+    while (in.buffered() < frame_bytes) {
+      if (in.fill(stream, config_.io_timeout) != IoStatus::kOk) return;
+    }
     if (header.payload_len != 0 && header.type != MsgType::kPut) {
       return;  // protocol violation: only puts carry payload client→server
     }
@@ -540,11 +700,14 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
         .a = static_cast<std::int64_t>(kHeaderBytes + header.body_len +
                                        header.payload_len),
         .b = static_cast<std::int64_t>(header.type)});
+    const std::span<const std::byte> body =
+        in.view().subspan(kHeaderBytes, header.body_len);
 
     switch (header.type) {
       case MsgType::kPut: {
         if (hello.producer_key < 0) return;  // protocol violation
-        if (!decode(body.span(), put_msg, nullptr)) return;
+        if (!decode(body, put_msg, nullptr)) return;
+        in.consume(frame_bytes);  // payload tail is next in the buffer
         if (put_msg.item.payload_bytes != header.payload_len) return;  // lengths disagree
         // Materialize first, then receive the payload tail directly into
         // the pooled slab — the frame-sized staging vector is gone.
@@ -552,34 +715,52 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
             ctx_, put_msg.item,
             served.producer_nodes[static_cast<std::size_t>(hello.producer_key)],
             channel.cluster_node(), shard);
-        if (header.payload_len > 0 &&
-            stream.recv_exact(item->mutable_data(), config_.io_timeout) !=
-                IoStatus::kOk) {
+        if (header.payload_len > 0 && !read_payload(item->mutable_data())) return;
+        const bool duplicate =
+            put_msg.seq != 0 && pseq != nullptr &&
+            put_msg.seq <= pseq->last_seq.load(std::memory_order_relaxed);
+        if (duplicate) {
+          // Reconnect replay of a put this channel already stored: the
+          // payload is consumed (stream stays in sync), the materialized
+          // replica is dropped (its alloc/free trace stays balanced), and
+          // the cumulative ack settles it again. At-most-once holds.
+          ack_pending = true;
+          ++puts_since_ack;
+          last_stored = true;
+        } else {
+          // Wait out a full bounded channel here (not in the channel):
+          // heartbeats must keep flowing while backpressure holds the ack,
+          // and everything already settled is acked *before* blocking so
+          // the producer's window can keep advancing.
+          std::optional<Channel::PutResult> res;
+          while (!(res = channel.try_put(item))) {
+            if (!emit_put_ack()) return;
+            if (st.stop_requested() || stream.peer_hup() || !heartbeat_if_due()) return;
+            ctx_.clock->sleep_for(config_.poll_interval);
+          }
+          last_stored = res->stored;
+          last_summary = res->channel_summary;
+          if (put_msg.seq != 0 && pseq != nullptr) {
+            pseq->last_seq.store(put_msg.seq, std::memory_order_relaxed);
+          }
+          ack_pending = true;
+          ++puts_since_ack;
+        }
+        bytes_since_ack += static_cast<std::int64_t>(header.payload_len);
+        if ((puts_since_ack >= kMaxCoalescedPuts ||
+             bytes_since_ack >= kAckCoalescedBytes) &&
+            !emit_put_ack()) {
           return;
         }
-        // Wait out a full bounded channel here (not in the channel) for the
-        // same reason as the kGet loop below: heartbeats must keep flowing
-        // while backpressure holds the ack, or the client times out the RPC
-        // and records a spurious drop for an item the server later stores.
-        std::optional<Channel::PutResult> res;
-        while (!(res = channel.try_put(item))) {
-          if (st.stop_requested() || stream.peer_hup() || !heartbeat_if_due()) return;
-          ctx_.clock->sleep_for(config_.poll_interval);
-        }
-        put_ack.stored = res->stored;
-        put_ack.closed = channel.closed();
-        put_ack.summary = res->channel_summary;
-        channel.backward_stp_into(put_ack.stp);
-        if (!served.producer_stp.empty()) {
-          served.producer_stp[static_cast<std::size_t>(hello.producer_key)]->set(
-              put_ack.summary.count());
-        }
-        if (!send_frame(encode(put_ack), {}, MsgType::kPutAck)) return;
         break;
       }
       case MsgType::kGet: {
         if (hello.consumer_key < 0) return;
-        if (!decode(body.span(), get_msg, nullptr)) return;
+        if (!decode(body, get_msg, nullptr)) return;
+        in.consume(frame_bytes);
+        // A connection holding both keys must see its puts settled before
+        // the reply (reads-own-writes across one link).
+        if (!emit_put_ack()) return;
         const int idx = served.consumer_idx[static_cast<std::size_t>(hello.consumer_key)];
         // Block here (not in the channel) so heartbeats keep flowing and a
         // vanished peer is noticed while we wait for data.
@@ -607,8 +788,10 @@ void ChannelServer::serve_attached(TcpStream& stream, const Served& served,
         break;
       }
       case MsgType::kClose:
+        emit_put_ack();  // settle the tail of the burst before goodbye
         return;
       case MsgType::kHeartbeat:
+        in.consume(frame_bytes);
         break;  // liveness only
       default:
         return;  // protocol violation

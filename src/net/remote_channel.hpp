@@ -81,6 +81,12 @@ class RemoteChannel final : public RemoteEndpoint {
   NodeId id() const override { return node_; }
   const std::string& name() const override { return config_.name; }
 
+  /// Flushes staged pipelined puts and blocks until every in-flight put
+  /// is acked (no-op on sync links). True when fully drained. Call before
+  /// asserting on remote channel contents in tests, or at orderly
+  /// producer teardown.
+  bool drain_puts(std::stop_token st = {});
+
   // -- introspection (tests / diagnostics) ------------------------------------
 
   /// Last summary-STP received over the wire (kUnknownStp before any).
@@ -180,10 +186,25 @@ class ChannelServer {
   std::int64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
 
  private:
+  /// Per-producer-slot duplicate-suppression state (wire v3). A producer
+  /// transport replays its unacked window tail after every reconnect; the
+  /// server keeps the highest settled sequence per (slot, session) and
+  /// skips anything at or below it, so replays are at-most-once on the
+  /// channel. A new session (new transport instance reusing the slot)
+  /// resets the watermark to its advertised start_seq - 1. Atomics because
+  /// a dying connection's thread may still be draining while its
+  /// replacement attaches.
+  struct ProducerSeq {
+    std::atomic<std::uint64_t> session{0};
+    std::atomic<std::uint64_t> last_seq{0};
+  };
+
   struct Served {
     Channel* channel = nullptr;
     /// producer_key → pseudo-node registered for that remote producer.
     std::vector<NodeId> producer_nodes;
+    /// producer_key → dup-suppression watermark (size producer_nodes).
+    std::unique_ptr<ProducerSeq[]> producer_seq;
     /// consumer_key → channel consumer index.
     std::vector<int> consumer_idx;
     /// Successful attaches per endpoint slot (producer keys first, then
@@ -258,6 +279,8 @@ class ChannelServer {
   /// attach path only.
   telemetry::Counter* met_connections_ = nullptr;
   telemetry::Counter* met_reconnects_ = nullptr;
+  /// Puts settled per coalesced ack (1 = sync client / idle link).
+  telemetry::Histogram* met_ack_coalesced_ = nullptr;
 };
 
 }  // namespace stampede::net

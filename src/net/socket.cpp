@@ -9,6 +9,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -36,6 +37,18 @@ bool set_nonblocking(int fd) {
 
 void fill_err(std::string* err, const char* what) {
   if (err != nullptr) *err = std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Stream socket options applied to every connected/accepted stream.
+/// TCP_NODELAY: frames are already batched by the callers' send buffers,
+/// so Nagle only adds latency. The kernel's default (auto-tuned) socket
+/// buffer sizes are deliberately left alone — forcing window-sized
+/// SO_SNDBUF/SO_RCVBUF measured *slower* on loopback (bufferbloat: the
+/// producer dumps its whole put window into the kernel and then stalls
+/// in lockstep with the consumer's drain).
+void set_stream_options(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 }  // namespace
@@ -68,8 +81,7 @@ std::optional<TcpStream> TcpStream::connect(const std::string& host, std::uint16
     fill_err(err, "fcntl");
     return std::nullopt;
   }
-  const int one = 1;
-  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_stream_options(sock.fd());
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -268,6 +280,90 @@ IoStatus TcpStream::recv_some(std::span<std::byte> out, std::size_t* n_read,
   }
 }
 
+IoStatus TcpStream::recv_vec(std::span<const std::span<std::byte>> bufs,
+                             std::size_t* n_read, Nanos timeout) {
+  *n_read = 0;
+  if (!sock_.valid()) return IoStatus::kError;
+  constexpr std::size_t kMaxIov = 8;
+  iovec iov[kMaxIov];
+  std::size_t niov = 0;
+  for (const auto& b : bufs) {
+    if (b.empty()) continue;
+    if (niov == kMaxIov) break;
+    iov[niov].iov_base = b.data();
+    iov[niov].iov_len = b.size();
+    ++niov;
+  }
+  if (niov == 0) return IoStatus::kError;
+  const Nanos deadline = steady_now() + timeout;
+  for (;;) {
+    const ssize_t n = ::readv(sock_.fd(), iov, static_cast<int>(niov));
+    if (n > 0) {
+      *n_read = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const Nanos remaining = deadline - steady_now();
+      if (remaining.count() <= 0) return IoStatus::kTimeout;
+      pollfd pfd{sock_.fd(), POLLIN, 0};
+      const int p = ::poll(&pfd, 1, poll_millis(remaining));
+      if (p < 0 && errno != EINTR) return IoStatus::kError;
+      continue;
+    }
+    if (errno == ECONNRESET) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
+}
+
+bool SendBuffer::append(std::span<const std::byte> data) {
+  if (buf_.size() - len_ < data.size()) return false;
+  std::memcpy(buf_.data() + len_, data.data(), data.size());
+  len_ += data.size();
+  return true;
+}
+
+IoStatus SendBuffer::flush(TcpStream& stream, Nanos timeout) {
+  if (len_ == 0) return IoStatus::kOk;
+  const std::array<std::span<const std::byte>, 1> bufs = {
+      std::span<const std::byte>{buf_.data(), len_}};
+  const IoStatus st = stream.send_vec(bufs, timeout);
+  len_ = 0;
+  return st;
+}
+
+IoStatus SendBuffer::flush_with(TcpStream& stream, std::span<const std::byte> frame,
+                                std::span<const std::byte> payload, Nanos timeout) {
+  const std::array<std::span<const std::byte>, 3> bufs = {
+      std::span<const std::byte>{buf_.data(), len_}, frame, payload};
+  const IoStatus st = stream.send_vec(bufs, timeout);
+  len_ = 0;
+  return st;
+}
+
+void RecvBuffer::compact() {
+  if (pos_ == 0) return;
+  const std::size_t n = len_ - pos_;
+  if (n > 0) std::memmove(buf_.data(), buf_.data() + pos_, n);
+  pos_ = 0;
+  len_ = n;
+}
+
+std::span<std::byte> RecvBuffer::tail() {
+  if (buf_.size() - len_ < buf_.size() / 2) compact();
+  return {buf_.data() + len_, buf_.size() - len_};
+}
+
+IoStatus RecvBuffer::fill(TcpStream& stream, Nanos timeout) {
+  const std::span<std::byte> space = tail();
+  if (space.empty()) return IoStatus::kError;  // caller decodes too little
+  std::size_t n = 0;
+  const IoStatus st = stream.recv_some(space, &n, timeout);
+  if (st == IoStatus::kOk) len_ += n;
+  return st;
+}
+
 bool TcpStream::peer_hup() const {
   if (!sock_.valid()) return true;
   pollfd pfd{sock_.fd(), POLLIN, 0};
@@ -348,8 +444,7 @@ std::optional<TcpStream> TcpListener::accept(Nanos timeout) {
     if (fd >= 0) {
       Socket conn(fd);
       if (!set_nonblocking(conn.fd())) return std::nullopt;
-      const int one = 1;
-      ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      set_stream_options(conn.fd());
       return TcpStream(std::move(conn));
     }
     if (errno == EINTR) continue;

@@ -22,6 +22,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "util/static_annotations.hpp"
 #include "util/time.hpp"
@@ -122,6 +123,16 @@ class TcpStream {
   ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded nonblocking socket I/O: single recv after poll() under one deadline")
   IoStatus recv_some(std::span<std::byte> out, std::size_t* n_read, Nanos timeout);
 
+  /// Scatter-gather variant of recv_some: waits for readability, performs
+  /// one `readv` across `bufs` (filled in order), and reports the total
+  /// bytes received in `*n_read`. Lets a payload read also prefetch the
+  /// bytes of whatever frames follow it in the kernel buffer — iovec[0]
+  /// points at the payload destination, iovec[1] at a decode buffer's
+  /// free tail — without an extra syscall. Empty spans are skipped.
+  ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded nonblocking socket I/O: single readv after poll() under one deadline")
+  IoStatus recv_vec(std::span<const std::span<std::byte>> bufs, std::size_t* n_read,
+                    Nanos timeout);
+
   /// True once the peer has hung up (POLLHUP/POLLERR or pending EOF).
   /// Non-destructive: does not consume buffered data.
   ARU_ANALYZE_ESCAPE("zero-timeout poll() + MSG_PEEK recv on a nonblocking fd: a readiness probe, never a wait")
@@ -134,6 +145,101 @@ class TcpStream {
 
  private:
   Socket sock_;
+};
+
+/// Fixed-capacity buffered writer over a TcpStream — the batching half of
+/// the pipelined wire protocol. Small frames (envelopes, coalesced acks)
+/// are copied into one contiguous staging area and go out in a single
+/// `sendmsg` flush; large payload tails stay zero-copy by riding the same
+/// flush as trailing iovecs (`flush_with`). This class is the only legal
+/// caller of `TcpStream::send_vec` (enforced by the send-vec lint rule):
+/// routing every send through one buffer is what guarantees frames can
+/// never interleave mid-stream.
+///
+/// Failure contract mirrors send_vec: any non-kOk flush leaves the stream
+/// desynchronized mid-frame, the connection must be dropped, and the
+/// buffer is cleared either way (retransmission is the transport window's
+/// job, from re-encoded frames — never from stale staged bytes).
+class SendBuffer {
+ public:
+  /// Staging capacity. Sized for dozens of max-size envelopes per flush;
+  /// allocated once at construction so the append path never allocates.
+  static constexpr std::size_t kCapacity = std::size_t{64} * 1024;
+
+  ARU_ALLOCATES SendBuffer() : buf_(kCapacity) {}
+
+  bool empty() const { return len_ == 0; }
+  std::size_t size() const { return len_; }
+  std::size_t capacity_left() const { return buf_.size() - len_; }
+
+  /// Copies `data` into the staging area. False when it does not fit —
+  /// the caller must flush first (never a partial append).
+  ARU_HOT_PATH bool append(std::span<const std::byte> data);
+
+  /// Sends everything staged in one scatter/gather call and clears.
+  ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded: one send_vec under the caller's timeout")
+  IoStatus flush(TcpStream& stream, Nanos timeout);
+
+  /// Sends staged bytes + `frame` + `payload` in ONE sendmsg and clears.
+  /// The zero-copy large-payload path: earlier small frames batch with
+  /// this frame's header/envelope while the payload goes straight from
+  /// the item's slab.
+  ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded: one send_vec under the caller's timeout")
+  IoStatus flush_with(TcpStream& stream, std::span<const std::byte> frame,
+                      std::span<const std::byte> payload, Nanos timeout);
+
+  void clear() { len_ = 0; }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t len_ = 0;
+};
+
+/// Fixed-capacity buffered reader — the burst-decode half of the
+/// pipelined protocol. One recv_some refills the buffer with however many
+/// frames the kernel has queued; the decode loop then consumes complete
+/// header+envelope frames straight out of `view()` without further
+/// syscalls. Payload tails larger than what is buffered are read with
+/// `TcpStream::recv_vec` (payload destination + this buffer's free tail),
+/// so even a payload read prefetches the next frames.
+class RecvBuffer {
+ public:
+  static constexpr std::size_t kCapacity = std::size_t{64} * 1024;
+
+  ARU_ALLOCATES RecvBuffer() : buf_(kCapacity) {}
+
+  std::size_t buffered() const { return len_ - pos_; }
+
+  /// Unconsumed bytes, in arrival order.
+  std::span<const std::byte> view() const { return {buf_.data() + pos_, len_ - pos_}; }
+
+  /// Marks the first `n` unconsumed bytes as decoded. `n` ≤ buffered().
+  ARU_HOT_PATH void consume(std::size_t n) { pos_ += n; }
+
+  /// Free space after the unconsumed bytes, compacting first when the
+  /// consumed prefix is hogging the front of the buffer.
+  std::span<std::byte> tail();
+
+  /// Declares `n` bytes (received externally, e.g. via recv_vec) appended
+  /// to the space `tail()` returned.
+  void commit(std::size_t n) { len_ += n; }
+
+  /// One recv_some into tail(): kOk means buffered() grew. kTimeout with
+  /// nothing read is clean; kClosed is peer EOF.
+  ARU_MAY_BLOCK ARU_ANALYZE_ESCAPE("deadline-bounded: one recv_some under the caller's timeout")
+  IoStatus fill(TcpStream& stream, Nanos timeout);
+
+  void clear() {
+    pos_ = 0;
+    len_ = 0;
+  }
+
+ private:
+  void compact();
+
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;  ///< first unconsumed byte
+  std::size_t len_ = 0;  ///< first free byte
 };
 
 /// A listening TCP socket. Binds loopback-only (127.0.0.1) by default;

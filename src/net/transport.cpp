@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <random>
 #include <utility>
 
 #include "telemetry/registry.hpp"
@@ -29,6 +30,33 @@ std::vector<stats::Event>& tl_rpc_events() {
   return batch;
 }
 
+/// Flush the staged batch once it holds this many bytes: large enough to
+/// amortize the sendmsg, small enough to stay well under the send buffer
+/// and keep the server's burst decoder busy rather than bursty.
+constexpr std::size_t kFlushBytes = std::size_t{32} * 1024;
+
+/// Payload tails larger than this skip the staging copy and ride the
+/// flush as a zero-copy trailing iovec instead.
+constexpr std::size_t kInlinePayloadMax = std::size_t{8} * 1024;
+
+/// Frames-per-flush histogram buckets (powers of two up to the largest
+/// sensible window).
+constexpr std::array<std::int64_t, 8> kBatchBounds = {1, 2, 4, 8, 16, 32, 64, 128};
+
+/// Opportunistic ack-drain cadence for a window under no pressure: a
+/// pipelined put polls the socket for arrived acks at most this many puts
+/// apart (more often once the window is half committed), bounding both
+/// summary-STP feedback staleness and the unread heartbeat backlog of a
+/// slow producer without paying a poll() syscall on every put.
+constexpr std::size_t kDrainEvery = 16;
+
+std::uint64_t random_session_id() {
+  std::random_device rd;
+  std::uint64_t id = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  // A zero session would read as "no session" on the wire; nudge it.
+  return id == 0 ? 1 : id;
+}
+
 }  // namespace
 
 Transport::Transport(RunContext& ctx, NodeId node, TransportConfig config, HelloMsg hello,
@@ -37,7 +65,11 @@ Transport::Transport(RunContext& ctx, NodeId node, TransportConfig config, Hello
       node_(node),
       config_(std::move(config)),
       hello_(std::move(hello)),
+      session_(random_session_id()),
       shard_(shard) {
+  const bool windowed = config_.put_window > 0 && hello_.producer_key >= 0;
+  if (windowed) window_.resize(config_.put_window);
+
   if (ctx_.metrics != nullptr) {
     // One link per transport; puts and gets of the same channel are
     // distinct links (separate sockets), so the label tells them apart.
@@ -56,6 +88,23 @@ Transport::Transport(RunContext& ctx, NodeId node, TransportConfig config, Hello
         "aru_net_rpc_latency_ns",
         "End-to-end rpc() latency (connect wait + exchange), nanoseconds.",
         kRpcLatencyBounds, labels);
+    if (windowed) {
+      met_window_ = &reg.gauge("aru_net_put_window",
+                               "Unacknowledged pipelined puts in flight.", labels);
+      const auto reason_counter = [&](const char* reason) {
+        telemetry::Registry::Labels rl = labels;
+        rl.push_back({"reason", reason});
+        return &reg.counter("aru_net_put_flush_total",
+                            "Staged put batches flushed, by trigger.", rl);
+      };
+      met_flush_window_ = reason_counter("window");
+      met_flush_bytes_ = reason_counter("bytes");
+      met_flush_age_ = reason_counter("age");
+      met_flush_explicit_ = reason_counter("explicit");
+      met_batch_ = &reg.histogram("aru_net_put_batch_frames",
+                                  "Put frames per scatter/gather flush.",
+                                  kBatchBounds, labels);
+    }
   }
 }
 
@@ -118,8 +167,18 @@ bool Transport::ensure_connected_locked(EventBatch& events) {
   if (!stream) return fail();
   stream_ = std::move(*stream);
 
+  // A new socket: whatever was staged for the old one is void. The window
+  // (not the staging buffer) is the source of truth for retransmission.
+  sendbuf_.clear();
+  staged_frames_ = 0;
+
   // Handshake: Hello → HelloAck(ok). The handshake never carries payload.
-  const FrameBuf hello = encode(hello_);
+  // Each attempt advertises this transport's session id and the sequence
+  // it will resume from, so the server can suppress replayed duplicates.
+  HelloMsg hello_msg = hello_;
+  hello_msg.session = session_;
+  hello_msg.start_seq = cum_acked_ + 1;
+  const FrameBuf hello = encode(hello_msg);
   if (stream_.send_all(hello.span(), config_.io_timeout) != IoStatus::kOk) {
     disconnect_locked();
     return fail();
@@ -141,6 +200,7 @@ bool Transport::ensure_connected_locked(EventBatch& events) {
     disconnect_locked();
     return fail();
   }
+  credits_ = ack.credits;
 
   if (had_session_) {
     reconnects_.fetch_add(1, std::memory_order_relaxed);
@@ -150,7 +210,125 @@ bool Transport::ensure_connected_locked(EventBatch& events) {
   failed_attempts_ = 0;
   backoff_ = Nanos{0};
   next_attempt_ns_ = 0;
+
+  // Pipelined links replay their unacked tail before anything new goes
+  // out, so a reconnect preserves send order (the server's dup filter
+  // makes the replay at-most-once on the channel).
+  if (!window_.empty() && in_flight_locked() > 0 && !resend_window_locked(events)) {
+    return fail();
+  }
   connected_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t Transport::effective_window_locked() const {
+  const std::size_t by_credit =
+      credits_ == 0 ? std::size_t{1} : static_cast<std::size_t>(credits_);
+  return std::max<std::size_t>(1, std::min(window_.size(), by_credit));
+}
+
+void Transport::apply_put_ack_locked(const PutAckMsg& ack) {
+  for (std::uint64_t s = cum_acked_ + 1; s <= ack.cum_seq && s < next_seq_; ++s) {
+    WindowSlot& slot = window_[static_cast<std::size_t>((s - 1) % window_.size())];
+    in_flight_bytes_ -= slot.payload.size();
+    slot.payload = {};
+    slot.keepalive.reset();
+  }
+  if (ack.cum_seq > cum_acked_) cum_acked_ = std::min(ack.cum_seq, next_seq_ - 1);
+  credits_ = ack.credits;
+  if (aru::known(ack.summary)) last_ack_summary_ = ack.summary;
+  if (ack.closed) remote_closed_ = true;
+  if (met_window_ != nullptr) {
+    met_window_->set(static_cast<std::int64_t>(in_flight_locked()));
+  }
+}
+
+bool Transport::drain_acks_locked(EventBatch& events) {
+  puts_since_drain_ = 0;
+  while (stream_.valid() && stream_.readable(Nanos{0})) {
+    FrameHeader header{};
+    EnvelopeBody body;
+    if (!read_frame_locked(header, body)) return false;
+    add_event(events, stats::EventType::kNetRx,
+              static_cast<std::int64_t>(kHeaderBytes + header.body_len),
+              static_cast<std::int64_t>(header.type));
+    if (header.type == MsgType::kHeartbeat && header.payload_len == 0) continue;
+    if (header.type != MsgType::kPutAck || header.payload_len != 0 ||
+        !decode(body.span(), ack_scratch_, nullptr)) {
+      disconnect_locked();
+      return false;
+    }
+    apply_put_ack_locked(ack_scratch_);
+  }
+  return stream_.valid();
+}
+
+bool Transport::read_ack_blocking_locked(const std::stop_token& st, EventBatch& events,
+                                         bool* stopped) {
+  *stopped = false;
+  FrameHeader header{};
+  EnvelopeBody body;
+  if (!read_frame_locked(header, body)) return false;
+  add_event(events, stats::EventType::kNetRx,
+            static_cast<std::int64_t>(kHeaderBytes + header.body_len),
+            static_cast<std::int64_t>(header.type));
+  if (header.type == MsgType::kHeartbeat && header.payload_len == 0) {
+    if (stop_requested(st)) {
+      // Abandoning with puts in flight: the window keeps them for a
+      // resend, but this socket's stream position is now ambiguous.
+      disconnect_locked();
+      *stopped = true;
+      return false;
+    }
+    return true;
+  }
+  if (header.type != MsgType::kPutAck || header.payload_len != 0 ||
+      !decode(body.span(), ack_scratch_, nullptr)) {
+    disconnect_locked();
+    return false;
+  }
+  apply_put_ack_locked(ack_scratch_);
+  return true;
+}
+
+bool Transport::flush_staged_locked(FlushReason reason, EventBatch& events) {
+  if (sendbuf_.empty()) return true;
+  const std::size_t bytes = sendbuf_.size();
+  const std::size_t frames = staged_frames_;
+  staged_frames_ = 0;
+  if (sendbuf_.flush(stream_, config_.io_timeout) != IoStatus::kOk) {
+    disconnect_locked();
+    return false;
+  }
+  add_event(events, stats::EventType::kNetTx, static_cast<std::int64_t>(bytes),
+            static_cast<std::int64_t>(MsgType::kPut));
+  telemetry::Counter* reason_counter = nullptr;
+  switch (reason) {
+    case FlushReason::kWindow: reason_counter = met_flush_window_; break;
+    case FlushReason::kBytes: reason_counter = met_flush_bytes_; break;
+    case FlushReason::kAge: reason_counter = met_flush_age_; break;
+    case FlushReason::kExplicit: reason_counter = met_flush_explicit_; break;
+  }
+  if (reason_counter != nullptr) reason_counter->add();
+  if (met_batch_ != nullptr && frames > 0) {
+    met_batch_->observe(static_cast<std::int64_t>(frames));
+  }
+  return true;
+}
+
+bool Transport::resend_window_locked(EventBatch& events) {
+  for (std::uint64_t s = cum_acked_ + 1; s < next_seq_; ++s) {
+    const WindowSlot& slot =
+        window_[static_cast<std::size_t>((s - 1) % window_.size())];
+    if (sendbuf_.flush_with(stream_, slot.frame.span(), slot.payload,
+                            config_.io_timeout) != IoStatus::kOk) {
+      disconnect_locked();
+      return false;
+    }
+    add_event(events, stats::EventType::kNetTx,
+              static_cast<std::int64_t>(slot.frame.len + slot.payload.size()),
+              static_cast<std::int64_t>(MsgType::kPut));
+  }
   return true;
 }
 
@@ -180,15 +358,28 @@ Transport::RpcStatus Transport::exchange_locked(const FrameBuf& frame,
                                                 const PayloadSink& sink,
                                                 EventBatch& events,
                                                 const std::stop_token& st) {
-  const std::array<std::span<const std::byte>, 2> bufs = {frame.span(), payload};
-  if (stream_.send_vec(bufs, config_.io_timeout) != IoStatus::kOk) {
+  // Any staged pipelined puts ride the same sendmsg as this request (the
+  // "explicit" flush trigger — a get must observe every put queued before
+  // it). The staged bytes are part of this link's in-order stream, so a
+  // failure is a single link death either way.
+  const std::size_t staged = sendbuf_.size();
+  const std::size_t staged_count = staged_frames_;
+  staged_frames_ = 0;
+  if (sendbuf_.flush_with(stream_, frame.span(), payload, config_.io_timeout) !=
+      IoStatus::kOk) {
     disconnect_locked();
     return RpcStatus::kDisconnected;
+  }
+  if (staged > 0) {
+    if (met_flush_explicit_ != nullptr) met_flush_explicit_->add();
+    if (met_batch_ != nullptr && staged_count > 0) {
+      met_batch_->observe(static_cast<std::int64_t>(staged_count));
+    }
   }
   FrameHeader req_header{};
   decode_header(frame.span(), req_header, nullptr);
   add_event(events, stats::EventType::kNetTx,
-            static_cast<std::int64_t>(frame.len + payload.size()),
+            static_cast<std::int64_t>(staged + frame.len + payload.size()),
             static_cast<std::int64_t>(req_header.type));
 
   // Heartbeats count as liveness (they reset the per-frame io_timeout) but
@@ -271,6 +462,149 @@ Transport::RpcStatus Transport::rpc(const FrameBuf& frame,
 
     ctx_.clock->sleep_for(kRetrySlice);
   }
+}
+
+Transport::PutOutcome Transport::put_pipelined(PutMsg& msg,
+                                               std::span<const std::byte> payload,
+                                               std::shared_ptr<const void> keepalive,
+                                               std::stop_token st) {
+  EventBatch& events = tl_rpc_events();
+  PutOutcome out;
+  if (stop_requested(st)) {
+    out.status = RpcStatus::kStopped;
+    return out;
+  }
+  {
+    const util::MutexLock lock(mu_);
+    out.summary = last_ack_summary_;
+    out.closed = remote_closed_;
+    if (window_.empty() || !ensure_connected_locked(events)) {
+      // No window configured (sync link) or no link: fail fast, the
+      // caller drops the item and keeps pacing on the held summary.
+      out.status = RpcStatus::kDisconnected;
+    } else if ((in_flight_locked() + 1 >= effective_window_locked() ||
+                ++puts_since_drain_ >= kDrainEvery) &&
+               !drain_acks_locked(events)) {
+      // Collect already-arrived acks when the window is about to block —
+      // polling the socket on every put costs a syscall the steady state
+      // doesn't need (coalesced acks arrive in clumps anyway). The
+      // kDrainEvery cadence bounds summary-STP feedback staleness and
+      // keeps a slow producer's receive buffer drained of heartbeats even
+      // though its window never fills. False = link died; the item was
+      // never queued.
+      out.status = RpcStatus::kDisconnected;
+    } else {
+      // Make room: window-full means we owe the server a flush (it cannot
+      // ack frames still sitting in our staging buffer) and then a
+      // blocking read until a coalesced ack frees a slot.
+      bool ok = true;
+      while (ok && (in_flight_locked() >= effective_window_locked() ||
+                    (in_flight_locked() > 0 &&
+                     in_flight_bytes_ + payload.size() > config_.put_window_bytes))) {
+        bool stopped = false;
+        if (!flush_staged_locked(FlushReason::kWindow, events) ||
+            !read_ack_blocking_locked(st, events, &stopped)) {
+          out.status = stopped ? RpcStatus::kStopped : RpcStatus::kDisconnected;
+          ok = false;
+        }
+      }
+      if (ok) {
+        msg.seq = next_seq_++;
+        WindowSlot& slot =
+            window_[static_cast<std::size_t>((msg.seq - 1) % window_.size())];
+        slot.seq = msg.seq;
+        encode_into(msg, slot.frame);
+        slot.payload = payload;
+        slot.keepalive = std::move(keepalive);
+        in_flight_bytes_ += payload.size();
+        if (met_window_ != nullptr) {
+          met_window_->set(static_cast<std::int64_t>(in_flight_locked()));
+        }
+
+        if (staged_frames_ == 0) first_staged_ns_ = ctx_.now_ns();
+        bool flushed_inline = false;
+        if (payload.size() > kInlinePayloadMax) {
+          // Zero-copy tail: prior staged frames + this envelope + the slab
+          // payload in one sendmsg.
+          const std::size_t batch = staged_frames_ + 1;
+          staged_frames_ = 0;
+          if (sendbuf_.flush_with(stream_, slot.frame.span(), slot.payload,
+                                  config_.io_timeout) != IoStatus::kOk) {
+            disconnect_locked();  // queued: the window will resend it
+          } else {
+            add_event(events, stats::EventType::kNetTx,
+                      static_cast<std::int64_t>(slot.frame.len + slot.payload.size()),
+                      static_cast<std::int64_t>(MsgType::kPut));
+            if (met_flush_bytes_ != nullptr) met_flush_bytes_->add();
+            if (met_batch_ != nullptr) {
+              met_batch_->observe(static_cast<std::int64_t>(batch));
+            }
+          }
+          flushed_inline = true;
+        } else {
+          const std::size_t need = slot.frame.len + payload.size();
+          if (sendbuf_.capacity_left() < need &&
+              !flush_staged_locked(FlushReason::kBytes, events)) {
+            flushed_inline = true;  // link died; window keeps the put
+          } else if (stream_.valid()) {
+            sendbuf_.append(slot.frame.span());
+            if (!payload.empty()) sendbuf_.append(payload);
+            ++staged_frames_;
+            if (staged_frames_ == 1) first_staged_ns_ = ctx_.now_ns();
+          }
+        }
+
+        // Flush triggers beyond the inline ones: the window just filled
+        // (next put would block anyway), the batch is big enough to
+        // amortize its syscall, or the oldest staged frame aged out.
+        if (!flushed_inline && stream_.valid() && !sendbuf_.empty()) {
+          if (in_flight_locked() >= effective_window_locked() ||
+              in_flight_bytes_ >= config_.put_window_bytes) {
+            flush_staged_locked(FlushReason::kWindow, events);
+          } else if (sendbuf_.size() >= kFlushBytes) {
+            flush_staged_locked(FlushReason::kBytes, events);
+          } else if (Nanos{ctx_.now_ns() - first_staged_ns_} >=
+                     config_.flush_interval) {
+            flush_staged_locked(FlushReason::kAge, events);
+          }
+        }
+        out.status = RpcStatus::kOk;
+      }
+    }
+    out.summary = last_ack_summary_;
+    out.closed = remote_closed_;
+  }
+  flush(events);
+  return out;
+}
+
+bool Transport::flush_puts(std::stop_token st) {
+  EventBatch& events = tl_rpc_events();
+  for (;;) {
+    if (stop_requested(st)) return false;
+    bool drained = false;
+    bool wait_for_link = false;
+    bool stopped = false;
+    {
+      const util::MutexLock lock(mu_);
+      if (window_.empty() || in_flight_locked() == 0) {
+        drained = true;
+      } else if (!ensure_connected_locked(events)) {
+        wait_for_link = true;  // backoff gate; sleep below and retry
+      } else if (flush_staged_locked(FlushReason::kExplicit, events)) {
+        read_ack_blocking_locked(st, events, &stopped);
+      }
+    }
+    flush(events);  // outside mu_: the shard lock ranks below kNet
+    if (stopped) return false;
+    if (drained) return true;
+    if (wait_for_link) ctx_.clock->sleep_for(kRetrySlice);
+  }
+}
+
+std::size_t Transport::puts_in_flight() const {
+  const util::MutexLock lock(mu_);
+  return window_.empty() ? 0 : in_flight_locked();
 }
 
 }  // namespace stampede::net

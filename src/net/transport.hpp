@@ -28,6 +28,19 @@
 /// after a previous session records a `kReconnect` trace event carrying
 /// the failed-attempt count and the final backoff.
 ///
+/// Pipelined puts (put_window > 0): `put_pipelined` assigns the put a
+/// sequence number, parks the encoded frame + payload in a bounded
+/// in-flight window, stages it in a SendBuffer (flushed on window-full,
+/// buffer-full, or a small age bound — many envelopes and small payload
+/// tails per sendmsg), and returns once queued. Coalesced `PutAckMsg`
+/// frames (cumulative seq + credits + summary-STP) release window slots
+/// and refresh the pacing feedback; the producer still paces against
+/// summary-STP, it just learns it from the latest coalesced ack instead
+/// of a per-item round trip. On reconnect the handshake advertises the
+/// transport's random session id and resume seq, then the unacked window
+/// tail is resent — the server suppresses duplicates by (session, seq),
+/// preserving the channel's at-most-once semantics.
+///
 /// Trace events (kNetTx/kNetRx/kReconnect) are composed under `mu_` and
 /// appended to the stats shard only after it is released, under a
 /// dedicated mutex of rank `kNetStats` — ranked *below* kNet so flushing
@@ -38,11 +51,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <stop_token>
 #include <string>
 #include <vector>
 
+#include "core/compress.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "runtime/context.hpp"
@@ -53,6 +68,7 @@
 
 namespace stampede::telemetry {
 class Counter;
+class Gauge;
 class Histogram;
 }  // namespace stampede::telemetry
 
@@ -70,6 +86,26 @@ struct TransportConfig {
   /// Reconnect backoff bounds (attempt n waits min(initial·2ⁿ⁻¹, max)).
   Nanos backoff_initial = millis(10);
   Nanos backoff_max = millis(500);
+  /// Pipelined put window: the maximum number of unacknowledged puts in
+  /// flight on this link (further bounded by the credits the server
+  /// advertises on coalesced acks). 0 selects the legacy synchronous
+  /// one-RPC-per-put path. Only meaningful on producer links.
+  std::size_t put_window = 64;
+  /// Companion byte bound on the same window: unacknowledged payload
+  /// bytes in flight. Small items fill all `put_window` slots; at
+  /// frame-scale payloads this caps the working set of retained pooled
+  /// slabs (sender, socket buffers, receiver materialize) to something
+  /// cache-sized — an uncapped 64-slot window of 1 MiB frames holds
+  /// 64 MiB of cold slabs and measures *slower* than the synchronous
+  /// ping-pong that reuses one hot slab. A single put larger than the
+  /// cap still goes out alone (the bound never starves the window below
+  /// one in-flight put).
+  std::size_t put_window_bytes = 4u << 20;
+  /// How long a staged (encoded but unflushed) put frame may age in the
+  /// send buffer before the next put forces a flush. Small enough that a
+  /// steadily producing source never delays feedback noticeably; a tight
+  /// producer loop amortizes many frames into one sendmsg within it.
+  Nanos flush_interval = micros(200);
 };
 
 /// Supplies the destination buffer for an expected reply's payload tail.
@@ -120,6 +156,35 @@ class Transport {
                              const PayloadSink& sink, bool wait_for_link,
                              std::stop_token st) EXCLUDES(mu_, stats_mu_);
 
+  /// Outcome of a pipelined (windowed) put.
+  struct PutOutcome {
+    RpcStatus status = RpcStatus::kDisconnected;
+    bool closed = false;       ///< remote channel reported closed on an ack
+    Nanos summary{0};          ///< latest coalesced-ack summary-STP (kUnknownStp before any)
+  };
+
+  /// Queues one put into the in-flight window and returns without waiting
+  /// for its ack (config().put_window must be > 0). Assigns `msg.seq`,
+  /// encodes the frame into a window slot, and stages it for a batched
+  /// scatter/gather flush; `payload` must stay valid until acked, which
+  /// `keepalive` guarantees (the item's shared_ptr). Blocks only when the
+  /// window (or the server's advertised credits) is exhausted — then it
+  /// flushes and reads coalesced acks until a slot frees, consuming
+  /// heartbeats as liveness exactly like rpc(). kOk means queued (the
+  /// window resends the unacked tail across reconnects); kDisconnected
+  /// means the item was NOT queued (no link, fail-fast — caller drops it).
+  ARU_HOT_PATH PutOutcome put_pipelined(PutMsg& msg, std::span<const std::byte> payload,
+                                        std::shared_ptr<const void> keepalive,
+                                        std::stop_token st) EXCLUDES(mu_, stats_mu_);
+
+  /// Flushes staged put frames and blocks until every in-flight put is
+  /// acked (or the link dies / stop fires). True when the window fully
+  /// drained. For tests, benches, and orderly teardown.
+  bool flush_puts(std::stop_token st) EXCLUDES(mu_, stats_mu_);
+
+  /// Unacked pipelined puts currently in flight (diagnostics/tests).
+  std::size_t puts_in_flight() const EXCLUDES(mu_);
+
   /// Drops the link (next rpc reconnects). Safe to call concurrently.
   void disconnect() EXCLUDES(mu_, stats_mu_);
 
@@ -132,6 +197,19 @@ class Transport {
 
  private:
   using EventBatch = std::vector<stats::Event>;
+
+  /// Why a staged put batch left the send buffer (flush-reason counters).
+  enum class FlushReason : std::uint8_t { kWindow, kBytes, kAge, kExplicit };
+
+  /// One in-flight pipelined put: the encoded frame, the payload span it
+  /// announces, and the shared_ptr that keeps the payload's slab alive
+  /// until the cumulative ack passes its sequence number.
+  struct WindowSlot {
+    std::uint64_t seq = 0;
+    FrameBuf frame;
+    std::span<const std::byte> payload;
+    std::shared_ptr<const void> keepalive;
+  };
 
   /// Establishes the link if absent and due. Returns true when connected.
   bool ensure_connected_locked(EventBatch& events) REQUIRES(mu_);
@@ -154,6 +232,39 @@ class Transport {
 
   void disconnect_locked() REQUIRES(mu_);
 
+  // -- pipelined-put window helpers -------------------------------------------
+
+  std::size_t in_flight_locked() const REQUIRES(mu_) {
+    return static_cast<std::size_t>(next_seq_ - 1 - cum_acked_);
+  }
+
+  /// Window bound for this instant: the configured window further limited
+  /// by the server's advertised credits, but never below 1 — the server's
+  /// backpressure wait (heartbeat-pumped try_put poll) guarantees progress
+  /// for a single in-flight put even against a full bounded channel.
+  std::size_t effective_window_locked() const REQUIRES(mu_);
+
+  /// Applies one decoded coalesced ack: releases window slots up to
+  /// cum_seq, refreshes credits / summary / closed.
+  void apply_put_ack_locked(const PutAckMsg& ack) REQUIRES(mu_);
+
+  /// Reads already-arrived frames without waiting (readable(0)-gated) and
+  /// applies acks; heartbeats are consumed. False = link died.
+  bool drain_acks_locked(EventBatch& events) REQUIRES(mu_);
+
+  /// Blocks for one frame (ack or heartbeat). Sets *stopped when a stop
+  /// request interrupted the wait; false = link died or stopped.
+  bool read_ack_blocking_locked(const std::stop_token& st, EventBatch& events,
+                                bool* stopped) REQUIRES(mu_);
+
+  /// Sends the staged batch in one scatter/gather flush, recording the
+  /// reason counter and the batch-size histogram. False = link died.
+  bool flush_staged_locked(FlushReason reason, EventBatch& events) REQUIRES(mu_);
+
+  /// Retransmits the unacked window tail after a fresh handshake (dup
+  /// suppression on the server keeps this at-most-once). False = link died.
+  bool resend_window_locked(EventBatch& events) REQUIRES(mu_);
+
   /// Composes one trace event into the rpc path's reused per-thread
   /// batch (flush() clears it after draining, so capacity persists).
   ARU_ALLOCATES ARU_ANALYZE_ESCAPE("amortized: appends into the reused thread-local rpc event batch; flush() clears it after draining, so capacity persists")
@@ -173,6 +284,10 @@ class Transport {
   const NodeId node_;
   const TransportConfig config_;
   const HelloMsg hello_;
+  /// Random per-transport session id, advertised on every Hello so the
+  /// server can tell a reconnect replay (same session, resent seqs) from
+  /// a brand-new producer reusing the slot.
+  const std::uint64_t session_;
 
   mutable util::Mutex mu_{util::LockRank::kNet, "net.transport"};
   TcpStream stream_ GUARDED_BY(mu_);
@@ -182,6 +297,30 @@ class Transport {
   Nanos backoff_ GUARDED_BY(mu_){0};
   std::int64_t next_attempt_ns_ GUARDED_BY(mu_) = 0;
   bool had_session_ GUARDED_BY(mu_) = false;
+
+  /// Pipelined-put window ring (empty when put_window == 0 or this is a
+  /// consumer link). Slot for seq s lives at (s-1) % size; sequence
+  /// numbers start at 1 (0 marks an unsequenced legacy/sync put on the
+  /// wire). All preallocated in the constructor — the enqueue path only
+  /// copies into slots.
+  std::vector<WindowSlot> window_ GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::uint64_t cum_acked_ GUARDED_BY(mu_) = 0;
+  /// Sum of payload bytes across unacked window slots (put_window_bytes
+  /// enforcement): grows on enqueue, shrinks as coalesced acks release
+  /// slots.
+  std::size_t in_flight_bytes_ GUARDED_BY(mu_) = 0;
+  /// Puts since the last opportunistic ack drain (kDrainEvery cadence).
+  std::size_t puts_since_drain_ GUARDED_BY(mu_) = 0;
+  std::uint32_t credits_ GUARDED_BY(mu_) = 0;
+  bool remote_closed_ GUARDED_BY(mu_) = false;
+  Nanos last_ack_summary_ GUARDED_BY(mu_) = aru::kUnknownStp;
+  /// Reused coalesced-ack decode scratch (stp capacity persists).
+  PutAckMsg ack_scratch_ GUARDED_BY(mu_);
+  /// Staging buffer for batched put flushes; count + age of what is staged.
+  SendBuffer sendbuf_ GUARDED_BY(mu_);
+  std::size_t staged_frames_ GUARDED_BY(mu_) = 0;
+  std::int64_t first_staged_ns_ GUARDED_BY(mu_) = 0;
 
   mutable util::Mutex stats_mu_{util::LockRank::kNetStats, "net.transport.stats"};
   stats::Shard* const shard_ PT_GUARDED_BY(stats_mu_);
@@ -198,6 +337,14 @@ class Transport {
   telemetry::Counter* met_rx_ = nullptr;          ///< aru_net_rx_bytes_total
   telemetry::Counter* met_reconnects_ = nullptr;  ///< aru_net_reconnects_total
   telemetry::Histogram* met_rpc_ = nullptr;       ///< aru_net_rpc_latency_ns
+  /// Pipelined-put series (registered only when the window is enabled):
+  /// window occupancy, one flush counter per reason, and frames-per-flush.
+  telemetry::Gauge* met_window_ = nullptr;          ///< aru_net_put_window
+  telemetry::Counter* met_flush_window_ = nullptr;  ///< aru_net_put_flush_total{reason=window}
+  telemetry::Counter* met_flush_bytes_ = nullptr;   ///< …{reason=bytes}
+  telemetry::Counter* met_flush_age_ = nullptr;     ///< …{reason=age}
+  telemetry::Counter* met_flush_explicit_ = nullptr;  ///< …{reason=explicit}
+  telemetry::Histogram* met_batch_ = nullptr;       ///< aru_net_put_batch_frames
 };
 
 }  // namespace stampede::net

@@ -205,8 +205,9 @@ class Reader {
   const char* err_ = nullptr;
 };
 
-FrameBuf make_frame(MsgType type, std::uint32_t payload_len, const auto& write_body) {
-  FrameBuf frame;
+void make_frame_into(FrameBuf& frame, MsgType type, std::uint32_t payload_len,
+                     const auto& write_body) {
+  frame.len = 0;
   Writer header(frame);
   header.u32(kWireMagic);
   header.u32(0);  // envelope length patched below
@@ -221,6 +222,11 @@ FrameBuf make_frame(MsgType type, std::uint32_t payload_len, const auto& write_b
   frame.data[5] = std::byte{static_cast<std::uint8_t>(body_len >> 8)};
   frame.data[6] = std::byte{static_cast<std::uint8_t>(body_len >> 16)};
   frame.data[7] = std::byte{static_cast<std::uint8_t>(body_len >> 24)};
+}
+
+FrameBuf make_frame(MsgType type, std::uint32_t payload_len, const auto& write_body) {
+  FrameBuf frame;
+  make_frame_into(frame, type, payload_len, write_body);
   return frame;
 }
 
@@ -251,6 +257,8 @@ FrameBuf encode(const HelloMsg& m) {
     w.str(m.channel);
     w.u32(static_cast<std::uint32_t>(m.producer_key));
     w.u32(static_cast<std::uint32_t>(m.consumer_key));
+    w.u64(m.session);
+    w.u64(m.start_seq);
   });
 }
 
@@ -258,11 +266,19 @@ FrameBuf encode(const HelloAckMsg& m) {
   return make_frame(MsgType::kHelloAck, 0, [&](Writer& w) {
     w.u8(m.ok ? 1 : 0);
     w.str(m.message);
+    w.u32(m.credits);
   });
 }
 
 FrameBuf encode(const PutMsg& m) {
-  return make_frame(MsgType::kPut, m.item.payload_bytes, [&](Writer& w) {
+  FrameBuf frame;
+  encode_into(m, frame);
+  return frame;
+}
+
+void encode_into(const PutMsg& m, FrameBuf& out) {
+  make_frame_into(out, MsgType::kPut, m.item.payload_bytes, [&](Writer& w) {
+    w.u64(m.seq);
     w.item(m.item);
     w.stp_vector(m.stp);
   });
@@ -273,6 +289,8 @@ FrameBuf encode(const PutAckMsg& m) {
     w.u8(m.stored ? 1 : 0);
     w.u8(m.closed ? 1 : 0);
     w.i64(m.summary.count());
+    w.u64(m.cum_seq);
+    w.u32(m.credits);
     w.stp_vector(m.stp);
   });
 }
@@ -343,7 +361,8 @@ bool decode_header(std::span<const std::byte> buf, FrameHeader& out, std::string
 bool decode(std::span<const std::byte> body, HelloMsg& out, std::string* err) {
   Reader r(body);
   std::uint32_t producer = 0, consumer = 0;
-  if (r.str(out.channel) && r.u32(producer) && r.u32(consumer)) {
+  if (r.str(out.channel) && r.u32(producer) && r.u32(consumer) &&
+      r.u64(out.session) && r.u64(out.start_seq)) {
     out.producer_key = static_cast<std::int32_t>(producer);
     out.consumer_key = static_cast<std::int32_t>(consumer);
   }
@@ -352,20 +371,21 @@ bool decode(std::span<const std::byte> body, HelloMsg& out, std::string* err) {
 
 bool decode(std::span<const std::byte> body, HelloAckMsg& out, std::string* err) {
   Reader r(body);
-  if (r.boolean(out.ok)) r.str(out.message);
+  if (r.boolean(out.ok) && r.str(out.message)) r.u32(out.credits);
   return finish(r, err);
 }
 
 bool decode(std::span<const std::byte> body, PutMsg& out, std::string* err) {
   Reader r(body);
-  if (r.item(out.item)) r.stp_vector(out.stp);
+  if (r.u64(out.seq) && r.item(out.item)) r.stp_vector(out.stp);
   return finish(r, err);
 }
 
 bool decode(std::span<const std::byte> body, PutAckMsg& out, std::string* err) {
   Reader r(body);
   std::int64_t summary_ns = 0;
-  if (r.boolean(out.stored) && r.boolean(out.closed) && r.i64(summary_ns)) {
+  if (r.boolean(out.stored) && r.boolean(out.closed) && r.i64(summary_ns) &&
+      r.u64(out.cum_seq) && r.u32(out.credits)) {
     out.summary = Nanos{summary_ns};
     r.stp_vector(out.stp);
   }

@@ -41,6 +41,17 @@
 ///  * `kPut` (producer → channel) carries the producer's own backward
 ///    vector for diagnostics/tracing on the serving side.
 ///
+/// Version 3 adds the pipelined put machinery. Every `kPut` carries a
+/// per-link sequence number; `kPutAck` acknowledges *cumulatively*
+/// (`cum_seq` = highest contiguously stored sequence) and advertises
+/// `credits` — the receiver's current buffer slack — so a source may keep
+/// up to that many puts in flight without waiting. `kHello` carries a
+/// random per-transport `session` id plus the `start_seq` the sender will
+/// resume from, letting the server suppress duplicates after a reconnect
+/// replay (at-most-once channel semantics survive resends). A sync peer
+/// simply keeps one put in flight and reads one ack per put; the frame
+/// layouts are shared.
+///
 /// Decoding is defensive: every length is bounds-checked against both the
 /// buffer and a hard cap (kMaxStpSlots, kMaxAttrs, kMaxPayloadBytes,
 /// kMaxNameBytes, kMaxEnvelopeBytes), and a truncated or corrupt buffer
@@ -63,7 +74,7 @@
 namespace stampede::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x5350444E;  // "SPDN"
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 /// Hard caps a decoder enforces before trusting any on-the-wire length.
@@ -118,6 +129,8 @@ struct HelloMsg {
   std::string channel;
   std::int32_t producer_key = -1;  ///< pre-registered producer slot (-1 = none)
   std::int32_t consumer_key = -1;  ///< pre-registered consumer slot (-1 = none)
+  std::uint64_t session = 0;       ///< random per-transport id for dup suppression
+  std::uint64_t start_seq = 0;     ///< first put sequence this attach will send
 
   bool operator==(const HelloMsg&) const = default;
 };
@@ -125,11 +138,13 @@ struct HelloMsg {
 struct HelloAckMsg {
   bool ok = false;
   std::string message;
+  std::uint32_t credits = 0;  ///< receiver buffer slack at attach time
 
   bool operator==(const HelloAckMsg&) const = default;
 };
 
 struct PutMsg {
+  std::uint64_t seq = 0;  ///< per-link sequence number (monotonic from start_seq)
   WireItem item;
   std::vector<Nanos> stp;  ///< producer's backwardSTP vector (diagnostic)
 
@@ -138,9 +153,11 @@ struct PutMsg {
 
 struct PutAckMsg {
   bool stored = false;
-  bool closed = false;       ///< channel is closed; producers should stop
-  Nanos summary{0};          ///< channel summary-STP (paper §3.3.2 put return)
-  std::vector<Nanos> stp;    ///< channel's full backwardSTP vector
+  bool closed = false;        ///< channel is closed; producers should stop
+  Nanos summary{0};           ///< channel summary-STP (paper §3.3.2 put return)
+  std::uint64_t cum_seq = 0;  ///< cumulative ack: all seq ≤ this are settled
+  std::uint32_t credits = 0;  ///< receiver buffer slack after this ack
+  std::vector<Nanos> stp;     ///< channel's full backwardSTP vector
 
   bool operator==(const PutAckMsg&) const = default;
 };
@@ -208,6 +225,10 @@ struct EnvelopeBody {
 ARU_HOT_PATH FrameBuf encode(const HelloMsg& m);
 ARU_HOT_PATH FrameBuf encode(const HelloAckMsg& m);
 ARU_HOT_PATH FrameBuf encode(const PutMsg& m);
+/// In-place variant for the pipelined window: encodes into the slot's own
+/// FrameBuf, skipping the ~2 KiB struct copy a by-value return costs on
+/// every enqueued put.
+ARU_HOT_PATH void encode_into(const PutMsg& m, FrameBuf& out);
 ARU_HOT_PATH FrameBuf encode(const PutAckMsg& m);
 ARU_HOT_PATH FrameBuf encode(const GetMsg& m);
 ARU_HOT_PATH FrameBuf encode(const GetReplyMsg& m);

@@ -212,6 +212,9 @@ class Channel {
   NodeId id() const { return id_; }
   const std::string& name() const { return config_.name; }
   int cluster_node() const { return config_.cluster_node; }
+  /// Configured bound (0 = unbounded). The net server advertises
+  /// `capacity - size` as put credits on coalesced acks.
+  std::size_t capacity() const { return config_.capacity; }
   std::size_t size() const;
   /// DGC frontier: min consumer guarantee (for thread guarantee
   /// propagation — paper's dead-timestamp reasoning).

@@ -1,0 +1,49 @@
+/// \file fixture.cpp
+/// \brief aru-analyze fixture: the windowed-enqueue shape of the
+///        pipelined transport (Transport::put_pipelined).
+///
+/// Analyzed, never compiled (tests/analyze/run_fixtures.py drives the
+/// analyzer over this directory). The hot enqueue path appends a frame
+/// to a preallocated in-flight window and stages its bytes in a
+/// fixed-capacity send buffer. Without ARU_FIXTURE_FIXED the slot fill
+/// reaches a transitively-allocating frame builder (a fresh byte buffer
+/// per put) and the analyzer must exit 1 with a hot-alloc finding; with
+/// it, the frame encodes into the slot's reused stack buffer and the
+/// path is clean both directions (enqueue -> encode -> append).
+
+namespace fixture {
+
+struct FrameBuf {
+  unsigned char bytes[2048];
+  unsigned len;
+};
+
+struct WindowSlot {
+  unsigned long seq;
+  FrameBuf frame;
+};
+
+/// Builds the frame in a freshly allocated heap buffer — one allocation
+/// per enqueued put, exactly what the window exists to avoid.
+ARU_ALLOCATES FrameBuf* encode_heap(unsigned long seq);
+
+/// Encodes into the slot's own stack buffer; no allocation anywhere.
+void encode_into(FrameBuf& out, unsigned long seq);
+
+/// Fixed-capacity staging append (never allocates, never blocks).
+bool stage_append(const FrameBuf& frame);
+
+ARU_HOT_PATH void enqueue_put(WindowSlot* window, unsigned size,
+                              unsigned long seq) {
+  WindowSlot& slot = window[seq % size];
+  slot.seq = seq;
+#ifndef ARU_FIXTURE_FIXED
+  FrameBuf* heap_frame = encode_heap(seq);
+  slot.frame = *heap_frame;
+#else
+  encode_into(slot.frame, seq);
+#endif
+  stage_append(slot.frame);
+}
+
+}  // namespace fixture

@@ -27,6 +27,7 @@ FIXTURES = [
     ("telemetry_register", "hot-alloc"),
     ("control_rank", "rank-order"),
     ("control_escape", "hot-block"),
+    ("net_window", "hot-alloc"),
 ]
 
 # fixtures whose fixed run must report a sanctioned escape edge

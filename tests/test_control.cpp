@@ -76,6 +76,28 @@ TEST(Pipelines, RegistryKnowsTrackerAndRelay) {
   EXPECT_EQ(detect->inputs, (std::vector<std::string>{"masks", "hists", "frames"}));
 }
 
+TEST(Pipelines, RegistryKnowsStereo) {
+  const PipelineSpec* stereo = find_pipeline("stereo");
+  ASSERT_NE(stereo, nullptr);
+  EXPECT_EQ(stereo->tasks.size(), 4u);
+  EXPECT_EQ(stereo->channels, (std::vector<std::string>{"left", "right", "depths"}));
+  // Port order is the spec contract: the matcher reads the latest left on
+  // input 0 and random-accesses the right (get_at correspondence) on 1.
+  const PipelineSpec::Task* matcher = stereo->find_task("stereo-matcher");
+  ASSERT_NE(matcher, nullptr);
+  EXPECT_EQ(matcher->inputs, (std::vector<std::string>{"left", "right"}));
+  EXPECT_EQ(matcher->outputs, (std::vector<std::string>{"depths"}));
+  // Every task body must be buildable from the registered factories.
+  PipelineParams params;
+  params.scale = 0.25;
+  const std::shared_ptr<void> state = stereo->make_state(params);
+  ASSERT_NE(state, nullptr);
+  for (const PipelineSpec::Task& t : stereo->tasks) {
+    EXPECT_TRUE(static_cast<bool>(stereo->make_body(t.name, params, state)))
+        << "no body for task '" << t.name << "'";
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Manifest grammar + validation
 // ---------------------------------------------------------------------------
@@ -159,6 +181,34 @@ TEST(Manifest, ValidateNamesTheFirstProblem) {
 
   // Wrong spec for the manifest's pipeline name.
   Manifest m = Manifest::parse(opts(good));
+  EXPECT_THROW(validate(m, *find_pipeline("relay")), std::invalid_argument);
+}
+
+TEST(Manifest, ParseAndValidateStereo) {
+  // The stereo matcher random-accesses both frame channels via get_at, so
+  // a deployable manifest co-locates it with them (a RemoteChannel proxy
+  // only speaks latest/summary); the depth stream may hop nodes.
+  const std::string text =
+      "pipeline=stereo\nseed=21\nscale=0.25\n"
+      "node.rig=127.0.0.1:17645\n"
+      "node.viz=127.0.0.1:17646\n"
+      "place.camera-left=rig\nplace.camera-right=rig\n"
+      "place.left=rig\nplace.right=rig\n"
+      "place.stereo-matcher=rig\nplace.depths=rig\n"
+      "place.depth-sink=viz\n";
+  Manifest m = Manifest::parse(opts(text));
+  EXPECT_EQ(m.pipeline, "stereo");
+  EXPECT_EQ(m.params.seed, 21u);
+
+  const cluster::Topology topo = validate(m, *find_pipeline("stereo"));
+  EXPECT_EQ(m.task_node.size(), 4u);
+  EXPECT_EQ(m.channel_node.size(), 3u);
+  EXPECT_EQ(m.task_node.at("stereo-matcher"), m.channel_node.at("left"))
+      << "the matcher must be co-located with the channels it random-accesses";
+  for (const ManifestNode& n : m.nodes) EXPECT_TRUE(topo.valid(n.index));
+
+  // A spec/manifest mismatch must still be named: a stereo manifest does
+  // not validate against the relay spec.
   EXPECT_THROW(validate(m, *find_pipeline("relay")), std::invalid_argument);
 }
 

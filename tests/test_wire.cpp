@@ -121,7 +121,9 @@ TEST(Wire, HelloRoundTripRandomized) {
   for (int i = 0; i < 200; ++i) {
     expect_roundtrip(HelloMsg{.channel = random_name(rng, kMaxNameBytes),
                               .producer_key = static_cast<std::int32_t>(rng.next()),
-                              .consumer_key = static_cast<std::int32_t>(rng.next())},
+                              .consumer_key = static_cast<std::int32_t>(rng.next()),
+                              .session = rng.next(),
+                              .start_seq = rng.next()},
                      MsgType::kHello);
   }
 }
@@ -130,7 +132,8 @@ TEST(Wire, HelloAckRoundTripRandomized) {
   Xoshiro256 rng(0xB0B);
   for (int i = 0; i < 200; ++i) {
     expect_roundtrip(HelloAckMsg{.ok = rng.below(2) == 1,
-                                 .message = random_name(rng, kMaxNameBytes)},
+                                 .message = random_name(rng, kMaxNameBytes),
+                                 .credits = static_cast<std::uint32_t>(rng.next())},
                      MsgType::kHelloAck);
   }
 }
@@ -138,7 +141,8 @@ TEST(Wire, HelloAckRoundTripRandomized) {
 TEST(Wire, PutRoundTripRandomized) {
   Xoshiro256 rng(0xCAFE);
   for (int i = 0; i < 100; ++i) {
-    expect_roundtrip(PutMsg{.item = random_item(rng),
+    expect_roundtrip(PutMsg{.seq = rng.next(),
+                            .item = random_item(rng),
                             .stp = random_stp(rng, rng.below(kMaxStpSlots + 1))},
                      MsgType::kPut);
   }
@@ -150,6 +154,8 @@ TEST(Wire, PutAckRoundTripRandomized) {
     expect_roundtrip(PutAckMsg{.stored = rng.below(2) == 1,
                                .closed = rng.below(2) == 1,
                                .summary = Nanos{static_cast<std::int64_t>(rng.next() >> 8)},
+                               .cum_seq = rng.next(),
+                               .credits = static_cast<std::uint32_t>(rng.next()),
                                .stp = random_stp(rng, rng.below(kMaxStpSlots + 1))},
                      MsgType::kPutAck);
   }
@@ -246,8 +252,9 @@ TEST(Wire, OversizedStpVectorIsRejected) {
   // must reject it before trusting the length.
   PutAckMsg m{.stored = true, .stp = std::vector<Nanos>(kMaxStpSlots, millis(1))};
   FrameBuf frame = encode(m);
-  // Body layout: stored u8, closed u8, summary i64, count u16, slots...
-  const std::size_t count_off = kHeaderBytes + 1 + 1 + 8;
+  // Body layout (v3): stored u8, closed u8, summary i64, cum_seq u64,
+  // credits u32, count u16, slots...
+  const std::size_t count_off = kHeaderBytes + 1 + 1 + 8 + 8 + 4;
   const auto bumped = static_cast<std::uint16_t>(kMaxStpSlots + 1);
   std::memcpy(frame.data.data() + count_off, &bumped, sizeof(bumped));
 
@@ -289,12 +296,20 @@ TEST(Wire, EncodeEnforcesTheDecodeCaps) {
 TEST(Wire, TruncatedBodiesNeverCrash) {
   Xoshiro256 rng(0x7A6);
   expect_truncation_safe<HelloMsg>(
-      encode(HelloMsg{.channel = "frames", .producer_key = 3, .consumer_key = 1}));
-  expect_truncation_safe<HelloAckMsg>(encode(HelloAckMsg{.ok = false, .message = "no"}));
-  expect_truncation_safe<PutMsg>(
-      encode(PutMsg{.item = random_item(rng, 64), .stp = random_stp(rng, 5)}));
-  expect_truncation_safe<PutAckMsg>(encode(
-      PutAckMsg{.stored = true, .summary = millis(2), .stp = random_stp(rng, 3)}));
+      encode(HelloMsg{.channel = "frames",
+                      .producer_key = 3,
+                      .consumer_key = 1,
+                      .session = 0x1122334455667788ULL,
+                      .start_seq = 42}));
+  expect_truncation_safe<HelloAckMsg>(
+      encode(HelloAckMsg{.ok = false, .message = "no", .credits = 7}));
+  expect_truncation_safe<PutMsg>(encode(
+      PutMsg{.seq = 99, .item = random_item(rng, 64), .stp = random_stp(rng, 5)}));
+  expect_truncation_safe<PutAckMsg>(encode(PutAckMsg{.stored = true,
+                                                     .summary = millis(2),
+                                                     .cum_seq = 99,
+                                                     .credits = 5,
+                                                     .stp = random_stp(rng, 3)}));
   expect_truncation_safe<GetMsg>(
       encode(GetMsg{.consumer_summary = millis(4), .guarantee = 17}));
   GetReplyMsg reply{.has_item = true,
